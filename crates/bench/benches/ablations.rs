@@ -1,0 +1,139 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * optimistic vs regular locking as contention rises (the
+//!   usage-frequency history's job);
+//! * EWMA threshold sweep;
+//! * the simulation cost of the Figure 6 safety mechanisms (hardware
+//!   blocking, insharing suspension) on a rollback-heavy workload;
+//! * tree multicast vs unicast fan-out (link traversals and wall time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sesame_core::OptimisticConfig;
+use sesame_dsm::MachineConfig;
+use sesame_net::{Fabric, LinkTiming, MeshTorus2d, NodeId, SpanningTree};
+use sesame_sim::{SimDur, SimTime};
+use sesame_workloads::contention::{run_contention, ContentionConfig};
+
+fn bench_contention_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_contention");
+    group.sample_size(10);
+    for think_us in [200u64, 20, 2] {
+        for (name, optimistic) in [("optimistic", true), ("regular", false)] {
+            let cfg = ContentionConfig {
+                contenders: 6,
+                rounds: 30,
+                mean_think: SimDur::from_us(think_us),
+                mutex: OptimisticConfig {
+                    optimistic,
+                    ..OptimisticConfig::default()
+                },
+                ..ContentionConfig::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("think{think_us}us")),
+                &cfg,
+                |b, cfg| b.iter(|| run_contention(*cfg).mean_section_latency),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_threshold_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_history_threshold");
+    group.sample_size(10);
+    for threshold in [0.05, 0.30, 0.95] {
+        let cfg = ContentionConfig {
+            contenders: 4,
+            rounds: 40,
+            mean_think: SimDur::from_us(15),
+            mutex: OptimisticConfig {
+                threshold,
+                ..OptimisticConfig::default()
+            },
+            ..ContentionConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("thr{threshold}")),
+            &cfg,
+            |b, cfg| b.iter(|| run_contention(*cfg).mean_section_latency),
+        );
+    }
+    group.finish();
+}
+
+fn bench_safety_mechanisms(c: &mut Criterion) {
+    // Correctness requires both mechanisms (crates/core/tests proves it);
+    // this prices their simulation overhead on a rollback-heavy workload.
+    let mut group = c.benchmark_group("ablation_safety_mechanisms");
+    group.sample_size(10);
+    for (name, hw_block, insharing_suspension) in [
+        ("both-on", true, true),
+        ("no-hw-block", false, true),
+        ("no-suspension", true, false),
+    ] {
+        let cfg = ContentionConfig {
+            contenders: 3,
+            rounds: 20,
+            mean_think: SimDur::from_us(5),
+            machine: MachineConfig {
+                hw_block,
+                insharing_suspension,
+            },
+            // With safety off, corruption is the expected observation.
+            check_counter: hw_block && insharing_suspension,
+            ..ContentionConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| run_contention(*cfg).result.end)
+        });
+    }
+    group.finish();
+}
+
+fn bench_multicast_vs_unicast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_multicast");
+    for nodes in [16usize, 64] {
+        let topo = MeshTorus2d::with_nodes(nodes);
+        let tree = SpanningTree::build(&topo, NodeId::new(0));
+        let members: Vec<NodeId> = (0..nodes as u32).map(NodeId::new).collect();
+        // Traversal counts are the figure of merit; print once.
+        let mut mc = Fabric::new(LinkTiming::paper_1994());
+        mc.multicast(SimTime::ZERO, &tree, 64, &members);
+        let mut uc = Fabric::new(LinkTiming::paper_1994());
+        for &m in &members[1..] {
+            uc.unicast(SimTime::ZERO, &topo, NodeId::new(0), m, 64);
+        }
+        eprintln!(
+            "multicast ablation at {nodes} nodes: tree {} vs unicast {} link traversals",
+            mc.stats().link_traversals,
+            uc.stats().link_traversals
+        );
+        group.bench_with_input(BenchmarkId::new("tree", nodes), &nodes, |b, _| {
+            b.iter(|| {
+                let mut f = Fabric::new(LinkTiming::paper_1994());
+                f.multicast(SimTime::ZERO, &tree, 64, &members);
+                f.stats().link_traversals
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("unicast-fanout", nodes), &nodes, |b, _| {
+            b.iter(|| {
+                let mut f = Fabric::new(LinkTiming::paper_1994());
+                for &m in &members[1..] {
+                    f.unicast(SimTime::ZERO, &topo, NodeId::new(0), m, 64);
+                }
+                f.stats().link_traversals
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_contention_sweep,
+    bench_threshold_sweep,
+    bench_safety_mechanisms,
+    bench_multicast_vs_unicast
+);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Regenerates the paper's Figure 1: idle-time comparison of three
+//! successive mutually exclusive accesses under GWC, entry, and
+//! weak/release consistency, alongside the closed-form predictions.
+
+use sesame_consistency::analysis::Figure1Params;
+use sesame_workloads::three_cpu::Figure1Config;
+
+fn main() {
+    let cfg = Figure1Config::default();
+    let (runs, table) = sesame_workloads::experiments::figure1(cfg);
+    println!("# Figure 1 — Locking Comparison (3 CPUs, 3 successive mutex accesses)");
+    println!(
+        "# section {} x3, {} guarded words, ring of 3 (1 hop), paper link timing",
+        cfg.section, cfg.data_words
+    );
+    println!("{table}");
+    for r in &runs {
+        println!(
+            "{}",
+            sesame_workloads::timeline::render_figure1_timeline(r, 64)
+        );
+    }
+    let params = Figure1Params {
+        hops: 1,
+        timing: cfg.timing,
+        section: cfg.section,
+        guarded_bytes: cfg.data_words * 16,
+    };
+    let pred = params.predict();
+    println!("# closed forms: gwc 5m+3u = {}", pred.gwc);
+    println!("#               entry 5m+a+3d+3u = {}", pred.entry);
+    println!("#               release 7m+3a+3u = {}", pred.release);
+    let gwc = runs.iter().find(|r| r.model == "gwc").unwrap();
+    let entry = runs.iter().find(|r| r.model == "entry").unwrap();
+    let release = runs.iter().find(|r| r.model == "release").unwrap();
+    println!(
+        "# entry/gwc = {:.3}, release/gwc = {:.3}",
+        entry.completion / gwc.completion,
+        release.completion / gwc.completion
+    );
+}

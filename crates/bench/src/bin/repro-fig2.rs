@@ -1,0 +1,39 @@
+//! Regenerates the paper's Figure 2: speedup for task management with one
+//! producer, 1024 tasks, and a lock-protected shared queue, across network
+//! sizes 3..129 (2^k + 1), under zero-delay / GWC-eagersharing / entry
+//! consistency.
+//!
+//! Usage: `repro-fig2 [--quick]` (`--quick` runs 3..33 with 256 tasks).
+
+use sesame_workloads::experiments::{figure2, figure2_sizes, render_series};
+use sesame_workloads::task_queue::TaskQueueConfig;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (sizes, cfg) = if quick {
+        (
+            vec![3, 5, 9, 17, 33],
+            TaskQueueConfig {
+                total_tasks: 256,
+                ..TaskQueueConfig::default()
+            },
+        )
+    } else {
+        (figure2_sizes(), TaskQueueConfig::default())
+    };
+    eprintln!(
+        "figure 2: {} tasks, exec {}, produce ratio {:.5}, queue capacity {}",
+        cfg.total_tasks,
+        cfg.exec_time,
+        cfg.produce_ratio,
+        cfg.capacity
+    );
+    let data = figure2(cfg, &sizes);
+    println!("# Figure 2 — Speedup for Task Management (paper: GWC peak ~84.1 @129, entry peak ~22.5 @33)");
+    println!("{}", render_series(&[&data.ideal, &data.gwc, &data.entry]));
+    let gwc_peak = data.gwc.y_max().unwrap_or(0.0);
+    let entry_peak = data.entry.y_max().unwrap_or(0.0);
+    println!("# GWC peak speedup:   {gwc_peak:.1}");
+    println!("# entry peak speedup: {entry_peak:.1}");
+    println!("# GWC/entry at peak sizes: {:.2}", gwc_peak / entry_peak);
+}

@@ -1,0 +1,47 @@
+//! Regenerates the paper's Figure 8: network power of mutual exclusion
+//! methods on the linear pipeline, 2..128 CPUs, plus the §4.1 headline
+//! speedup ratios.
+//!
+//! Usage: `repro-fig8 [--quick]` (`--quick` runs 2..32 with 256 visits).
+
+use sesame_workloads::experiments::{figure8, figure8_sizes, render_series};
+use sesame_workloads::pipeline::PipelineConfig;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (sizes, cfg) = if quick {
+        (
+            vec![2, 4, 8, 16, 32],
+            PipelineConfig {
+                total_visits: 256,
+                ..PipelineConfig::default()
+            },
+        )
+    } else {
+        (figure8_sizes(), PipelineConfig::default())
+    };
+    eprintln!(
+        "figure 8: {} visits, L {}, M {}, token {} words",
+        cfg.total_visits,
+        cfg.local_calc,
+        cfg.section(),
+        cfg.token_words
+    );
+    let data = figure8(cfg, &sizes);
+    println!("# Figure 8 — Mutex Methods, Network Power in CPUs");
+    println!(
+        "# paper: bound 1.89; optimistic 1.68->1.15; non-optimistic 1.53->1.03; entry 0.81->0.64"
+    );
+    println!(
+        "{}",
+        render_series(&[&data.ideal, &data.optimistic, &data.regular, &data.entry])
+    );
+    let r = data.headline_ratios();
+    println!("# headline ratios at {} CPUs (paper: 1.1x, 2.1x, 1.9x):", r.nodes);
+    println!(
+        "#   optimistic / non-optimistic GWC: {:.2}",
+        r.optimistic_over_regular
+    );
+    println!("#   optimistic / entry:              {:.2}", r.optimistic_over_entry);
+    println!("#   non-optimistic / entry:          {:.2}", r.regular_over_entry);
+}

@@ -1,0 +1,20 @@
+//! # sesame-bench — figure regeneration binaries and Criterion benches
+//!
+//! Each `repro-*` binary regenerates one figure of *Hermannsson & Wittie
+//! (ICDCS 1994)* and prints the series recorded in EXPERIMENTS.md:
+//!
+//! * `repro-fig1` — the three-CPU locking comparison (completion and lock
+//!   waits per consistency model, checked against closed forms);
+//! * `repro-fig2` — task-management speedup, 3..129 CPUs, ideal / GWC /
+//!   entry consistency;
+//! * `repro-fig7` — the most complex rollback interaction, as an event
+//!   trace;
+//! * `repro-fig8` — mutex-method network power, 2..128 CPUs, plus the
+//!   paper's headline speedup ratios.
+//!
+//! The Criterion benches (`fig1_locking`, `fig2_task_management`,
+//! `fig8_mutex_methods`, `ablations`) measure the same experiments at
+//! reduced scale so regressions in protocol cost show up as timing
+//! regressions.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,136 @@
+//! Minimal dependency-free argument parsing for the `sesame` CLI.
+//!
+//! Flags take the form `--name value`; `--help` short-circuits. Unknown
+//! flags are errors so typos never silently fall back to defaults.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A parsed flag set for one subcommand.
+#[derive(Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+/// Errors from argument parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// A flag was given that the command does not understand.
+    Unknown(String),
+    /// A flag was given without a value.
+    MissingValue(String),
+    /// A flag's value failed to parse.
+    BadValue {
+        /// The offending flag.
+        flag: String,
+        /// The unparsable value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::Unknown(flag) => write!(f, "unknown flag {flag}"),
+            ArgError::MissingValue(flag) => write!(f, "flag {flag} needs a value"),
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "flag {flag}: cannot parse {value:?} as {expected}"),
+        }
+    }
+}
+
+impl Error for ArgError {}
+
+impl Args {
+    /// Parses `argv` (after the subcommand), accepting only `allowed`
+    /// flags (each written with its leading dashes, e.g. `"--nodes"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] for unknown flags or missing values.
+    pub fn parse(argv: &[String], allowed: &[&'static str]) -> Result<Self, ArgError> {
+        let mut values = HashMap::new();
+        let mut it = argv.iter();
+        while let Some(flag) = it.next() {
+            if !allowed.contains(&flag.as_str()) {
+                return Err(ArgError::Unknown(flag.clone()));
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| ArgError::MissingValue(flag.clone()))?;
+            values.insert(flag.clone(), value.clone());
+        }
+        Ok(Args { values })
+    }
+
+    /// A required-typed lookup with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::BadValue`] if present but unparsable.
+    pub fn get_or<T: std::str::FromStr>(
+        &self,
+        flag: &'static str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        match self.values.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_string(),
+                value: v.clone(),
+                expected,
+            }),
+        }
+    }
+
+    /// A raw string lookup.
+    pub fn get_str(&self, flag: &str) -> Option<&str> {
+        self.values.get(flag).map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_known_flags() {
+        let a = Args::parse(&argv(&["--nodes", "17", "--model", "gwc"]), &["--nodes", "--model"])
+            .unwrap();
+        assert_eq!(a.get_or("--nodes", 0usize, "integer").unwrap(), 17);
+        assert_eq!(a.get_str("--model"), Some("gwc"));
+        assert_eq!(a.get_or("--missing", 5u32, "integer").unwrap(), 5);
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let err = Args::parse(&argv(&["--bogus", "1"]), &["--nodes"]).unwrap_err();
+        assert_eq!(err, ArgError::Unknown("--bogus".into()));
+        assert!(err.to_string().contains("unknown flag"));
+    }
+
+    #[test]
+    fn rejects_missing_values() {
+        let err = Args::parse(&argv(&["--nodes"]), &["--nodes"]).unwrap_err();
+        assert_eq!(err, ArgError::MissingValue("--nodes".into()));
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        let a = Args::parse(&argv(&["--nodes", "lots"]), &["--nodes"]).unwrap();
+        let err = a.get_or("--nodes", 0usize, "integer").unwrap_err();
+        assert!(matches!(err, ArgError::BadValue { .. }));
+        assert!(err.to_string().contains("cannot parse"));
+    }
+}

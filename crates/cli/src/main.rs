@@ -1,0 +1,247 @@
+//! `sesame` — the command-line interface to the sesame-rs experiment
+//! suite: reproduce any figure of *Hermannsson & Wittie, "Optimistic
+//! Synchronization in Distributed Shared Memory" (ICDCS 1994)* with custom
+//! parameters.
+//!
+//! ```text
+//! sesame fig1 [--section-us N] [--words N]
+//! sesame fig2 [--sizes 3,5,9] [--tasks N] [--exec-us N] [--ratio F]
+//! sesame fig7
+//! sesame fig8 [--sizes 2,4,8] [--visits N] [--local-us N]
+//! sesame contention [--contenders N] [--rounds N] [--think-us N]
+//! ```
+
+mod args;
+
+use std::process::ExitCode;
+
+use args::Args;
+use sesame_core::OptimisticConfig;
+use sesame_sim::SimDur;
+use sesame_workloads::contention::{run_contention, ContentionConfig};
+use sesame_workloads::experiments::{
+    figure1, figure2, figure2_sizes, figure8, figure8_sizes, render_series,
+};
+use sesame_workloads::pipeline::PipelineConfig;
+use sesame_workloads::task_queue::TaskQueueConfig;
+use sesame_workloads::three_cpu::Figure1Config;
+use sesame_workloads::timeline::render_figure1_timeline;
+
+const USAGE: &str = "\
+sesame — experiments from 'Optimistic Synchronization in Distributed Shared Memory' (ICDCS 1994)
+
+USAGE:
+    sesame <command> [flags]
+
+COMMANDS:
+    fig1          three-CPU locking comparison (GWC / entry / release)
+                    --section-us <N=5>   in-section computation time
+                    --words <N=16>       guarded data words per holder
+    fig2          task-management speedup sweep (ideal / GWC / entry)
+                    --sizes <list=3,5,9,17,33,65,129>
+                    --tasks <N=1024>  --exec-us <N=1000>  --ratio <F=0.0078125>
+                    --format <table|csv>
+    fig7          optimistic rollback under contention, with protocol stats
+    fig8          mutex-method network power sweep
+                    --sizes <list=2,4,8,16,32,64,128>
+                    --visits <N=1024>  --local-us <N=5>
+                    --format <table|csv>
+    contention    optimistic vs regular locking across think times
+                    --contenders <N=6>  --rounds <N=50>  --think-us <N=50>
+    help          print this message
+";
+
+/// Renders series as a table or CSV depending on `--format`.
+fn render(args: &Args, series: &[&sesame_sim::Series]) -> Result<String, String> {
+    match args.get_str("--format") {
+        None | Some("table") => Ok(render_series(series)),
+        Some("csv") => Ok(series
+            .iter()
+            .map(|s| s.to_csv())
+            .collect::<Vec<_>>()
+            .join("\n")),
+        Some(other) => Err(format!("unknown --format {other:?} (use table or csv)")),
+    }
+}
+
+fn parse_sizes(spec: &str) -> Result<Vec<usize>, String> {
+    spec.split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("bad size {s:?} in --sizes"))
+        })
+        .collect()
+}
+
+fn cmd_fig1(args: &Args) -> Result<(), String> {
+    let section_us = args
+        .get_or("--section-us", 5u64, "integer")
+        .map_err(|e| e.to_string())?;
+    let words = args
+        .get_or("--words", 16u32, "integer")
+        .map_err(|e| e.to_string())?;
+    let cfg = Figure1Config {
+        section: SimDur::from_us(section_us),
+        data_words: words,
+        ..Figure1Config::default()
+    };
+    let (runs, table) = figure1(cfg);
+    println!("{table}");
+    for r in &runs {
+        println!("{}", render_figure1_timeline(r, 64));
+    }
+    Ok(())
+}
+
+fn cmd_fig2(args: &Args) -> Result<(), String> {
+    let sizes = match args.get_str("--sizes") {
+        Some(spec) => parse_sizes(spec)?,
+        None => figure2_sizes(),
+    };
+    let cfg = TaskQueueConfig {
+        total_tasks: args
+            .get_or("--tasks", 1024u32, "integer")
+            .map_err(|e| e.to_string())?,
+        exec_time: SimDur::from_us(
+            args.get_or("--exec-us", 1000u64, "integer")
+                .map_err(|e| e.to_string())?,
+        ),
+        produce_ratio: args
+            .get_or("--ratio", 1.0 / 128.0, "float")
+            .map_err(|e| e.to_string())?,
+        ..TaskQueueConfig::default()
+    };
+    let data = figure2(cfg, &sizes);
+    println!("{}", render(args, &[&data.ideal, &data.gwc, &data.entry])?);
+    Ok(())
+}
+
+fn cmd_fig7(_args: &Args) -> Result<(), String> {
+    let cfg = ContentionConfig {
+        contenders: 3,
+        rounds: 40,
+        mean_think: SimDur::from_us(8),
+        ..ContentionConfig::default()
+    };
+    let run = run_contention(cfg);
+    let s = run.stats;
+    println!("sections completed:   {}", run.sections);
+    println!("optimistic attempts:  {}", s.optimistic_attempts);
+    println!("regular attempts:     {}", s.regular_attempts);
+    println!("rollbacks:            {}", s.rollbacks);
+    println!("fully overlapped:     {}", s.fully_overlapped);
+    println!("mean section latency: {}", run.mean_section_latency);
+    let gwc = run.result.machine.model().as_gwc().expect("gwc model");
+    println!("root drops:           {}", gwc.stats().root_drops);
+    println!("hw-blocking drops:    {}", gwc.stats().hw_block_drops);
+    println!(
+        "counter {} == sections {}: mutual exclusion held through every rollback",
+        run.counter, run.sections
+    );
+    Ok(())
+}
+
+fn cmd_fig8(args: &Args) -> Result<(), String> {
+    let sizes = match args.get_str("--sizes") {
+        Some(spec) => parse_sizes(spec)?,
+        None => figure8_sizes(),
+    };
+    let cfg = PipelineConfig {
+        total_visits: args
+            .get_or("--visits", 1024u32, "integer")
+            .map_err(|e| e.to_string())?,
+        local_calc: SimDur::from_us(
+            args.get_or("--local-us", 5u64, "integer")
+                .map_err(|e| e.to_string())?,
+        ),
+        ..PipelineConfig::default()
+    };
+    let data = figure8(cfg, &sizes);
+    println!(
+        "{}",
+        render(
+            args,
+            &[&data.ideal, &data.optimistic, &data.regular, &data.entry]
+        )?
+    );
+    let r = data.headline_ratios();
+    println!("# at {} CPUs: opt/reg {:.2}, opt/entry {:.2}, reg/entry {:.2}",
+        r.nodes, r.optimistic_over_regular, r.optimistic_over_entry, r.regular_over_entry);
+    Ok(())
+}
+
+fn cmd_contention(args: &Args) -> Result<(), String> {
+    let contenders = args
+        .get_or("--contenders", 6u32, "integer")
+        .map_err(|e| e.to_string())?;
+    let rounds = args
+        .get_or("--rounds", 50u32, "integer")
+        .map_err(|e| e.to_string())?;
+    let think_us = args
+        .get_or("--think-us", 50u64, "integer")
+        .map_err(|e| e.to_string())?;
+    let base = ContentionConfig {
+        contenders,
+        rounds,
+        mean_think: SimDur::from_us(think_us),
+        ..ContentionConfig::default()
+    };
+    let opt = run_contention(base);
+    let reg = run_contention(ContentionConfig {
+        mutex: OptimisticConfig {
+            optimistic: false,
+            ..OptimisticConfig::default()
+        },
+        ..base
+    });
+    println!(
+        "optimistic: mean latency {}, rollbacks {}, {}% optimistic path",
+        opt.mean_section_latency,
+        opt.stats.rollbacks,
+        100 * opt.stats.optimistic_attempts
+            / (opt.stats.optimistic_attempts + opt.stats.regular_attempts).max(1)
+    );
+    println!("regular:    mean latency {}", reg.mean_section_latency);
+    println!(
+        "speedup of optimistic over regular: {:.3}",
+        reg.mean_section_latency / opt.mean_section_latency
+    );
+    Ok(())
+}
+
+/// A subcommand implementation.
+type Command = fn(&Args) -> Result<(), String>;
+
+fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
+    let (allowed, f): (&[&'static str], Command) = match cmd {
+        "fig1" => (&["--section-us", "--words"], cmd_fig1),
+        "fig2" => (
+            &["--sizes", "--tasks", "--exec-us", "--ratio", "--format"],
+            cmd_fig2,
+        ),
+        "fig7" => (&[], cmd_fig7),
+        "fig8" => (&["--sizes", "--visits", "--local-us", "--format"], cmd_fig8),
+        "contention" => (&["--contenders", "--rounds", "--think-us"], cmd_contention),
+        _ => return Err(format!("unknown command {cmd:?}\n\n{USAGE}")),
+    };
+    let args = Args::parse(rest, allowed).map_err(|e| format!("{e}\n\n{USAGE}"))?;
+    f(&args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(cmd) => match dispatch(cmd, &argv[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}

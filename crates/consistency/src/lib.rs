@@ -1,0 +1,26 @@
+//! # sesame-consistency — baseline consistency models
+//!
+//! The comparison models of *Hermannsson & Wittie (ICDCS 1994)*,
+//! implemented against the same [`Model`](sesame_dsm::Model) seam as the
+//! GWC substrate so identical programs run under every model:
+//!
+//! * [`EntryModel`] — entry consistency (Midway-style), in the paper's
+//!   generous *fast* variant: data ships with the lock, invalidation round
+//!   trips move copies to exclusive mode, and reads of non-resident data
+//!   demand-fetch.
+//! * [`ReleaseModel`] — weak/release consistency with eager cache-update
+//!   sharing: releases block until every update is acknowledged everywhere,
+//!   and lock transfers may take three one-way messages.
+//! * [`analysis`] — closed-form completion times for the paper's Figure 1
+//!   three-CPU scenario, cross-checked against simulation by the
+//!   integration tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod entry;
+mod release;
+
+pub use entry::{EntryModel, EntryStats};
+pub use release::{ReleaseModel, ReleaseStats};

@@ -1,0 +1,289 @@
+//! Automatic sharing-group assignment — the paper's "compiler tools can
+//! aggregate related variables and locks into the same sharing group"
+//! (§2).
+//!
+//! Given per-variable access patterns (who writes, who reads, which lock
+//! guards it), [`assign_groups`] produces the [`GroupSpec`]s a hand-tuned
+//! configuration would: one mutex group per lock containing everything it
+//! guards (rooted at the lock's manager), and per-writer groups for
+//! unguarded data (rooted at the writer — "one processor that writes to
+//! the variable is root for the spanning tree").
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use sesame_dsm::{GroupSpec, VarId};
+use sesame_net::NodeId;
+
+/// Who touches one shared variable, as a compiler would summarize it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessPattern {
+    /// The variable.
+    pub var: VarId,
+    /// Nodes that write it.
+    pub writers: Vec<NodeId>,
+    /// Nodes that read it.
+    pub readers: Vec<NodeId>,
+    /// The lock guarding it, if accessed under mutual exclusion.
+    pub guarded_by: Option<VarId>,
+}
+
+impl AccessPattern {
+    /// An unguarded variable with one writer and some readers — the
+    /// paper's single-writer pattern.
+    pub fn single_writer(var: VarId, writer: NodeId, readers: Vec<NodeId>) -> Self {
+        AccessPattern {
+            var,
+            writers: vec![writer],
+            readers,
+            guarded_by: None,
+        }
+    }
+
+    /// A variable accessed only under `lock`.
+    pub fn guarded(var: VarId, lock: VarId, accessors: Vec<NodeId>) -> Self {
+        AccessPattern {
+            var,
+            writers: accessors.clone(),
+            readers: accessors,
+            guarded_by: Some(lock),
+        }
+    }
+}
+
+/// Errors from [`assign_groups`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AssignError {
+    /// A variable listed no writers and no readers.
+    Unused(VarId),
+    /// A variable appeared in two patterns.
+    Duplicate(VarId),
+    /// A lock variable was itself declared guarded by a lock.
+    GuardedLock(VarId),
+}
+
+impl fmt::Display for AssignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssignError::Unused(v) => write!(f, "variable {v} has no writers or readers"),
+            AssignError::Duplicate(v) => write!(f, "variable {v} appears in two patterns"),
+            AssignError::GuardedLock(v) => {
+                write!(f, "lock {v} cannot itself be guarded by a lock")
+            }
+        }
+    }
+}
+
+impl Error for AssignError {}
+
+fn most_frequent(nodes: &[NodeId]) -> Option<NodeId> {
+    let mut counts: BTreeMap<NodeId, usize> = BTreeMap::new();
+    for &n in nodes {
+        *counts.entry(n).or_default() += 1;
+    }
+    // Ties break toward the smallest id — deterministic.
+    counts
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        .map(|(n, _)| n)
+}
+
+fn sorted_dedup(mut nodes: Vec<NodeId>) -> Vec<NodeId> {
+    nodes.sort_unstable();
+    nodes.dedup();
+    nodes
+}
+
+/// Aggregates access patterns into sharing groups:
+///
+/// * every lock gets one **mutex group** holding the lock plus everything
+///   it guards; members are all accessors; the root (lock manager) is the
+///   most frequent accessor (ties to the smallest id);
+/// * unguarded variables are grouped **per writer set's most frequent
+///   writer**, which becomes the root, with readers as members.
+///
+/// # Errors
+///
+/// Returns [`AssignError`] for unused variables, duplicates, or locks
+/// declared guarded.
+pub fn assign_groups(patterns: &[AccessPattern]) -> Result<Vec<GroupSpec>, AssignError> {
+    // Validate.
+    let mut seen = std::collections::HashSet::new();
+    let locks: std::collections::HashSet<VarId> =
+        patterns.iter().filter_map(|p| p.guarded_by).collect();
+    for p in patterns {
+        if !seen.insert(p.var) {
+            return Err(AssignError::Duplicate(p.var));
+        }
+        if p.writers.is_empty() && p.readers.is_empty() {
+            return Err(AssignError::Unused(p.var));
+        }
+        if locks.contains(&p.var) && p.guarded_by.is_some() {
+            return Err(AssignError::GuardedLock(p.var));
+        }
+    }
+
+    // Mutex groups: lock -> (vars, accessors).
+    let mut mutex: BTreeMap<VarId, (Vec<VarId>, Vec<NodeId>)> = BTreeMap::new();
+    // Unguarded groups: root -> (vars, members).
+    let mut plain: BTreeMap<NodeId, (Vec<VarId>, Vec<NodeId>)> = BTreeMap::new();
+
+    for p in patterns {
+        if let Some(lock) = p.guarded_by {
+            let entry = mutex.entry(lock).or_default();
+            entry.0.push(p.var);
+            entry.1.extend(p.writers.iter().copied());
+            entry.1.extend(p.readers.iter().copied());
+        } else if !locks.contains(&p.var) {
+            let root = most_frequent(&p.writers)
+                .or_else(|| most_frequent(&p.readers))
+                .expect("validated non-empty");
+            let entry = plain.entry(root).or_default();
+            entry.0.push(p.var);
+            entry.1.extend(p.writers.iter().copied());
+            entry.1.extend(p.readers.iter().copied());
+        }
+        // Lock variables themselves are emitted with their mutex group.
+    }
+
+    let mut specs = Vec::new();
+    for (lock, (mut vars, accessors)) in mutex {
+        vars.push(lock);
+        vars.sort_unstable();
+        vars.dedup();
+        // Frequency counts use the raw accessor list (duplicates =
+        // multiple guarded vars touched), not the deduplicated members.
+        let root = most_frequent(&accessors).expect("accessors non-empty");
+        let members = sorted_dedup(accessors);
+        specs.push(GroupSpec {
+            root,
+            members,
+            vars,
+            mutex_lock: Some(lock),
+        });
+    }
+    for (root, (mut vars, members)) in plain {
+        vars.sort_unstable();
+        vars.dedup();
+        let mut members = sorted_dedup(members);
+        if !members.contains(&root) {
+            members.push(root);
+            members.sort_unstable();
+        }
+        specs.push(GroupSpec {
+            root,
+            members,
+            vars,
+            mutex_lock: None,
+        });
+    }
+    Ok(specs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sesame_dsm::GroupTable;
+
+    fn n(id: u32) -> NodeId {
+        NodeId::new(id)
+    }
+    fn v(id: u32) -> VarId {
+        VarId::new(id)
+    }
+
+    #[test]
+    fn guarded_vars_share_their_locks_group() {
+        let specs = assign_groups(&[
+            AccessPattern::guarded(v(1), v(0), vec![n(0), n(1), n(2)]),
+            AccessPattern::guarded(v(2), v(0), vec![n(1), n(2)]),
+        ])
+        .unwrap();
+        assert_eq!(specs.len(), 1);
+        let g = &specs[0];
+        assert_eq!(g.mutex_lock, Some(v(0)));
+        assert_eq!(g.vars, vec![v(0), v(1), v(2)]);
+        assert_eq!(g.members, vec![n(0), n(1), n(2)]);
+        // Most frequent accessor (n1 and n2 appear twice; tie -> smaller).
+        assert_eq!(g.root, n(1));
+        // The result is a valid group table.
+        GroupTable::new(specs).unwrap();
+    }
+
+    #[test]
+    fn single_writer_vars_root_at_the_writer() {
+        let specs = assign_groups(&[
+            AccessPattern::single_writer(v(10), n(3), vec![n(4), n(5)]),
+            AccessPattern::single_writer(v(11), n(3), vec![n(4)]),
+            AccessPattern::single_writer(v(12), n(7), vec![n(3)]),
+        ])
+        .unwrap();
+        assert_eq!(specs.len(), 2, "vars aggregate per writer");
+        let g3 = specs.iter().find(|g| g.root == n(3)).unwrap();
+        assert_eq!(g3.vars, vec![v(10), v(11)]);
+        assert_eq!(g3.members, vec![n(3), n(4), n(5)]);
+        let g7 = specs.iter().find(|g| g.root == n(7)).unwrap();
+        assert_eq!(g7.vars, vec![v(12)]);
+        GroupTable::new(specs).unwrap();
+    }
+
+    #[test]
+    fn mixed_patterns_produce_disjoint_valid_groups() {
+        let specs = assign_groups(&[
+            AccessPattern::guarded(v(1), v(0), vec![n(0), n(1)]),
+            AccessPattern::single_writer(v(5), n(2), vec![n(0)]),
+        ])
+        .unwrap();
+        assert_eq!(specs.len(), 2);
+        GroupTable::new(specs).unwrap();
+    }
+
+    #[test]
+    fn rejects_duplicates_and_unused() {
+        let dup = assign_groups(&[
+            AccessPattern::single_writer(v(1), n(0), vec![]),
+            AccessPattern::single_writer(v(1), n(1), vec![]),
+        ])
+        .unwrap_err();
+        assert_eq!(dup, AssignError::Duplicate(v(1)));
+
+        let unused = assign_groups(&[AccessPattern {
+            var: v(2),
+            writers: vec![],
+            readers: vec![],
+            guarded_by: None,
+        }])
+        .unwrap_err();
+        assert_eq!(unused, AssignError::Unused(v(2)));
+        assert!(unused.to_string().contains("no writers"));
+    }
+
+    #[test]
+    fn rejects_guarded_locks() {
+        let err = assign_groups(&[
+            AccessPattern::guarded(v(1), v(0), vec![n(0)]),
+            AccessPattern {
+                var: v(0),
+                writers: vec![n(0)],
+                readers: vec![],
+                guarded_by: Some(v(9)),
+            },
+        ])
+        .unwrap_err();
+        assert_eq!(err, AssignError::GuardedLock(v(0)));
+    }
+
+    #[test]
+    fn lock_patterns_without_guarded_flag_are_absorbed() {
+        // A pattern describing the lock variable itself (unguarded) should
+        // not create a second group claiming the lock var.
+        let specs = assign_groups(&[
+            AccessPattern::guarded(v(1), v(0), vec![n(0), n(1)]),
+            AccessPattern::single_writer(v(0), n(0), vec![n(1)]),
+        ])
+        .unwrap();
+        assert_eq!(specs.len(), 1);
+        GroupTable::new(specs).unwrap();
+    }
+}

@@ -1,0 +1,191 @@
+//! Mutual exclusion across multiple sharing groups (paper §2):
+//! "Mutual exclusion across multiple groups requires permissions from all
+//! the involved roots."
+//!
+//! [`MultiMutex`] acquires the mutex locks of several groups — each
+//! managed by its own root — before entering the section, and releases
+//! them all afterwards. Locks are always requested in canonical (ascending
+//! variable id) order, so two sections over overlapping group sets can
+//! never deadlock: the classic resource-ordering argument.
+
+use std::error::Error;
+use std::fmt;
+
+use sesame_dsm::{AppEvent, NodeApi, VarId};
+
+/// What the program must do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultiMutexSignal {
+    /// All roots granted their locks; execute the section, then call
+    /// [`MultiMutex::release`].
+    EnterSection,
+    /// Every lock was released; the section is complete.
+    Completed,
+}
+
+/// Error returned when entering an already-active multi-group mutex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiMutexBusyError;
+
+impl fmt::Display for MultiMutexBusyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "multi-group mutex is already active")
+    }
+}
+
+impl Error for MultiMutexBusyError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Idle,
+    /// Acquiring lock `next` (locks before it are held).
+    Acquiring(usize),
+    Holding,
+    /// Waiting for `remaining` release completions.
+    Releasing(usize),
+}
+
+/// Counters over the life of one multi-group mutex.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MultiMutexStats {
+    /// Completed sections.
+    pub sections: u64,
+    /// Individual lock grants received.
+    pub grants: u64,
+}
+
+/// Acquires the locks of several groups in canonical order.
+#[derive(Debug)]
+pub struct MultiMutex {
+    locks: Vec<VarId>,
+    state: State,
+    stats: MultiMutexStats,
+}
+
+impl MultiMutex {
+    /// Creates a multi-group mutex over `locks` (each the mutex lock of
+    /// one group). The locks are sorted into canonical order and
+    /// deduplicated — the deadlock-freedom guarantee.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `locks` is empty.
+    pub fn new(mut locks: Vec<VarId>) -> Self {
+        assert!(!locks.is_empty(), "need at least one lock");
+        locks.sort_unstable();
+        locks.dedup();
+        MultiMutex {
+            locks,
+            state: State::Idle,
+            stats: MultiMutexStats::default(),
+        }
+    }
+
+    /// The locks in acquisition order.
+    pub fn locks(&self) -> &[VarId] {
+        &self.locks
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> MultiMutexStats {
+        self.stats
+    }
+
+    /// Whether a section is in progress.
+    pub fn is_active(&self) -> bool {
+        self.state != State::Idle
+    }
+
+    /// Begins acquiring all locks in canonical order;
+    /// [`MultiMutexSignal::EnterSection`] follows once every root has
+    /// granted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MultiMutexBusyError`] if a section is already active.
+    pub fn enter(&mut self, api: &mut NodeApi<'_>) -> Result<(), MultiMutexBusyError> {
+        if self.state != State::Idle {
+            return Err(MultiMutexBusyError);
+        }
+        self.state = State::Acquiring(0);
+        api.acquire(self.locks[0]);
+        Ok(())
+    }
+
+    /// Releases every held lock (in reverse canonical order;
+    /// [`MultiMutexSignal::Completed`] follows once all completions
+    /// arrive).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless called while holding (after
+    /// [`MultiMutexSignal::EnterSection`]).
+    pub fn release(&mut self, api: &mut NodeApi<'_>) {
+        assert_eq!(self.state, State::Holding, "release without holding");
+        self.state = State::Releasing(self.locks.len());
+        for &lock in self.locks.iter().rev() {
+            api.release(lock);
+        }
+    }
+
+    /// Feeds one application event; returns a signal when the program must
+    /// act.
+    pub fn on_event(
+        &mut self,
+        event: &AppEvent,
+        api: &mut NodeApi<'_>,
+    ) -> Option<MultiMutexSignal> {
+        match (event, self.state) {
+            (&AppEvent::Acquired { lock }, State::Acquiring(i)) if lock == self.locks[i] => {
+                self.stats.grants += 1;
+                if i + 1 < self.locks.len() {
+                    self.state = State::Acquiring(i + 1);
+                    api.acquire(self.locks[i + 1]);
+                    None
+                } else {
+                    self.state = State::Holding;
+                    Some(MultiMutexSignal::EnterSection)
+                }
+            }
+            (&AppEvent::Released { lock }, State::Releasing(remaining))
+                if self.locks.contains(&lock) =>
+            {
+                if remaining == 1 {
+                    self.state = State::Idle;
+                    self.stats.sections += 1;
+                    Some(MultiMutexSignal::Completed)
+                } else {
+                    self.state = State::Releasing(remaining - 1);
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locks_are_canonicalized() {
+        let m = MultiMutex::new(vec![VarId::new(9), VarId::new(2), VarId::new(9)]);
+        assert_eq!(m.locks(), &[VarId::new(2), VarId::new(9)]);
+        assert!(!m.is_active());
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one lock")]
+    fn empty_lock_set_panics() {
+        let _ = MultiMutex::new(Vec::new());
+    }
+
+    #[test]
+    fn busy_error_displays() {
+        assert_eq!(
+            MultiMutexBusyError.to_string(),
+            "multi-group mutex is already active"
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! The paper's single-writer pattern (§2): "Since writes are ordered, the
+//! case for one writer is simple; an ordinary variable can lock a data
+//! structure awaited by reader(s)."
+//!
+//! A [`SeqWriter`] publishes a data structure by writing a version variable
+//! *odd* before changing the data and *even* (incremented) after — all
+//! ordinary eagerly-shared writes, no lock manager involved. Because group
+//! write consistency delivers every member the same write order, a
+//! [`SeqReader`] can validate a snapshot entirely from local memory: read
+//! the version, read the data, re-read the version; equal even versions
+//! mean the snapshot is consistent ("Relocking while data is being read
+//! can trigger rereading to get consistent data values").
+//!
+//! This eliminates most synchronization penalties when there is only one
+//! writer — no request, no grant, no round trip.
+
+use sesame_dsm::{NodeApi, VarId, Word};
+
+/// The single writer's side of the pattern.
+///
+/// All methods issue ordinary shared writes; the GWC root sequences them,
+/// so every member observes `begin` before the data and the data before
+/// `publish`.
+#[derive(Debug, Clone)]
+pub struct SeqWriter {
+    version_var: VarId,
+    version: Word,
+    open: bool,
+}
+
+impl SeqWriter {
+    /// Creates the writer for a structure published through `version_var`
+    /// (initial version 0 = valid, empty).
+    pub fn new(version_var: VarId) -> Self {
+        SeqWriter {
+            version_var,
+            version: 0,
+            open: false,
+        }
+    }
+
+    /// The version variable.
+    pub fn version_var(&self) -> VarId {
+        self.version_var
+    }
+
+    /// The last published version.
+    pub fn version(&self) -> Word {
+        self.version
+    }
+
+    /// Whether an update is open (begun but not yet published).
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+
+    /// Marks the structure invalid (odd version) before changing it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an update is already open.
+    pub fn begin(&mut self, api: &mut NodeApi<'_>) {
+        assert!(!self.open, "update already open");
+        self.open = true;
+        api.write(self.version_var, self.version + 1); // odd: writing
+    }
+
+    /// Writes one field of the structure. Must be called between
+    /// [`SeqWriter::begin`] and [`SeqWriter::publish`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no update is open.
+    pub fn write(&mut self, api: &mut NodeApi<'_>, var: VarId, value: Word) {
+        assert!(self.open, "write outside an open update");
+        api.write(var, value);
+    }
+
+    /// Publishes the update (even version). Write ordering guarantees
+    /// every reader sees all data writes before this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no update is open.
+    pub fn publish(&mut self, api: &mut NodeApi<'_>) {
+        assert!(self.open, "publish without begin");
+        self.open = false;
+        self.version += 2;
+        api.write(self.version_var, self.version);
+    }
+}
+
+/// The outcome of one snapshot attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Snapshot {
+    /// A consistent snapshot at the given version.
+    Consistent {
+        /// The even version both validation reads agreed on.
+        version: Word,
+        /// The captured values, in the order requested.
+        values: Vec<Word>,
+    },
+    /// The writer was mid-update (odd version) or republished between the
+    /// validation reads; the paper's prescription is to reread.
+    Retry,
+}
+
+/// A reader's side of the pattern: purely local snapshot validation.
+#[derive(Debug, Clone)]
+pub struct SeqReader {
+    version_var: VarId,
+}
+
+impl SeqReader {
+    /// Creates a reader validating against `version_var`.
+    pub fn new(version_var: VarId) -> Self {
+        SeqReader { version_var }
+    }
+
+    /// Attempts a consistent snapshot of `vars` from local memory.
+    ///
+    /// Returns [`Snapshot::Retry`] when the local copy shows an odd
+    /// (mid-update) version; GWC ordering makes the even-version case
+    /// sufficient for consistency *within one event handler*, because no
+    /// remote write can be applied while the program is running.
+    pub fn snapshot(&self, api: &NodeApi<'_>, vars: &[VarId]) -> Snapshot {
+        let before = api.read(self.version_var);
+        if before % 2 != 0 {
+            return Snapshot::Retry;
+        }
+        let values: Vec<Word> = vars.iter().map(|&v| api.read(v)).collect();
+        let after = api.read(self.version_var);
+        if after != before {
+            return Snapshot::Retry;
+        }
+        Snapshot::Consistent {
+            version: before,
+            values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_tracks_versions() {
+        let w = SeqWriter::new(VarId::new(0));
+        assert_eq!(w.version(), 0);
+        assert!(!w.is_open());
+        assert_eq!(w.version_var(), VarId::new(0));
+    }
+
+    #[test]
+    fn reader_is_constructible() {
+        let r = SeqReader::new(VarId::new(0));
+        // Snapshot requires a NodeApi; exercised in the integration tests.
+        let _ = r;
+    }
+}

@@ -1,0 +1,173 @@
+//! Shared-variable addressing and the lock-value encoding.
+//!
+//! Sesame locks are ordinary eagerly-shared variables with special value
+//! conventions (paper §2):
+//!
+//! * a unique negative sentinel (`-99..99`) means **free**;
+//! * a processor wanting exclusive access writes the **negated** value of
+//!   its processor number;
+//! * the group root grants by writing the **positive** processor number.
+//!
+//! Because simulated node ids start at zero, the encoding here offsets ids
+//! by one so that node 0's request (-1) and grant (+1) are distinguishable
+//! from zero.
+
+use std::fmt;
+
+/// The machine word stored in every shared variable.
+pub type Word = i64;
+
+/// Identifies one shared variable in the global address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VarId(u32);
+
+impl VarId {
+    /// Creates a variable id.
+    pub const fn new(id: u32) -> Self {
+        VarId(id)
+    }
+
+    /// The raw id.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// The id as a `usize` index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Identifies one sharing group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GroupId(u32);
+
+impl GroupId {
+    /// Creates a group id.
+    pub const fn new(id: u32) -> Self {
+        GroupId(id)
+    }
+
+    /// The raw id.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// The id as a `usize` index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// The paper's lock-value conventions.
+pub mod lockval {
+    use sesame_net::NodeId;
+
+    use super::Word;
+
+    /// The unique "free" sentinel (the paper's `-99..99`): negative and not
+    /// matching any negated processor number.
+    pub const FREE: Word = -99_999_999;
+
+    /// The value a processor writes to request the lock: the negated
+    /// (1-offset) processor number.
+    pub const fn request(node: NodeId) -> Word {
+        -(node.get() as Word + 1)
+    }
+
+    /// The value the group root writes to grant the lock: the positive
+    /// (1-offset) processor number.
+    pub const fn grant(node: NodeId) -> Word {
+        node.get() as Word + 1
+    }
+
+    /// Decodes a request value back to the requesting node, if `value` is a
+    /// request.
+    pub fn as_request(value: Word) -> Option<NodeId> {
+        if value < 0 && value != FREE {
+            Some(NodeId::new((-value - 1) as u32))
+        } else {
+            None
+        }
+    }
+
+    /// Decodes a grant value back to the holding node, if `value` is a
+    /// grant.
+    pub fn as_grant(value: Word) -> Option<NodeId> {
+        if value > 0 {
+            Some(NodeId::new((value - 1) as u32))
+        } else {
+            None
+        }
+    }
+
+    /// Whether `value` is the free sentinel.
+    pub const fn is_free(value: Word) -> bool {
+        value == FREE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use sesame_net::NodeId;
+
+    use super::lockval::*;
+    use super::*;
+
+    #[test]
+    fn ids_round_trip() {
+        assert_eq!(VarId::new(7).get(), 7);
+        assert_eq!(VarId::new(7).index(), 7);
+        assert_eq!(GroupId::new(3).get(), 3);
+        assert_eq!(VarId::new(7).to_string(), "v7");
+        assert_eq!(GroupId::new(3).to_string(), "g3");
+    }
+
+    #[test]
+    fn node_zero_is_encodable() {
+        let n0 = NodeId::new(0);
+        assert_eq!(request(n0), -1);
+        assert_eq!(grant(n0), 1);
+        assert_eq!(as_request(request(n0)), Some(n0));
+        assert_eq!(as_grant(grant(n0)), Some(n0));
+    }
+
+    #[test]
+    fn request_grant_decode_round_trip() {
+        for id in [0u32, 1, 5, 128, 4096] {
+            let n = NodeId::new(id);
+            assert_eq!(as_request(request(n)), Some(n));
+            assert_eq!(as_grant(grant(n)), Some(n));
+            // A request never decodes as a grant and vice versa.
+            assert_eq!(as_grant(request(n)), None);
+            assert_eq!(as_request(grant(n)), None);
+        }
+    }
+
+    #[test]
+    fn free_sentinel_is_neither_request_nor_grant() {
+        assert!(is_free(FREE));
+        assert_eq!(as_request(FREE), None);
+        assert_eq!(as_grant(FREE), None);
+        assert!(!is_free(request(NodeId::new(0))));
+        assert!(!is_free(0));
+    }
+
+    #[test]
+    fn zero_is_no_ones_lock_value() {
+        assert_eq!(as_request(0), None);
+        assert_eq!(as_grant(0), None);
+    }
+}

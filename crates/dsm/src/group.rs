@@ -1,0 +1,298 @@
+//! Sharing groups: the unit of eagersharing and write ordering.
+//!
+//! Group write consistency guarantees strict ordering of all shared writes
+//! *within a processor group* (paper §1.2). Every shared variable belongs to
+//! exactly one group; one node is the group **root** — the spanning-tree
+//! root that routes, sequences, and retransmits all hidden sharing messages
+//! of the group, and also acts as the group's lock manager.
+//!
+//! A group with an associated mutex lock variable is a **mutex group**: the
+//! root discards data writes from nodes that do not hold the lock (the basis
+//! of optimistic synchronization), and the sharing interfaces apply the
+//! paper's Figure 6 hardware blocking to it.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use sesame_net::NodeId;
+
+use crate::{GroupId, VarId};
+
+/// Declarative description of one sharing group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupSpec {
+    /// The group root: sequencing arbiter and lock manager.
+    pub root: NodeId,
+    /// Nodes that eagerly receive every write in the group.
+    pub members: Vec<NodeId>,
+    /// Variables owned by the group.
+    pub vars: Vec<VarId>,
+    /// The group's mutex lock variable, if the group is a mutex group. Must
+    /// be listed in `vars`.
+    pub mutex_lock: Option<VarId>,
+}
+
+/// Errors detected while validating group specifications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupConfigError {
+    /// A group listed no members.
+    EmptyMembers(GroupId),
+    /// A group listed no variables.
+    EmptyVars(GroupId),
+    /// The named variable appears in more than one group.
+    DuplicateVar(VarId),
+    /// The same node appears twice in one group's member list.
+    DuplicateMember(GroupId, NodeId),
+    /// A mutex lock variable is not listed among the group's variables.
+    LockNotInGroup(GroupId, VarId),
+}
+
+impl fmt::Display for GroupConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupConfigError::EmptyMembers(g) => write!(f, "group {g} has no members"),
+            GroupConfigError::EmptyVars(g) => write!(f, "group {g} has no variables"),
+            GroupConfigError::DuplicateVar(v) => {
+                write!(f, "variable {v} belongs to more than one group")
+            }
+            GroupConfigError::DuplicateMember(g, n) => {
+                write!(f, "node {n} listed twice in group {g}")
+            }
+            GroupConfigError::LockNotInGroup(g, v) => {
+                write!(f, "mutex lock {v} of group {g} is not among its variables")
+            }
+        }
+    }
+}
+
+impl Error for GroupConfigError {}
+
+/// One validated sharing group.
+#[derive(Debug, Clone)]
+pub struct SharingGroup {
+    id: GroupId,
+    root: NodeId,
+    members: Vec<NodeId>,
+    vars: Vec<VarId>,
+    mutex_lock: Option<VarId>,
+}
+
+impl SharingGroup {
+    /// The group's id.
+    pub fn id(&self) -> GroupId {
+        self.id
+    }
+
+    /// The group root (sequencer and lock manager).
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The group's member nodes.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Whether `node` is a member.
+    pub fn is_member(&self, node: NodeId) -> bool {
+        self.members.contains(&node)
+    }
+
+    /// The group's variables.
+    pub fn vars(&self) -> &[VarId] {
+        &self.vars
+    }
+
+    /// The mutex lock variable, if this is a mutex group.
+    pub fn mutex_lock(&self) -> Option<VarId> {
+        self.mutex_lock
+    }
+
+    /// Whether the group has an associated mutex lock.
+    pub fn is_mutex_group(&self) -> bool {
+        self.mutex_lock.is_some()
+    }
+}
+
+/// The validated set of all sharing groups plus the variable-to-group index.
+#[derive(Debug, Clone, Default)]
+pub struct GroupTable {
+    groups: Vec<SharingGroup>,
+    var_group: HashMap<VarId, GroupId>,
+}
+
+impl GroupTable {
+    /// Validates `specs` and builds the table. Group ids are assigned in
+    /// order of the input.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`GroupConfigError`] found: empty member or
+    /// variable lists, duplicate members, a variable claimed by two groups,
+    /// or a mutex lock missing from its own group.
+    pub fn new(specs: Vec<GroupSpec>) -> Result<Self, GroupConfigError> {
+        let mut table = GroupTable::default();
+        for (i, spec) in specs.into_iter().enumerate() {
+            let id = GroupId::new(i as u32);
+            if spec.members.is_empty() {
+                return Err(GroupConfigError::EmptyMembers(id));
+            }
+            if spec.vars.is_empty() {
+                return Err(GroupConfigError::EmptyVars(id));
+            }
+            for (j, &m) in spec.members.iter().enumerate() {
+                if spec.members[..j].contains(&m) {
+                    return Err(GroupConfigError::DuplicateMember(id, m));
+                }
+            }
+            if let Some(lock) = spec.mutex_lock {
+                if !spec.vars.contains(&lock) {
+                    return Err(GroupConfigError::LockNotInGroup(id, lock));
+                }
+            }
+            for &v in &spec.vars {
+                if table.var_group.insert(v, id).is_some() {
+                    return Err(GroupConfigError::DuplicateVar(v));
+                }
+            }
+            table.groups.push(SharingGroup {
+                id,
+                root: spec.root,
+                members: spec.members,
+                vars: spec.vars,
+                mutex_lock: spec.mutex_lock,
+            });
+        }
+        Ok(table)
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether no groups are defined.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// The group with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn group(&self, id: GroupId) -> &SharingGroup {
+        &self.groups[id.index()]
+    }
+
+    /// The group owning `var`, if any.
+    pub fn group_of(&self, var: VarId) -> Option<&SharingGroup> {
+        self.var_group.get(&var).map(|&g| self.group(g))
+    }
+
+    /// Iterates over all groups.
+    pub fn iter(&self) -> impl Iterator<Item = &SharingGroup> {
+        self.groups.iter()
+    }
+
+    /// The groups in which `node` is a member.
+    pub fn groups_of_member(&self, node: NodeId) -> impl Iterator<Item = &SharingGroup> {
+        self.groups.iter().filter(move |g| g.is_member(node))
+    }
+
+    /// The groups rooted at `node`.
+    pub fn groups_rooted_at(&self, node: NodeId) -> impl Iterator<Item = &SharingGroup> {
+        self.groups.iter().filter(move |g| g.root() == node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(id: u32) -> NodeId {
+        NodeId::new(id)
+    }
+    fn v(id: u32) -> VarId {
+        VarId::new(id)
+    }
+
+    fn spec(root: u32, members: &[u32], vars: &[u32], lock: Option<u32>) -> GroupSpec {
+        GroupSpec {
+            root: n(root),
+            members: members.iter().copied().map(n).collect(),
+            vars: vars.iter().copied().map(v).collect(),
+            mutex_lock: lock.map(v),
+        }
+    }
+
+    #[test]
+    fn builds_and_indexes() {
+        let t = GroupTable::new(vec![
+            spec(0, &[0, 1, 2], &[0, 1], Some(0)),
+            spec(1, &[1, 2], &[2], None),
+        ])
+        .unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.group_of(v(1)).unwrap().id(), GroupId::new(0));
+        assert_eq!(t.group_of(v(2)).unwrap().id(), GroupId::new(1));
+        assert!(t.group_of(v(9)).is_none());
+        assert!(t.group(GroupId::new(0)).is_mutex_group());
+        assert!(!t.group(GroupId::new(1)).is_mutex_group());
+        assert_eq!(t.group(GroupId::new(0)).mutex_lock(), Some(v(0)));
+    }
+
+    #[test]
+    fn membership_queries() {
+        let t = GroupTable::new(vec![
+            spec(0, &[0, 1], &[0], None),
+            spec(2, &[1, 2], &[1], None),
+        ])
+        .unwrap();
+        assert_eq!(t.groups_of_member(n(1)).count(), 2);
+        assert_eq!(t.groups_of_member(n(0)).count(), 1);
+        assert_eq!(t.groups_rooted_at(n(2)).count(), 1);
+        assert!(t.group(GroupId::new(0)).is_member(n(1)));
+        assert!(!t.group(GroupId::new(0)).is_member(n(2)));
+    }
+
+    #[test]
+    fn rejects_duplicate_var() {
+        let err = GroupTable::new(vec![
+            spec(0, &[0], &[5], None),
+            spec(1, &[1], &[5], None),
+        ])
+        .unwrap_err();
+        assert_eq!(err, GroupConfigError::DuplicateVar(v(5)));
+        assert!(err.to_string().contains("more than one group"));
+    }
+
+    #[test]
+    fn rejects_empty_lists() {
+        assert_eq!(
+            GroupTable::new(vec![spec(0, &[], &[1], None)]).unwrap_err(),
+            GroupConfigError::EmptyMembers(GroupId::new(0))
+        );
+        assert_eq!(
+            GroupTable::new(vec![spec(0, &[0], &[], None)]).unwrap_err(),
+            GroupConfigError::EmptyVars(GroupId::new(0))
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_member() {
+        assert_eq!(
+            GroupTable::new(vec![spec(0, &[1, 1], &[0], None)]).unwrap_err(),
+            GroupConfigError::DuplicateMember(GroupId::new(0), n(1))
+        );
+    }
+
+    #[test]
+    fn rejects_lock_outside_group() {
+        assert_eq!(
+            GroupTable::new(vec![spec(0, &[0], &[1], Some(9))]).unwrap_err(),
+            GroupConfigError::LockNotInGroup(GroupId::new(0), v(9))
+        );
+    }
+}

@@ -1,0 +1,674 @@
+//! Group write consistency with eagersharing — the Sesame memory system.
+//!
+//! This is the paper's substrate (§1.2, §2): every shared write is
+//! intercepted by the local sharing interface and forwarded to the group
+//! root, which assigns it a group sequence number and multicasts it down the
+//! group's spanning tree. All members apply writes in root sequence order,
+//! giving total store ordering *within the group* without any round-trip
+//! waits at the writer.
+//!
+//! The root is also the group's **lock manager** (§2): writes to the
+//! group's mutex lock variable are interpreted as queue-based lock protocol
+//! operations —
+//!
+//! * a negated processor number requests the lock (granted immediately when
+//!   free, queued otherwise);
+//! * the `FREE` sentinel releases it (the root grants to the next queued
+//!   requester, or propagates `FREE`).
+//!
+//! Two mechanisms make optimistic synchronization safe (§4):
+//!
+//! * **Root filtering** — data writes in a mutex group from a node that
+//!   does not hold the lock are discarded at the root, so optimistic
+//!   updates from a loser never reach other members.
+//! * **Hardware blocking** (Figure 6) — each sharing interface drops
+//!   root-echoed copies of its *own* mutex-group data writes, so stale
+//!   echoes cannot overwrite rollback state. Echoed lock changes are never
+//!   dropped.
+//!
+//! The interfaces also implement the armed lock-change interrupt with
+//! atomic insharing suspension (Figures 4–5) and nack-based recovery for
+//! lost sequenced packets.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+use sesame_net::NodeId;
+
+use crate::addr::lockval;
+use crate::protocol::sizes;
+use crate::{
+    AppEvent, GroupId, GroupTable, Model, ModelAction, Mx, Packet, PacketKind, VarId, Word,
+};
+
+/// Encodes a grant watchdog timer tag: group id in the low 16 bits, the
+/// grant's sequence number above.
+fn watchdog_tag(group: GroupId, seq: u64) -> u64 {
+    (seq << 16) | group.get() as u64
+}
+
+/// One sequenced write traveling (or buffered) within a group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SeqItem {
+    group: GroupId,
+    var: VarId,
+    value: Word,
+    origin: NodeId,
+    seq: u64,
+}
+
+/// Per-node sharing-interface state.
+#[derive(Debug, Default)]
+struct IfaceState {
+    /// Next sequence number to apply, per group (starts at 1).
+    expected: HashMap<GroupId, u64>,
+    /// Out-of-order arrivals awaiting their turn.
+    reorder: HashMap<GroupId, BTreeMap<u64, SeqItem>>,
+    /// Whether insharing is suspended (arrivals buffer in `held`).
+    suspended: bool,
+    /// Arrivals buffered during suspension, in arrival order.
+    held: VecDeque<SeqItem>,
+    /// Lock variables with an armed change interrupt.
+    armed: HashSet<VarId>,
+    /// Locks with an outstanding high-level acquire.
+    pending_acquire: HashSet<VarId>,
+}
+
+/// Lock-manager state for one mutex group, kept at the group root.
+#[derive(Debug)]
+struct LockState {
+    var: VarId,
+    holder: Option<NodeId>,
+    queue: VecDeque<NodeId>,
+}
+
+/// Root state for one group.
+#[derive(Debug)]
+struct RootGroup {
+    next_seq: u64,
+    /// Sequenced writes kept for retransmission; seq `s` lives at
+    /// `history[s - 1 - history_base]`. Pruned to the retransmission
+    /// window when one is configured.
+    history: VecDeque<(VarId, Word, NodeId)>,
+    /// Sequence number of the write *before* `history[0]` (0 = nothing
+    /// pruned yet).
+    history_base: u64,
+    lock: Option<LockState>,
+    /// Outstanding grant watchdog (lossy-fabric recovery).
+    watchdog: Option<GrantWatchdog>,
+}
+
+/// Tracks one issued grant until the holder shows signs of life; on
+/// timeout the root retransmits the grant directly to the holder. This is
+/// the software stand-in for Sesame's hardware-reliable multicast: without
+/// it, a lost grant to a fully quiescent group would deadlock the lock.
+#[derive(Debug, Clone, Copy)]
+struct GrantWatchdog {
+    seq: u64,
+    holder: NodeId,
+}
+
+/// Protocol counters exposed for tests and the experiment harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GwcStats {
+    /// Data writes discarded at a root because the writer did not hold the
+    /// mutex-group lock (failed optimistic updates).
+    pub root_drops: u64,
+    /// Own-echo data packets dropped by the Figure 6 hardware blocking.
+    pub hw_block_drops: u64,
+    /// Lock grants issued.
+    pub grants: u64,
+    /// Lock requests queued because the lock was busy.
+    pub queued_requests: u64,
+    /// Gap-detection nacks sent by members.
+    pub nacks: u64,
+    /// Sequenced writes retransmitted by roots.
+    pub retransmissions: u64,
+    /// Grants retransmitted by the watchdog after holder silence.
+    pub grant_retransmissions: u64,
+}
+
+/// The group-write-consistency memory model.
+#[derive(Debug)]
+pub struct GwcModel {
+    ifaces: Vec<IfaceState>,
+    roots: HashMap<GroupId, RootGroup>,
+    stats: GwcStats,
+    /// Grant-watchdog timeout; `None` disables the watchdog (fine on
+    /// loss-free fabrics).
+    grant_timeout: Option<sesame_sim::SimDur>,
+    /// Retransmission window: how many sequenced writes each root keeps.
+    /// `None` keeps everything (exact recovery, unbounded memory).
+    history_window: Option<u64>,
+}
+
+impl GwcModel {
+    /// Creates the model for a machine with `nodes` CPUs over `groups`.
+    pub fn new(groups: &GroupTable, nodes: usize) -> Self {
+        let roots = groups
+            .iter()
+            .map(|g| {
+                (
+                    g.id(),
+                    RootGroup {
+                        next_seq: 1,
+                        history: VecDeque::new(),
+                        history_base: 0,
+                        lock: g.mutex_lock().map(|var| LockState {
+                            var,
+                            holder: None,
+                            queue: VecDeque::new(),
+                        }),
+                        watchdog: None,
+                    },
+                )
+            })
+            .collect();
+        GwcModel {
+            ifaces: (0..nodes).map(|_| IfaceState::default()).collect(),
+            roots,
+            stats: GwcStats::default(),
+            grant_timeout: None,
+            history_window: None,
+        }
+    }
+
+    /// Bounds each root's retransmission history to the last `window`
+    /// sequenced writes. A nack asking for anything older is a fatal
+    /// protocol error (the window was sized too small for the loss rate),
+    /// reported by panic with a sizing hint.
+    pub fn set_history_window(&mut self, window: Option<u64>) {
+        self.history_window = window;
+    }
+
+    /// Number of sequenced writes currently retained by `group`'s root.
+    pub fn history_len(&self, group: GroupId) -> usize {
+        self.roots.get(&group).map_or(0, |r| r.history.len())
+    }
+
+    /// Enables the root-side grant watchdog: an issued grant whose holder
+    /// shows no activity within `timeout` is retransmitted directly to the
+    /// holder. Required for liveness on lossy fabrics; unnecessary (and
+    /// off by default) otherwise.
+    pub fn set_grant_watchdog(&mut self, timeout: Option<sesame_sim::SimDur>) {
+        self.grant_timeout = timeout;
+    }
+
+    /// Protocol counters.
+    pub fn stats(&self) -> GwcStats {
+        self.stats
+    }
+
+    /// The current holder of `group`'s mutex lock, per the root's
+    /// authoritative state.
+    pub fn lock_holder(&self, group: GroupId) -> Option<NodeId> {
+        self.roots
+            .get(&group)
+            .and_then(|r| r.lock.as_ref())
+            .and_then(|l| l.holder)
+    }
+
+    /// Number of requesters queued on `group`'s mutex lock.
+    pub fn lock_queue_len(&self, group: GroupId) -> usize {
+        self.roots
+            .get(&group)
+            .and_then(|r| r.lock.as_ref())
+            .map_or(0, |l| l.queue.len())
+    }
+
+    /// Whether `node`'s insharing is currently suspended.
+    pub fn is_suspended(&self, node: NodeId) -> bool {
+        self.ifaces[node.index()].suspended
+    }
+
+    fn forward_to_root(&mut self, node: NodeId, var: VarId, value: Word, mx: &mut Mx<'_, '_>) {
+        let g = mx
+            .groups()
+            .group_of(var)
+            .unwrap_or_else(|| panic!("write to {var} which is in no sharing group"));
+        assert!(
+            g.is_member(node) || g.root() == node,
+            "{node} wrote {var} but is neither member nor root of {}",
+            g.id()
+        );
+        let root = g.root();
+        let group = g.id();
+        mx.send(Packet {
+            from: node,
+            to: root,
+            bytes: sizes::WRITE,
+            kind: PacketKind::GwcToRoot {
+                group,
+                var,
+                value,
+                origin: node,
+            },
+        });
+    }
+
+    fn sequence_and_multicast(
+        &mut self,
+        group: GroupId,
+        var: VarId,
+        value: Word,
+        origin: NodeId,
+        mx: &mut Mx<'_, '_>,
+    ) {
+        let rg = self.roots.get_mut(&group).expect("known group");
+        let seq = rg.next_seq;
+        rg.next_seq += 1;
+        rg.history.push_back((var, value, origin));
+        if let Some(window) = self.history_window {
+            while rg.history.len() as u64 > window {
+                rg.history.pop_front();
+                rg.history_base += 1;
+            }
+        }
+        mx.multicast(
+            group,
+            sizes::WRITE,
+            PacketKind::GwcSeq {
+                group,
+                var,
+                value,
+                origin,
+                seq,
+            },
+        );
+    }
+
+    /// Root-side processing of one write arriving for sequencing.
+    fn root_receive(
+        &mut self,
+        node: NodeId,
+        group: GroupId,
+        var: VarId,
+        value: Word,
+        origin: NodeId,
+        mx: &mut Mx<'_, '_>,
+    ) {
+        debug_assert_eq!(
+            mx.groups().group(group).root(),
+            node,
+            "GwcToRoot delivered to non-root"
+        );
+        // Any traffic from the current holder proves the grant arrived.
+        if let Some(rg) = self.roots.get_mut(&group) {
+            if rg.watchdog.is_some_and(|w| w.holder == origin) {
+                rg.watchdog = None;
+            }
+        }
+        let is_lock = self
+            .roots
+            .get(&group)
+            .and_then(|r| r.lock.as_ref())
+            .is_some_and(|l| l.var == var);
+        if is_lock {
+            self.root_lock_write(group, var, value, origin, mx);
+            return;
+        }
+        // Data write: mutex groups accept data only from the lock holder.
+        let holder = self.roots.get(&group).and_then(|r| r.lock.as_ref()).map(|l| l.holder);
+        if let Some(holder) = holder {
+            if holder != Some(origin) {
+                self.stats.root_drops += 1;
+                if mx.tracing() {
+                    mx.trace(node, "root-drop", format!("{var}={value} from {origin}"));
+                }
+                return;
+            }
+        }
+        self.sequence_and_multicast(group, var, value, origin, mx);
+    }
+
+    /// Root-side lock protocol (§2): request, grant, queue, release.
+    fn root_lock_write(
+        &mut self,
+        group: GroupId,
+        var: VarId,
+        value: Word,
+        origin: NodeId,
+        mx: &mut Mx<'_, '_>,
+    ) {
+        enum Outcome {
+            Grant(NodeId),
+            Free,
+            Queued,
+        }
+        let outcome = {
+            let lock = self
+                .roots
+                .get_mut(&group)
+                .expect("known group")
+                .lock
+                .as_mut()
+                .expect("mutex group");
+            if let Some(requester) = lockval::as_request(value) {
+                match lock.holder {
+                    None => {
+                        lock.holder = Some(requester);
+                        Outcome::Grant(requester)
+                    }
+                    Some(_) => {
+                        lock.queue.push_back(requester);
+                        Outcome::Queued
+                    }
+                }
+            } else if lockval::is_free(value) {
+                assert_eq!(
+                    lock.holder,
+                    Some(origin),
+                    "{origin} released lock {var} it does not hold"
+                );
+                lock.holder = lock.queue.pop_front();
+                match lock.holder {
+                    Some(next) => Outcome::Grant(next),
+                    None => Outcome::Free,
+                }
+            } else {
+                panic!("invalid lock value {value} written to {var} by {origin}");
+            }
+        };
+        let root = mx.groups().group(group).root();
+        match outcome {
+            Outcome::Grant(holder) => {
+                self.stats.grants += 1;
+                if mx.tracing() {
+                    mx.trace(root, "lock-grant", format!("{var} -> {holder}"));
+                }
+                self.sequence_and_multicast(group, var, lockval::grant(holder), root, mx);
+                if let Some(timeout) = self.grant_timeout {
+                    let rg = self.roots.get_mut(&group).expect("known group");
+                    let seq = rg.next_seq - 1;
+                    rg.watchdog = Some(GrantWatchdog { seq, holder });
+                    mx.set_model_timer(root, timeout, watchdog_tag(group, seq));
+                }
+            }
+            Outcome::Free => {
+                if mx.tracing() {
+                    mx.trace(root, "lock-free", format!("{var}"));
+                }
+                self.roots.get_mut(&group).expect("known group").watchdog = None;
+                self.sequence_and_multicast(group, var, lockval::FREE, root, mx);
+            }
+            Outcome::Queued => {
+                self.stats.queued_requests += 1;
+                if mx.tracing() {
+                    mx.trace(root, "lock-queued", format!("{var} <- {origin}"));
+                }
+            }
+        }
+    }
+
+    fn apply_chain(&mut self, node: NodeId, group: GroupId, mx: &mut Mx<'_, '_>) {
+        loop {
+            if self.ifaces[node.index()].suspended && mx.config().insharing_suspension {
+                return;
+            }
+            let expected = *self.ifaces[node.index()].expected.entry(group).or_insert(1);
+            let next = self.ifaces[node.index()]
+                .reorder
+                .get_mut(&group)
+                .and_then(|b| b.remove(&expected));
+            match next {
+                Some(item) => self.apply_item(node, item, mx),
+                None => return,
+            }
+        }
+    }
+
+    /// Applies one in-order sequenced write at `node`, advancing the
+    /// expected counter.
+    fn apply_item(&mut self, node: NodeId, item: SeqItem, mx: &mut Mx<'_, '_>) {
+        let st = &mut self.ifaces[node.index()];
+        *st.expected.entry(item.group).or_insert(1) = item.seq + 1;
+        let g = mx.groups().group(item.group);
+        let is_lock_var = g.mutex_lock() == Some(item.var);
+
+        // Figure 6 hardware blocking: drop echoed own mutex-group data.
+        if mx.config().hw_block && g.is_mutex_group() && item.origin == node && !is_lock_var {
+            self.stats.hw_block_drops += 1;
+            if mx.tracing() {
+                mx.trace(node, "hw-block-drop", format!("{}={}", item.var, item.value));
+            }
+            return;
+        }
+
+        // Armed lock interrupt: suspend insharing atomically with delivery
+        // (Figure 5 line P1).
+        if st.armed.contains(&item.var) {
+            st.armed.remove(&item.var);
+            if mx.config().insharing_suspension {
+                st.suspended = true;
+            }
+            mx.mem(node).write(item.var, item.value);
+            mx.deliver(
+                node,
+                AppEvent::LockChanged {
+                    var: item.var,
+                    value: item.value,
+                },
+            );
+            return;
+        }
+
+        mx.mem(node).write(item.var, item.value);
+        if st.pending_acquire.contains(&item.var) && item.value == lockval::grant(node) {
+            st.pending_acquire.remove(&item.var);
+            mx.deliver(node, AppEvent::Acquired { lock: item.var });
+        } else {
+            mx.deliver(
+                node,
+                AppEvent::Updated {
+                    var: item.var,
+                    value: item.value,
+                    origin: item.origin,
+                },
+            );
+        }
+    }
+
+    /// Member-side arrival of a sequenced write: buffer under suspension,
+    /// reorder on gaps (with a nack to the root), apply in order otherwise.
+    fn member_receive(&mut self, node: NodeId, item: SeqItem, mx: &mut Mx<'_, '_>) {
+        let st = &mut self.ifaces[node.index()];
+        if st.suspended && mx.config().insharing_suspension {
+            st.held.push_back(item);
+            return;
+        }
+        let expected = *st.expected.entry(item.group).or_insert(1);
+        if item.seq < expected {
+            return; // duplicate retransmission
+        }
+        if item.seq > expected {
+            st.reorder
+                .entry(item.group)
+                .or_default()
+                .insert(item.seq, item);
+            self.stats.nacks += 1;
+            let root = mx.groups().group(item.group).root();
+            mx.send(Packet {
+                from: node,
+                to: root,
+                bytes: sizes::ACK,
+                kind: PacketKind::GwcNack {
+                    group: item.group,
+                    have: expected - 1,
+                },
+            });
+            return;
+        }
+        self.apply_item(node, item, mx);
+        self.apply_chain(node, item.group, mx);
+    }
+
+    /// Resume insharing at `node`: re-inject writes buffered during
+    /// suspension, stopping early if an armed interrupt re-suspends.
+    fn resume(&mut self, node: NodeId, mx: &mut Mx<'_, '_>) {
+        self.ifaces[node.index()].suspended = false;
+        loop {
+            if self.ifaces[node.index()].suspended {
+                return; // an armed interrupt re-suspended mid-drain
+            }
+            let Some(item) = self.ifaces[node.index()].held.pop_front() else {
+                break;
+            };
+            self.member_receive(node, item, mx);
+        }
+        // Anything already in the reorder buffer may now be applicable.
+        let groups: Vec<GroupId> = self.ifaces[node.index()].reorder.keys().copied().collect();
+        for g in groups {
+            self.apply_chain(node, g, mx);
+        }
+    }
+}
+
+impl Model for GwcModel {
+    fn name(&self) -> &'static str {
+        "gwc"
+    }
+
+    fn on_action(&mut self, node: NodeId, action: ModelAction, mx: &mut Mx<'_, '_>) {
+        match action {
+            ModelAction::Write { var, value } => {
+                mx.mem(node).write(var, value);
+                self.forward_to_root(node, var, value, mx);
+            }
+            ModelAction::WriteLocal { var, value } => {
+                mx.mem(node).write(var, value);
+            }
+            ModelAction::Acquire { lock } => {
+                self.ifaces[node.index()].pending_acquire.insert(lock);
+                mx.mem(node).write(lock, lockval::request(node));
+                self.forward_to_root(node, lock, lockval::request(node), mx);
+            }
+            ModelAction::Release { lock } => {
+                mx.mem(node).write(lock, lockval::FREE);
+                self.forward_to_root(node, lock, lockval::FREE, mx);
+                // GWC release is non-blocking: the local write completes it.
+                mx.deliver(node, AppEvent::Released { lock });
+            }
+            ModelAction::Fetch { var } => {
+                // Eagersharing keeps remote data present locally.
+                let value = mx.mem(node).read(var);
+                mx.deliver(node, AppEvent::ValueReady { var, value });
+            }
+            ModelAction::ArmLockInterrupt { var } => {
+                self.ifaces[node.index()].armed.insert(var);
+            }
+            ModelAction::DisarmLockInterrupt { var } => {
+                self.ifaces[node.index()].armed.remove(&var);
+            }
+            ModelAction::SuspendInsharing => {
+                self.ifaces[node.index()].suspended = true;
+            }
+            ModelAction::ResumeInsharing => {
+                self.resume(node, mx);
+            }
+        }
+    }
+
+    fn on_packet(&mut self, node: NodeId, pkt: Packet, mx: &mut Mx<'_, '_>) {
+        match pkt.kind {
+            PacketKind::GwcToRoot {
+                group,
+                var,
+                value,
+                origin,
+            } => self.root_receive(node, group, var, value, origin, mx),
+            PacketKind::GwcSeq {
+                group,
+                var,
+                value,
+                origin,
+                seq,
+            } => self.member_receive(
+                node,
+                SeqItem {
+                    group,
+                    var,
+                    value,
+                    origin,
+                    seq,
+                },
+                mx,
+            ),
+            PacketKind::GwcNack { group, have } => {
+                let rg = self.roots.get(&group).expect("known group");
+                let member = pkt.from;
+                assert!(
+                    have >= rg.history_base,
+                    "member {member} nacked seq {} but {group}'s root pruned through                      {}: retransmission window too small for the loss rate",
+                    have + 1,
+                    rg.history_base
+                );
+                let upto = rg.next_seq;
+                let base = rg.history_base;
+                let resend: Vec<(u64, (VarId, Word, NodeId))> = ((have + 1)..upto)
+                    .map(|s| (s, rg.history[(s - 1 - base) as usize]))
+                    .collect();
+                self.stats.retransmissions += resend.len() as u64;
+                for (seq, (var, value, origin)) in resend {
+                    mx.send(Packet {
+                        from: node,
+                        to: member,
+                        bytes: sizes::WRITE,
+                        kind: PacketKind::GwcSeq {
+                            group,
+                            var,
+                            value,
+                            origin,
+                            seq,
+                        },
+                    });
+                }
+            }
+            PacketKind::App { tag } => {
+                mx.deliver(
+                    node,
+                    AppEvent::MessageReceived {
+                        from: pkt.from,
+                        tag,
+                        bytes: pkt.bytes,
+                    },
+                );
+            }
+            other => panic!("GWC model received foreign packet kind {other:?}"),
+        }
+    }
+
+    /// Grant watchdog expiry: if the granted holder has shown no activity,
+    /// retransmit the grant's sequenced write directly to it and re-arm.
+    fn on_timer(&mut self, node: NodeId, tag: u64, mx: &mut Mx<'_, '_>) {
+        let group = GroupId::new((tag & 0xffff) as u32);
+        let seq = tag >> 16;
+        let Some(rg) = self.roots.get_mut(&group) else {
+            return;
+        };
+        let Some(w) = rg.watchdog else {
+            return; // the holder spoke up; nothing to do
+        };
+        if w.seq != seq {
+            return; // a newer grant superseded this watchdog
+        }
+        let (var, value, origin) = rg.history[(seq - 1 - rg.history_base) as usize];
+        self.stats.grant_retransmissions += 1;
+        if mx.tracing() {
+            mx.trace(node, "grant-retransmit", format!("{var} seq {seq} -> {}", w.holder));
+        }
+        mx.send(Packet {
+            from: node,
+            to: w.holder,
+            bytes: sizes::WRITE,
+            kind: PacketKind::GwcSeq {
+                group,
+                var,
+                value,
+                origin,
+                seq,
+            },
+        });
+        if let Some(timeout) = self.grant_timeout {
+            mx.set_model_timer(node, timeout, tag);
+        }
+    }
+}

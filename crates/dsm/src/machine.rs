@@ -1,0 +1,602 @@
+//! The DSM machine: nodes, programs, a memory model, and the interconnect,
+//! assembled into one deterministic simulation.
+//!
+//! The [`Machine`] is a single [`Actor`] whose messages are
+//! `(node, DsmEvent)` pairs: packet arrivals, computation completions, and
+//! timers. On every event it runs the memory [`Model`]'s protocol logic
+//! and/or the node's [`Program`], buffering follow-on work so that
+//! same-timestamp cascades resolve deterministically.
+//!
+//! The [`Model`] trait is the seam between this substrate and the
+//! consistency protocols: group write consistency lives in this crate
+//! ([`GwcModel`](crate::GwcModel)); entry and release consistency live in
+//! `sesame-consistency`. All of them speak the shared
+//! [`Packet`](crate::Packet) wire protocol, so identical programs run under
+//! every model.
+
+use std::collections::{HashMap, VecDeque};
+
+use sesame_net::{Fabric, LinkTiming, NodeId, SpanningTree, Topology};
+use sesame_sim::{
+    Actor, ActorId, Context, RunOutcome, SimDur, SimTime, Simulation, TimeWeighted, TraceRecorder,
+};
+
+use crate::protocol::sizes;
+use crate::{
+    Action, AppEvent, GroupId, GroupTable, LocalMemory, ModelAction, NodeApi, Packet, PacketKind,
+    Program,
+};
+
+/// Machine-level events targeted at one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DsmEvent {
+    /// Deliver [`AppEvent::Started`] (scheduled once per node at time
+    /// zero).
+    Start,
+    /// A packet arrived off the interconnect.
+    Packet(Packet),
+    /// A modeled computation phase finished.
+    ComputeDone {
+        /// Correlation tag from [`NodeApi::compute`].
+        tag: u64,
+    },
+    /// A timer fired.
+    TimerFired {
+        /// Correlation tag from [`NodeApi::set_timer`].
+        tag: u64,
+    },
+    /// A memory-model timer fired (protocol timeouts such as grant
+    /// watchdogs), routed to [`Model::on_timer`].
+    ModelTimer {
+        /// Correlation tag from [`Mx::set_model_timer`].
+        tag: u64,
+    },
+}
+
+/// The message type of the machine actor.
+pub type MachineMsg = (NodeId, DsmEvent);
+
+/// Feature toggles for protocol ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// The paper's Figure 6 hardware blocking: sharing interfaces drop
+    /// root-echoed copies of their own mutex-group data writes.
+    pub hw_block: bool,
+    /// Honor insharing suspension requests (Figure 4/5); disabling it
+    /// demonstrates the lost-update hazard the paper describes.
+    pub insharing_suspension: bool,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            hw_block: true,
+            insharing_suspension: true,
+        }
+    }
+}
+
+/// The memory model's view of the machine during protocol processing.
+///
+/// Provides local memories, group metadata, packet transmission with
+/// fabric-computed arrival times, and application-event delivery.
+pub struct Mx<'a, 'b> {
+    now: SimTime,
+    mems: &'a mut [LocalMemory],
+    groups: &'a GroupTable,
+    topo: &'a dyn Topology,
+    trees: &'a HashMap<GroupId, SpanningTree>,
+    fabric: &'a mut Fabric,
+    cfg: &'a MachineConfig,
+    ctx: &'a mut Context<'b, MachineMsg>,
+    app_outbox: &'a mut VecDeque<(NodeId, AppEvent)>,
+}
+
+impl Mx<'_, '_> {
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of nodes in the machine.
+    pub fn node_count(&self) -> usize {
+        self.mems.len()
+    }
+
+    /// The local memory of `node`.
+    pub fn mem(&mut self, node: NodeId) -> &mut LocalMemory {
+        &mut self.mems[node.index()]
+    }
+
+    /// The sharing-group table.
+    pub fn groups(&self) -> &GroupTable {
+        self.groups
+    }
+
+    /// Protocol feature toggles.
+    pub fn config(&self) -> &MachineConfig {
+        self.cfg
+    }
+
+    /// Sends a packet; it arrives at the fabric-computed time (self-sends
+    /// arrive after one serialization delay).
+    pub fn send(&mut self, pkt: Packet) {
+        self.send_after(SimDur::ZERO, pkt);
+    }
+
+    /// Sends a packet after an extra processing delay at the sender —
+    /// software protocol-handler occupancy in models that are not
+    /// hardware-assisted.
+    pub fn send_after(&mut self, extra: SimDur, pkt: Packet) {
+        let at = self
+            .fabric
+            .unicast(self.now + extra, self.topo, pkt.from, pkt.to, pkt.bytes);
+        let target = self.ctx.self_id();
+        self.ctx.send_at(target, at, (pkt.to, DsmEvent::Packet(pkt)));
+    }
+
+    /// Multicasts one sequenced write down `group`'s spanning tree to every
+    /// member; each member's copy arrives at its tree-depth-determined
+    /// time. The root member (if any) receives its echo immediately.
+    pub fn multicast(&mut self, group: GroupId, bytes: u32, kind: PacketKind) {
+        let g = self.groups.group(group);
+        let tree = &self.trees[&group];
+        let arrivals = self.fabric.multicast(self.now, tree, bytes, g.members());
+        let target = self.ctx.self_id();
+        let root = g.root();
+        for (member, at) in arrivals {
+            // Per-member loss (the root's own echo is a local operation and
+            // never lost); members recover via nack-triggered retransmission.
+            if member != root && self.fabric.roll_loss() {
+                continue;
+            }
+            let pkt = Packet {
+                from: root,
+                to: member,
+                bytes,
+                kind,
+            };
+            self.ctx.send_at(target, at, (member, DsmEvent::Packet(pkt)));
+        }
+    }
+
+    /// Schedules a protocol timer: [`Model::on_timer`] fires at `node`
+    /// after `delay`.
+    pub fn set_model_timer(&mut self, node: NodeId, delay: SimDur, tag: u64) {
+        let target = self.ctx.self_id();
+        self.ctx
+            .send_at(target, self.now + delay, (node, DsmEvent::ModelTimer { tag }));
+    }
+
+    /// Queues an application event for delivery to `node`'s program in the
+    /// current cascade (zero simulated delay).
+    pub fn deliver(&mut self, node: NodeId, event: AppEvent) {
+        self.app_outbox.push_back((node, event));
+    }
+
+    /// Records a trace entry attributed to `node`.
+    pub fn trace(&mut self, node: NodeId, kind: &'static str, detail: String) {
+        self.ctx.trace_for(node.index(), kind, detail);
+    }
+
+    /// Whether tracing is enabled.
+    pub fn tracing(&self) -> bool {
+        self.ctx.tracing()
+    }
+}
+
+/// A memory consistency model: the protocol logic between programs and the
+/// interconnect.
+pub trait Model {
+    /// A short human-readable model name (for reports).
+    fn name(&self) -> &'static str;
+
+    /// Handles a program-issued action on `node`.
+    fn on_action(&mut self, node: NodeId, action: ModelAction, mx: &mut Mx<'_, '_>);
+
+    /// Handles a protocol packet arriving at `node`.
+    fn on_packet(&mut self, node: NodeId, pkt: Packet, mx: &mut Mx<'_, '_>);
+
+    /// Handles a protocol timer set with [`Mx::set_model_timer`]. The
+    /// default ignores it.
+    fn on_timer(&mut self, node: NodeId, tag: u64, mx: &mut Mx<'_, '_>) {
+        let _ = (node, tag, mx);
+    }
+}
+
+impl<M: Model + ?Sized> Model for Box<M> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn on_action(&mut self, node: NodeId, action: ModelAction, mx: &mut Mx<'_, '_>) {
+        (**self).on_action(node, action, mx)
+    }
+    fn on_packet(&mut self, node: NodeId, pkt: Packet, mx: &mut Mx<'_, '_>) {
+        (**self).on_packet(node, pkt, mx)
+    }
+    fn on_timer(&mut self, node: NodeId, tag: u64, mx: &mut Mx<'_, '_>) {
+        (**self).on_timer(node, tag, mx)
+    }
+}
+
+/// Per-node CPU accounting: busy intervals and total useful work.
+///
+/// Work is credited when a compute phase *completes* (or the elapsed part
+/// when it is cancelled), so a run stopped mid-phase never counts work
+/// that was not performed.
+#[derive(Debug, Clone)]
+pub struct CpuMeter {
+    busy_until: SimTime,
+    current: Option<(SimTime, SimTime)>,
+    total_busy: SimDur,
+    meter: TimeWeighted,
+}
+
+impl Default for CpuMeter {
+    fn default() -> Self {
+        CpuMeter {
+            busy_until: SimTime::ZERO,
+            current: None,
+            total_busy: SimDur::ZERO,
+            meter: TimeWeighted::new(SimTime::ZERO, 0.0),
+        }
+    }
+}
+
+impl CpuMeter {
+    fn start(&mut self, now: SimTime, dur: SimDur) {
+        assert!(
+            now >= self.busy_until,
+            "program started a compute phase while one is in flight"
+        );
+        self.busy_until = now + dur;
+        self.current = Some((now, now + dur));
+        self.meter.set(now, 1.0);
+    }
+
+    fn finish(&mut self, now: SimTime) {
+        if let Some((start, end)) = self.current {
+            if now >= end {
+                self.total_busy += end - start;
+                self.current = None;
+                self.meter.set(now, 0.0);
+            }
+        }
+    }
+
+    /// Aborts the current busy interval: the elapsed (occupied) portion
+    /// counts, the remaining portion does not.
+    fn cancel(&mut self, now: SimTime) {
+        if let Some((start, _end)) = self.current.take() {
+            self.total_busy += now.saturating_since(start);
+            self.busy_until = now;
+            self.meter.set(now, 0.0);
+        }
+    }
+
+    /// Total CPU-busy time accumulated.
+    pub fn total_busy(&self) -> SimDur {
+        self.total_busy
+    }
+
+    /// Busy fraction (efficiency) over `[0, end]`.
+    pub fn efficiency(&self, end: SimTime) -> f64 {
+        self.meter.average(end)
+    }
+}
+
+/// The assembled DSM machine.
+pub struct Machine<M: Model> {
+    topo: Box<dyn Topology>,
+    fabric: Fabric,
+    groups: GroupTable,
+    trees: HashMap<GroupId, SpanningTree>,
+    mems: Vec<LocalMemory>,
+    cpus: Vec<CpuMeter>,
+    programs: Vec<Box<dyn Program>>,
+    model: M,
+    cfg: MachineConfig,
+}
+
+impl<M: Model> std::fmt::Debug for Machine<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("nodes", &self.mems.len())
+            .field("groups", &self.groups.len())
+            .field("model", &self.model.name())
+            .finish()
+    }
+}
+
+impl<M: Model> Machine<M> {
+    /// Assembles a machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of programs does not equal the topology's CPU
+    /// count, or if a group root is not a valid topology position.
+    pub fn new(
+        topo: Box<dyn Topology>,
+        timing: LinkTiming,
+        groups: GroupTable,
+        programs: Vec<Box<dyn Program>>,
+        model: M,
+        cfg: MachineConfig,
+    ) -> Self {
+        assert_eq!(
+            programs.len(),
+            topo.len(),
+            "one program per CPU node is required"
+        );
+        let trees = groups
+            .iter()
+            .map(|g| (g.id(), SpanningTree::build(topo.as_ref(), g.root())))
+            .collect();
+        let n = topo.len();
+        Machine {
+            topo,
+            fabric: Fabric::new(timing),
+            groups,
+            trees,
+            mems: vec![LocalMemory::new(); n],
+            cpus: vec![CpuMeter::default(); n],
+            programs,
+            model,
+            cfg,
+        }
+    }
+
+    /// Number of CPU nodes.
+    pub fn node_count(&self) -> usize {
+        self.mems.len()
+    }
+
+    /// The local memory of `node` (post-run inspection, or pre-run
+    /// initialization of shared variables).
+    pub fn mem(&self, node: NodeId) -> &LocalMemory {
+        &self.mems[node.index()]
+    }
+
+    /// Mutable local memory access (pre-run initialization).
+    pub fn mem_mut(&mut self, node: NodeId) -> &mut LocalMemory {
+        &mut self.mems[node.index()]
+    }
+
+    /// Initializes `var` to `value` in every node's local copy — how shared
+    /// segments (and lock FREE sentinels) are set up before a run.
+    pub fn init_var(&mut self, var: crate::VarId, value: crate::Word) {
+        for m in &mut self.mems {
+            m.write(var, value);
+        }
+    }
+
+    /// The CPU meter of `node`.
+    pub fn cpu(&self, node: NodeId) -> &CpuMeter {
+        &self.cpus[node.index()]
+    }
+
+    /// The interconnect fabric (to set loss or contention before a run, or
+    /// to read traffic stats after).
+    pub fn fabric_mut(&mut self) -> &mut Fabric {
+        &mut self.fabric
+    }
+
+    /// Traffic statistics.
+    pub fn fabric_stats(&self) -> sesame_net::FabricStats {
+        self.fabric.stats()
+    }
+
+    /// The memory model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable memory-model access (pre-run configuration).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// The program running on `node`, downcast-free access for tests that
+    /// own the concrete type is available via [`Machine::into_parts`].
+    pub fn program(&self, node: NodeId) -> &dyn Program {
+        self.programs[node.index()].as_ref()
+    }
+
+    /// Sum of all nodes' busy time (useful work), for network-power
+    /// computation.
+    pub fn total_busy(&self) -> SimDur {
+        self.cpus.iter().map(|c| c.total_busy()).sum()
+    }
+
+    /// Decomposes the machine for post-run inspection of programs.
+    pub fn into_parts(self) -> (Vec<Box<dyn Program>>, Vec<LocalMemory>, M) {
+        (self.programs, self.mems, self.model)
+    }
+
+    fn with_mx<R>(
+        &mut self,
+        ctx: &mut Context<'_, MachineMsg>,
+        app_q: &mut VecDeque<(NodeId, AppEvent)>,
+        f: impl FnOnce(&mut M, &mut Mx<'_, '_>) -> R,
+    ) -> R {
+        let Machine {
+            topo,
+            fabric,
+            groups,
+            trees,
+            mems,
+            model,
+            cfg,
+            ..
+        } = self;
+        let mut mx = Mx {
+            now: ctx.now(),
+            mems,
+            groups,
+            topo: topo.as_ref(),
+            trees,
+            fabric,
+            cfg,
+            ctx,
+            app_outbox: app_q,
+        };
+        f(model, &mut mx)
+    }
+
+    fn drain(&mut self, mut app_q: VecDeque<(NodeId, AppEvent)>, ctx: &mut Context<'_, MachineMsg>) {
+        while let Some((node, event)) = app_q.pop_front() {
+            let mut actions = Vec::new();
+            {
+                let mem = &self.mems[node.index()];
+                let mut api = NodeApi::new(node, ctx.now(), mem, &mut actions, ctx.tracing());
+                self.programs[node.index()].on_event(event, &mut api);
+            }
+            for action in actions {
+                match action {
+                    Action::Model(ma) => {
+                        self.with_mx(ctx, &mut app_q, |model, mx| model.on_action(node, ma, mx));
+                    }
+                    Action::Compute { dur, tag } => {
+                        self.cpus[node.index()].start(ctx.now(), dur);
+                        ctx.send_self(dur, (node, DsmEvent::ComputeDone { tag }));
+                    }
+                    Action::CancelCompute => {
+                        self.cpus[node.index()].cancel(ctx.now());
+                    }
+                    Action::Timer { dur, tag } => {
+                        ctx.send_self(dur, (node, DsmEvent::TimerFired { tag }));
+                    }
+                    Action::SendMessage {
+                        to,
+                        payload_bytes,
+                        tag,
+                    } => {
+                        let bytes = payload_bytes + sizes::APP_HEADER;
+                        let pkt = Packet {
+                            from: node,
+                            to,
+                            bytes,
+                            kind: PacketKind::App { tag },
+                        };
+                        let at = self
+                            .fabric
+                            .unicast(ctx.now(), self.topo.as_ref(), node, to, bytes);
+                        let target = ctx.self_id();
+                        ctx.send_at(target, at, (to, DsmEvent::Packet(pkt)));
+                    }
+                    Action::Stop => ctx.stop(),
+                    Action::Trace { kind, detail } => ctx.trace_for(node.index(), kind, detail),
+                }
+            }
+        }
+    }
+}
+
+impl<M: Model> Actor for Machine<M> {
+    type Msg = MachineMsg;
+
+    fn handle(&mut self, (node, event): MachineMsg, ctx: &mut Context<'_, MachineMsg>) {
+        let mut app_q = VecDeque::new();
+        match event {
+            DsmEvent::Start => app_q.push_back((node, AppEvent::Started)),
+            DsmEvent::ComputeDone { tag } => {
+                self.cpus[node.index()].finish(ctx.now());
+                app_q.push_back((node, AppEvent::ComputeDone { tag }));
+            }
+            DsmEvent::TimerFired { tag } => {
+                app_q.push_back((node, AppEvent::TimerFired { tag }));
+            }
+            DsmEvent::Packet(pkt) => {
+                self.with_mx(ctx, &mut app_q, |model, mx| model.on_packet(node, pkt, mx));
+            }
+            DsmEvent::ModelTimer { tag } => {
+                self.with_mx(ctx, &mut app_q, |model, mx| model.on_timer(node, tag, mx));
+            }
+        }
+        self.drain(app_q, ctx);
+    }
+}
+
+/// Options for [`run`].
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// RNG seed for the whole run.
+    pub seed: u64,
+    /// Whether to record a trace.
+    pub tracing: bool,
+    /// Hard wall on simulated time.
+    pub until: SimTime,
+    /// Runaway protection: maximum events processed.
+    pub event_limit: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            seed: 1,
+            tracing: false,
+            until: SimTime::MAX,
+            event_limit: sesame_sim::DEFAULT_EVENT_LIMIT,
+        }
+    }
+}
+
+/// The outcome of one machine run.
+#[derive(Debug)]
+pub struct RunResult<M: Model> {
+    /// The machine, for memory / meter / model inspection.
+    pub machine: Machine<M>,
+    /// The recorded trace (empty unless tracing was enabled).
+    pub trace: TraceRecorder,
+    /// Simulated completion time (makespan).
+    pub end: SimTime,
+    /// Why the run ended.
+    pub outcome: RunOutcome,
+    /// Events processed.
+    pub events: u64,
+}
+
+impl<M: Model> RunResult<M> {
+    /// Busy fraction of `node` over the whole run.
+    pub fn efficiency(&self, node: NodeId) -> f64 {
+        self.machine.cpu(node).efficiency(self.end)
+    }
+
+    /// Network power: average efficiency times node count, equivalently
+    /// total useful work divided by makespan. This is the paper's speedup
+    /// metric for Figures 2 and 8.
+    pub fn network_power(&self) -> f64 {
+        if self.end == SimTime::ZERO {
+            return 0.0;
+        }
+        self.machine.total_busy().as_nanos() as f64 / self.end.as_nanos() as f64
+    }
+}
+
+/// Runs a machine to completion (or to the configured limits), scheduling
+/// [`AppEvent::Started`] on every node at time zero.
+pub fn run<M: Model>(machine: Machine<M>, opts: RunOptions) -> RunResult<M> {
+    let n = machine.node_count();
+    let mut sim = Simulation::new(vec![machine], opts.seed);
+    sim.set_tracing(opts.tracing);
+    sim.set_event_limit(opts.event_limit);
+    for i in 0..n {
+        sim.schedule(
+            SimTime::ZERO,
+            ActorId::new(0),
+            (NodeId::new(i as u32), DsmEvent::Start),
+        );
+    }
+    let outcome = sim.run_until(opts.until);
+    let end = sim.now();
+    let events = sim.events_processed();
+    let trace = sim.trace().clone();
+    let machine = sim.into_actors().pop().expect("machine actor");
+    RunResult {
+        machine,
+        trace,
+        end,
+        outcome,
+        events,
+    }
+}

@@ -1,0 +1,90 @@
+//! Per-node local memory holding the node's copy of every shared variable.
+
+use std::collections::HashMap;
+
+use crate::{Word, VarId};
+
+/// One node's local copies of shared variables.
+///
+/// Variables read before any write return the configurable default (zero
+/// unless set), mirroring zero-initialized shared segments.
+#[derive(Debug, Clone, Default)]
+pub struct LocalMemory {
+    words: HashMap<VarId, Word>,
+    writes: u64,
+}
+
+impl LocalMemory {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the local copy of `var` (zero if never written).
+    pub fn read(&self, var: VarId) -> Word {
+        self.words.get(&var).copied().unwrap_or(0)
+    }
+
+    /// Writes the local copy of `var`, returning the previous value.
+    pub fn write(&mut self, var: VarId, value: Word) -> Word {
+        self.writes += 1;
+        self.words.insert(var, value).unwrap_or(0)
+    }
+
+    /// Number of writes ever applied (local stores plus applied remote
+    /// updates).
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Number of variables that have ever been written.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether no variable has ever been written.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Iterates over `(var, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, Word)> + '_ {
+        self.words.iter().map(|(&v, &w)| (v, w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(id: u32) -> VarId {
+        VarId::new(id)
+    }
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let m = LocalMemory::new();
+        assert_eq!(m.read(v(9)), 0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn write_returns_previous() {
+        let mut m = LocalMemory::new();
+        assert_eq!(m.write(v(1), 10), 0);
+        assert_eq!(m.write(v(1), 20), 10);
+        assert_eq!(m.read(v(1)), 20);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.write_count(), 2);
+    }
+
+    #[test]
+    fn variables_are_independent() {
+        let mut m = LocalMemory::new();
+        m.write(v(1), 5);
+        m.write(v(2), 6);
+        assert_eq!(m.read(v(1)), 5);
+        assert_eq!(m.read(v(2)), 6);
+        assert_eq!(m.iter().count(), 2);
+    }
+}

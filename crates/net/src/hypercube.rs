@@ -1,0 +1,158 @@
+//! Binary hypercube topology — the other canonical massively parallel
+//! interconnect of the paper's era, provided for topology ablations.
+//!
+//! Node ids are vertex labels; two nodes are adjacent iff their labels
+//! differ in exactly one bit, so an order-`d` hypercube hosts `2^d` CPUs
+//! with diameter `d`. Routing fixes differing bits lowest-first
+//! (dimension-ordered e-cube routing), which is deterministic and
+//! shortest-path.
+
+use crate::{LinkId, NodeId, Topology};
+
+/// A binary hypercube of order `d` (`2^d` nodes).
+///
+/// ```
+/// use sesame_net::{Hypercube, NodeId, Topology};
+///
+/// let h = Hypercube::new(4); // 16 nodes
+/// assert_eq!(h.len(), 16);
+/// assert_eq!(h.diameter(), 4);
+/// // Distance is the Hamming distance of the labels.
+/// assert_eq!(h.hops(NodeId::new(0b0000), NodeId::new(0b1011)), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hypercube {
+    order: u32,
+}
+
+impl Hypercube {
+    /// Creates a hypercube of the given order (dimension).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` exceeds 20 (over a million nodes is certainly a
+    /// configuration mistake).
+    pub fn new(order: u32) -> Self {
+        assert!(order <= 20, "hypercube order {order} is unreasonable");
+        Hypercube { order }
+    }
+
+    /// The smallest hypercube hosting at least `nodes` CPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn with_at_least(nodes: usize) -> Self {
+        assert!(nodes > 0, "node count must be positive");
+        let order = usize::BITS - (nodes - 1).leading_zeros();
+        Hypercube::new(order)
+    }
+
+    /// The hypercube's order (dimension).
+    pub fn order(&self) -> u32 {
+        self.order
+    }
+}
+
+impl Topology for Hypercube {
+    fn len(&self) -> usize {
+        1usize << self.order
+    }
+
+    fn neighbors(&self, n: NodeId) -> Vec<NodeId> {
+        (0..self.order)
+            .map(|bit| NodeId::new(n.get() ^ (1 << bit)))
+            .collect()
+    }
+
+    fn hops(&self, a: NodeId, b: NodeId) -> u32 {
+        (a.get() ^ b.get()).count_ones()
+    }
+
+    fn route(&self, a: NodeId, b: NodeId) -> Vec<LinkId> {
+        // E-cube routing: correct differing bits from the lowest dimension
+        // upward.
+        let mut links = Vec::new();
+        let mut at = a.get();
+        let mut diff = at ^ b.get();
+        while diff != 0 {
+            let bit = diff.trailing_zeros();
+            let next = at ^ (1 << bit);
+            links.push(LinkId::between(NodeId::new(at), NodeId::new(next)));
+            at = next;
+            diff = at ^ b.get();
+        }
+        links
+    }
+
+    fn diameter(&self) -> u32 {
+        self.order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(id: u32) -> NodeId {
+        NodeId::new(id)
+    }
+
+    #[test]
+    fn degree_equals_order() {
+        let h = Hypercube::new(3);
+        for i in 0..8 {
+            assert_eq!(h.neighbors(n(i)).len(), 3);
+        }
+    }
+
+    #[test]
+    fn hops_is_hamming_distance() {
+        let h = Hypercube::new(5);
+        assert_eq!(h.hops(n(0), n(0b11111)), 5);
+        assert_eq!(h.hops(n(0b10101), n(0b10101)), 0);
+        assert_eq!(h.hops(n(0b10000), n(0b00001)), 2);
+    }
+
+    #[test]
+    fn routes_match_hops_everywhere() {
+        let h = Hypercube::new(4);
+        for a in 0..16 {
+            for b in 0..16 {
+                let links = h.route(n(a), n(b));
+                assert_eq!(links.len() as u32, h.hops(n(a), n(b)));
+                let mut at = n(a);
+                for l in &links {
+                    assert!(h.neighbors(l.from_node()).contains(&l.to_node()));
+                    assert_eq!(l.from_node(), at);
+                    at = l.to_node();
+                }
+                assert_eq!(at, n(b));
+            }
+        }
+    }
+
+    #[test]
+    fn with_at_least_rounds_up_to_a_power_of_two() {
+        assert_eq!(Hypercube::with_at_least(1).len(), 1);
+        assert_eq!(Hypercube::with_at_least(2).len(), 2);
+        assert_eq!(Hypercube::with_at_least(5).len(), 8);
+        assert_eq!(Hypercube::with_at_least(64).len(), 64);
+        assert_eq!(Hypercube::with_at_least(65).len(), 128);
+    }
+
+    #[test]
+    fn mean_hops_is_half_the_order() {
+        // E[Hamming distance] over uniform pairs = d/2; mean_hops excludes
+        // the diagonal so it sits slightly above d/2.
+        let h = Hypercube::new(4);
+        let m = h.mean_hops();
+        assert!(m > 2.0 && m < 2.2, "mean hops {m}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unreasonable")]
+    fn oversized_order_panics() {
+        let _ = Hypercube::new(32);
+    }
+}

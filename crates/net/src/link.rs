@@ -1,0 +1,103 @@
+//! Link timing: per-hop latency and serialization delay.
+//!
+//! The paper's Figure 8 assumes "each data sharing hop in a square mesh
+//! torus takes 200 ns, and each point to point fiber link is 1 gigabit/sec";
+//! [`LinkTiming::paper_1994`] encodes exactly those constants.
+
+use sesame_sim::SimDur;
+
+/// Timing parameters of one interconnect link class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkTiming {
+    /// Latency added per hop traversed (switching + propagation).
+    pub hop_latency: SimDur,
+    /// Link bandwidth in bytes per second.
+    pub bytes_per_sec: u64,
+}
+
+impl LinkTiming {
+    /// The paper's Figure 8 parameters: 200 ns per hop, 1 Gbit/s links.
+    pub const fn paper_1994() -> Self {
+        LinkTiming {
+            hop_latency: SimDur::from_nanos(200),
+            bytes_per_sec: 125_000_000, // 1 Gbit/s
+        }
+    }
+
+    /// An idealized zero-delay network; the paper's "maximum speedup if
+    /// network delays were zero" upper-bound lines.
+    pub const fn zero_delay() -> Self {
+        LinkTiming {
+            hop_latency: SimDur::from_nanos(0),
+            bytes_per_sec: u64::MAX,
+        }
+    }
+
+    /// Time to clock `bytes` onto a link (zero if bandwidth is unlimited).
+    pub fn serialization(&self, bytes: u32) -> SimDur {
+        if self.bytes_per_sec == u64::MAX {
+            return SimDur::ZERO;
+        }
+        // ceil(bytes * 1e9 / bytes_per_sec) nanoseconds.
+        let ns = (bytes as u128 * 1_000_000_000).div_ceil(self.bytes_per_sec as u128);
+        SimDur::from_nanos(ns as u64)
+    }
+
+    /// Cut-through end-to-end transfer time: one serialization plus
+    /// per-hop latency. This is the paper's contention-free network model.
+    pub fn transfer(&self, hops: u32, bytes: u32) -> SimDur {
+        self.serialization(bytes) + self.hop_latency * hops as u64
+    }
+}
+
+impl Default for LinkTiming {
+    fn default() -> Self {
+        Self::paper_1994()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let t = LinkTiming::paper_1994();
+        assert_eq!(t.hop_latency, SimDur::from_nanos(200));
+        // 125 bytes at 1 Gbit/s take exactly 1us.
+        assert_eq!(t.serialization(125), SimDur::from_us(1));
+    }
+
+    #[test]
+    fn serialization_rounds_up() {
+        let t = LinkTiming::paper_1994();
+        // 1 byte = 8ns exactly at 1Gbit/s.
+        assert_eq!(t.serialization(1), SimDur::from_nanos(8));
+        // 3 bytes = 24ns.
+        assert_eq!(t.serialization(3), SimDur::from_nanos(24));
+    }
+
+    #[test]
+    fn transfer_is_linear_in_hops() {
+        let t = LinkTiming::paper_1994();
+        let one = t.transfer(1, 64);
+        let five = t.transfer(5, 64);
+        assert_eq!(
+            five - one,
+            SimDur::from_nanos(800),
+            "4 extra hops at 200ns each"
+        );
+    }
+
+    #[test]
+    fn zero_delay_network_is_free() {
+        let t = LinkTiming::zero_delay();
+        assert_eq!(t.transfer(100, 1_000_000), SimDur::ZERO);
+    }
+
+    #[test]
+    fn zero_hops_is_pure_serialization() {
+        let t = LinkTiming::paper_1994();
+        assert_eq!(t.transfer(0, 125), SimDur::from_us(1));
+    }
+}

@@ -1,0 +1,469 @@
+//! The discrete-event actor engine.
+//!
+//! A simulation is a set of [`Actor`]s exchanging timestamped messages
+//! through a deterministic [`EventQueue`](crate::EventQueue). The engine pops
+//! the earliest event, advances the clock, and hands the message to the
+//! target actor together with a [`Context`] through which the actor may send
+//! further messages, consult the clock and RNG, record trace entries, and
+//! stop the run.
+//!
+//! ```
+//! use sesame_sim::{Actor, ActorId, Context, SimDur, Simulation};
+//!
+//! struct Ping { count: u32 }
+//!
+//! impl Actor for Ping {
+//!     type Msg = ();
+//!     fn handle(&mut self, _msg: (), ctx: &mut Context<'_, ()>) {
+//!         self.count += 1;
+//!         if self.count < 3 {
+//!             // Bounce the token to the other actor 10ns from now.
+//!             let other = ActorId::new(1 - ctx.self_id().index());
+//!             ctx.send(other, SimDur::from_nanos(10), ());
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(vec![Ping { count: 0 }, Ping { count: 0 }], 42);
+//! sim.schedule(sesame_sim::SimTime::ZERO, ActorId::new(0), ());
+//! sim.run_to_completion();
+//! assert_eq!(sim.actor(ActorId::new(0)).count + sim.actor(ActorId::new(1)).count, 5);
+//! ```
+
+use std::fmt;
+
+use crate::{DetRng, EventQueue, SimDur, SimTime, TraceRecorder};
+
+/// Identifies an actor within one [`Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActorId(usize);
+
+impl ActorId {
+    /// Creates an id from its index in the simulation's actor list.
+    pub const fn new(index: usize) -> Self {
+        ActorId(index)
+    }
+
+    /// The index in the simulation's actor list.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ActorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "actor{}", self.0)
+    }
+}
+
+/// A simulated entity that reacts to timestamped messages.
+pub trait Actor {
+    /// The message type this actor exchanges.
+    type Msg;
+
+    /// Reacts to one message delivered at `ctx.now()`.
+    fn handle(&mut self, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>);
+}
+
+/// The actor's handle onto the running simulation.
+///
+/// Messages sent through the context are buffered and enqueued after the
+/// handler returns, preserving deterministic FIFO order for same-time events.
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    now: SimTime,
+    self_id: ActorId,
+    outbox: &'a mut Vec<(SimTime, ActorId, M)>,
+    rng: &'a mut DetRng,
+    trace: &'a mut TraceRecorder,
+    stop: &'a mut bool,
+}
+
+impl<M> Context<'_, M> {
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the actor currently handling a message.
+    pub fn self_id(&self) -> ActorId {
+        self.self_id
+    }
+
+    /// Sends `msg` to `to`, arriving `delay` after now.
+    pub fn send(&mut self, to: ActorId, delay: SimDur, msg: M) {
+        self.outbox.push((self.now + delay, to, msg));
+    }
+
+    /// Sends `msg` to `to`, arriving at the absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn send_at(&mut self, to: ActorId, at: SimTime, msg: M) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.outbox.push((at, to, msg));
+    }
+
+    /// Sends `msg` back to the current actor after `delay`.
+    pub fn send_self(&mut self, delay: SimDur, msg: M) {
+        self.send(self.self_id, delay, msg);
+    }
+
+    /// The simulation-wide deterministic RNG.
+    pub fn rng(&mut self) -> &mut DetRng {
+        self.rng
+    }
+
+    /// Records a trace entry attributed to the current actor.
+    pub fn trace(&mut self, kind: &'static str, detail: String) {
+        self.trace
+            .record(self.now, self.self_id.index(), kind, detail);
+    }
+
+    /// Records a trace entry attributed to another actor (useful when one
+    /// actor simulates hardware belonging to several nodes).
+    pub fn trace_for(&mut self, actor: usize, kind: &'static str, detail: String) {
+        self.trace.record(self.now, actor, kind, detail);
+    }
+
+    /// Whether tracing is enabled (lets callers skip building detail
+    /// strings).
+    pub fn tracing(&self) -> bool {
+        self.trace.is_enabled()
+    }
+
+    /// Requests that the run stop after this handler returns.
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+/// Why a call to one of the run methods returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// No pending events remain.
+    Drained,
+    /// The time limit passed to [`Simulation::run_until`] was reached.
+    ReachedTimeLimit,
+    /// An actor called [`Context::stop`].
+    Stopped,
+    /// The safety event limit was hit (runaway simulation).
+    EventLimitExceeded,
+}
+
+/// Default cap on processed events, guarding against livelocked models.
+pub const DEFAULT_EVENT_LIMIT: u64 = 500_000_000;
+
+/// A deterministic discrete-event simulation over a fixed set of actors.
+pub struct Simulation<A: Actor> {
+    actors: Vec<A>,
+    queue: EventQueue<(ActorId, A::Msg)>,
+    now: SimTime,
+    rng: DetRng,
+    trace: TraceRecorder,
+    outbox: Vec<(SimTime, ActorId, A::Msg)>,
+    events_processed: u64,
+    event_limit: u64,
+    stop_requested: bool,
+}
+
+impl<A: Actor> fmt::Debug for Simulation<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("actors", &self.actors.len())
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}
+
+impl<A: Actor> Simulation<A> {
+    /// Default cap on processed events, guarding against livelocked models.
+    pub const DEFAULT_EVENT_LIMIT: u64 = DEFAULT_EVENT_LIMIT;
+
+    /// Creates a simulation over `actors`, seeding the deterministic RNG.
+    pub fn new(actors: Vec<A>, seed: u64) -> Self {
+        Simulation {
+            actors,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            rng: DetRng::new(seed),
+            trace: TraceRecorder::new(false),
+            outbox: Vec::new(),
+            events_processed: 0,
+            event_limit: Self::DEFAULT_EVENT_LIMIT,
+            stop_requested: false,
+        }
+    }
+
+    /// Turns trace recording on or off.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.trace.set_enabled(enabled);
+    }
+
+    /// The trace collected so far.
+    pub fn trace(&self) -> &TraceRecorder {
+        &self.trace
+    }
+
+    /// Replaces the runaway-protection event limit.
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// Current simulation time (the timestamp of the last processed event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of actors.
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Immutable access to an actor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn actor(&self, id: ActorId) -> &A {
+        &self.actors[id.index()]
+    }
+
+    /// Mutable access to an actor (for setup or post-run inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn actor_mut(&mut self, id: ActorId) -> &mut A {
+        &mut self.actors[id.index()]
+    }
+
+    /// Iterates over all actors.
+    pub fn actors(&self) -> impl Iterator<Item = &A> {
+        self.actors.iter()
+    }
+
+    /// Schedules an external message (typically the initial events).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is out of range or `at` is before the current time.
+    pub fn schedule(&mut self, at: SimTime, to: ActorId, msg: A::Msg) {
+        assert!(to.index() < self.actors.len(), "no such actor: {to}");
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.push(at, (to, msg));
+    }
+
+    /// Processes a single event. Returns `false` when no event was pending.
+    pub fn step(&mut self) -> bool {
+        let Some((time, (target, msg))) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(time >= self.now, "event queue returned stale event");
+        self.now = time;
+        self.events_processed += 1;
+        let mut ctx = Context {
+            now: self.now,
+            self_id: target,
+            outbox: &mut self.outbox,
+            rng: &mut self.rng,
+            trace: &mut self.trace,
+            stop: &mut self.stop_requested,
+        };
+        self.actors[target.index()].handle(msg, &mut ctx);
+        for (at, to, m) in self.outbox.drain(..) {
+            self.queue.push(at, (to, m));
+        }
+        true
+    }
+
+    /// Runs until the queue drains, an actor stops the run, or the event
+    /// limit trips.
+    pub fn run_to_completion(&mut self) -> RunOutcome {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs until `limit` (exclusive): events at `limit` or later stay
+    /// queued.
+    pub fn run_until(&mut self, limit: SimTime) -> RunOutcome {
+        loop {
+            if self.stop_requested {
+                return RunOutcome::Stopped;
+            }
+            if self.events_processed >= self.event_limit {
+                return RunOutcome::EventLimitExceeded;
+            }
+            match self.queue.peek_time() {
+                None => return RunOutcome::Drained,
+                Some(t) if t >= limit => {
+                    self.now = self.now.max(limit);
+                    return RunOutcome::ReachedTimeLimit;
+                }
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+    }
+
+    /// Consumes the simulation, returning its actors for inspection.
+    pub fn into_actors(self) -> Vec<A> {
+        self.actors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An actor that forwards a hop-counted token around a ring.
+    struct Ring {
+        n: usize,
+        received: Vec<SimTime>,
+    }
+
+    #[derive(Debug)]
+    struct Token(u32);
+
+    impl Actor for Ring {
+        type Msg = Token;
+        fn handle(&mut self, Token(hops): Token, ctx: &mut Context<'_, Token>) {
+            self.received.push(ctx.now());
+            if hops > 0 {
+                let next = ActorId::new((ctx.self_id().index() + 1) % self.n);
+                ctx.send(next, SimDur::from_nanos(100), Token(hops - 1));
+            } else {
+                ctx.stop();
+            }
+        }
+    }
+
+    fn ring(n: usize) -> Simulation<Ring> {
+        Simulation::new(
+            (0..n)
+                .map(|_| Ring {
+                    n,
+                    received: Vec::new(),
+                })
+                .collect(),
+            1,
+        )
+    }
+
+    #[test]
+    fn token_ring_timing() {
+        let mut sim = ring(4);
+        sim.schedule(SimTime::ZERO, ActorId::new(0), Token(8));
+        let outcome = sim.run_to_completion();
+        assert_eq!(outcome, RunOutcome::Stopped);
+        // 8 forwards of 100ns each.
+        assert_eq!(sim.now(), SimTime::from_nanos(800));
+        assert_eq!(sim.events_processed(), 9);
+        // Actor 0 saw the token at t=0, 400, 800.
+        assert_eq!(
+            sim.actor(ActorId::new(0)).received,
+            vec![
+                SimTime::ZERO,
+                SimTime::from_nanos(400),
+                SimTime::from_nanos(800)
+            ]
+        );
+    }
+
+    #[test]
+    fn drains_when_no_stop() {
+        let mut sim = ring(2);
+        sim.schedule(SimTime::ZERO, ActorId::new(0), Token(0));
+        // Token(0) stops immediately; schedule nothing else.
+        assert_eq!(sim.run_to_completion(), RunOutcome::Stopped);
+        let mut sim2 = ring(2);
+        assert_eq!(sim2.run_to_completion(), RunOutcome::Drained);
+    }
+
+    #[test]
+    fn run_until_leaves_future_events() {
+        let mut sim = ring(3);
+        sim.schedule(SimTime::ZERO, ActorId::new(0), Token(10));
+        let outcome = sim.run_until(SimTime::from_nanos(250));
+        assert_eq!(outcome, RunOutcome::ReachedTimeLimit);
+        // Events at 0, 100, 200 ran; 300 is pending.
+        assert_eq!(sim.events_processed(), 3);
+        assert_eq!(sim.run_to_completion(), RunOutcome::Stopped);
+    }
+
+    #[test]
+    fn event_limit_trips() {
+        struct Loopy;
+        impl Actor for Loopy {
+            type Msg = ();
+            fn handle(&mut self, _: (), ctx: &mut Context<'_, ()>) {
+                ctx.send_self(SimDur::from_nanos(1), ());
+            }
+        }
+        let mut sim = Simulation::new(vec![Loopy], 0);
+        sim.set_event_limit(1000);
+        sim.schedule(SimTime::ZERO, ActorId::new(0), ());
+        assert_eq!(sim.run_to_completion(), RunOutcome::EventLimitExceeded);
+        assert_eq!(sim.events_processed(), 1000);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = || {
+            let mut sim = ring(5);
+            sim.set_tracing(true);
+            sim.schedule(SimTime::ZERO, ActorId::new(0), Token(20));
+            sim.run_to_completion();
+            (sim.now(), sim.events_processed())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn trace_records_via_context() {
+        struct Tracer;
+        impl Actor for Tracer {
+            type Msg = ();
+            fn handle(&mut self, _: (), ctx: &mut Context<'_, ()>) {
+                assert!(ctx.tracing());
+                ctx.trace("tick", format!("at {}", ctx.now()));
+            }
+        }
+        let mut sim = Simulation::new(vec![Tracer], 0);
+        sim.set_tracing(true);
+        sim.schedule(SimTime::from_nanos(7), ActorId::new(0), ());
+        sim.run_to_completion();
+        assert_eq!(sim.trace().count_of("tick"), 1);
+        assert_eq!(
+            sim.trace().first_time_of("tick"),
+            Some(SimTime::from_nanos(7))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = ring(2);
+        sim.schedule(SimTime::ZERO, ActorId::new(0), Token(2));
+        sim.run_to_completion();
+        sim.schedule(SimTime::ZERO, ActorId::new(0), Token(0));
+    }
+
+    #[test]
+    fn into_actors_returns_state() {
+        let mut sim = ring(2);
+        sim.schedule(SimTime::ZERO, ActorId::new(0), Token(1));
+        sim.run_to_completion();
+        let actors = sim.into_actors();
+        assert_eq!(actors.len(), 2);
+        assert_eq!(actors[1].received.len(), 1);
+    }
+}

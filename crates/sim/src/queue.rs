@@ -1,0 +1,204 @@
+//! Deterministic pending-event queue.
+//!
+//! [`EventQueue`] is a priority queue ordered by event time. Events scheduled
+//! for the same instant pop in the order they were pushed (FIFO), which makes
+//! every simulation run bit-for-bit reproducible regardless of heap layout.
+//!
+//! ```
+//! use sesame_sim::{EventQueue, SimTime};
+//!
+//! let mut q = EventQueue::new();
+//! q.push(SimTime::from_nanos(20), "late");
+//! q.push(SimTime::from_nanos(10), "early");
+//! q.push(SimTime::from_nanos(10), "early-second");
+//! assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "early")));
+//! assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "early-second")));
+//! assert_eq!(q.pop(), Some((SimTime::from_nanos(20), "late")));
+//! assert_eq!(q.pop(), None);
+//! ```
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// A pending event: its due time, a monotone tie-break sequence number, and
+/// the caller's payload.
+#[derive(Debug)]
+struct Pending<T> {
+    time: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Pending<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Pending<T> {}
+
+impl<T> PartialOrd for Pending<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Pending<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-priority queue of timestamped events.
+///
+/// Same-time events are delivered in push order; the module documentation
+/// shows an example.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Pending<T>>,
+    next_seq: u64,
+    pushed: u64,
+    popped: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            pushed: 0,
+            popped: 0,
+        }
+    }
+
+    /// Schedules `payload` for `time`.
+    pub fn push(&mut self, time: SimTime, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pushed += 1;
+        self.heap.push(Pending { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        let p = self.heap.pop()?;
+        self.popped += 1;
+        Some((p.time, p.payload))
+    }
+
+    /// The due time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|p| p.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever pushed.
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Total number of events ever popped.
+    pub fn total_popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), 3);
+        q.push(t(10), 1);
+        q.push(t(20), 2);
+        assert_eq!(q.pop(), Some((t(10), 1)));
+        assert_eq!(q.pop(), Some((t(20), 2)));
+        assert_eq!(q.pop(), Some((t(30), 3)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_fifo_within_time() {
+        let mut q = EventQueue::new();
+        q.push(t(5), "a");
+        q.push(t(5), "b");
+        assert_eq!(q.pop(), Some((t(5), "a")));
+        q.push(t(5), "c");
+        assert_eq!(q.pop(), Some((t(5), "b")));
+        assert_eq!(q.pop(), Some((t(5), "c")));
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(t(9), ());
+        q.push(t(4), ());
+        assert_eq!(q.peek_time(), Some(t(4)));
+    }
+
+    #[test]
+    fn counters_track_throughput() {
+        let mut q = EventQueue::new();
+        q.push(t(1), ());
+        q.push(t(2), ());
+        let _ = q.pop();
+        assert_eq!(q.total_pushed(), 2);
+        assert_eq!(q.total_popped(), 1);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.push(t(1), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -1,0 +1,217 @@
+//! Deterministic pseudo-random numbers for reproducible simulation runs.
+//!
+//! The kernel carries its own tiny generator instead of depending on an
+//! external crate so that a given seed produces the same run forever. The
+//! algorithm is SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): a 64-bit
+//! counter-based mixer with full period and excellent statistical quality for
+//! simulation purposes.
+//!
+//! ```
+//! use sesame_sim::DetRng;
+//!
+//! let mut a = DetRng::new(7);
+//! let mut b = DetRng::new(7);
+//! assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+//! ```
+
+/// A deterministic SplitMix64 pseudo-random number generator.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl Default for DetRng {
+    fn default() -> Self {
+        DetRng::new(0x5e5a_4d2e_9e37_79b9)
+    }
+}
+
+impl DetRng {
+    /// Creates a generator with the given seed. Equal seeds yield equal
+    /// streams.
+    pub const fn new(seed: u64) -> Self {
+        DetRng { state: seed }
+    }
+
+    /// Derives an independent child generator; used to give each simulated
+    /// node its own stream so adding a node never perturbs the others.
+    pub fn split(&mut self, salt: u64) -> DetRng {
+        let s = self.next_u64() ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        DetRng::new(s)
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 explicit mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform integer in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method, which is unbiased.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= (bound.wrapping_neg() % bound) {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// A uniform integer in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn next_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        if lo == 0 && hi == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// An exponentially distributed float with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is negative or not finite.
+    pub fn next_exp(&mut self, mean: f64) -> f64 {
+        assert!(
+            mean.is_finite() && mean >= 0.0,
+            "mean must be finite and non-negative"
+        );
+        // 1 - f64 in [0,1) is in (0,1]; ln of it is finite.
+        -mean * (1.0 - self.next_f64()).ln()
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(123);
+        let mut b = DetRng::new(123);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = DetRng::new(9);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_is_in_range_and_covers() {
+        let mut r = DetRng::new(5);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let v = r.next_below(7);
+            assert!(v < 7);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn next_range_inclusive_bounds() {
+        let mut r = DetRng::new(6);
+        let mut hit_lo = false;
+        let mut hit_hi = false;
+        for _ in 0..2_000 {
+            let v = r.next_range(3, 5);
+            assert!((3..=5).contains(&v));
+            hit_lo |= v == 3;
+            hit_hi |= v == 5;
+        }
+        assert!(hit_lo && hit_hi);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::new(8);
+        assert!(!(0..100).any(|_| r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+
+    #[test]
+    fn exp_mean_roughly_right() {
+        let mut r = DetRng::new(10);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.next_exp(5.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 5.0).abs() < 0.25, "sample mean {mean} too far from 5");
+    }
+
+    #[test]
+    fn split_streams_are_independent_and_deterministic() {
+        let mut parent1 = DetRng::new(42);
+        let mut parent2 = DetRng::new(42);
+        let mut c1 = parent1.split(1);
+        let mut c2 = parent2.split(1);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        let mut d1 = parent1.split(2);
+        assert_ne!(c1.next_u64(), d1.next_u64());
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = DetRng::new(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        let mut r = DetRng::new(1);
+        let _ = r.next_below(0);
+    }
+}

@@ -1,0 +1,496 @@
+//! Measurement collectors used by the simulator and the experiment harness.
+//!
+//! * [`Counter`] — a monotone event counter.
+//! * [`MeanVar`] — streaming mean/variance (Welford's algorithm).
+//! * [`Histogram`] — log₂-bucketed latency histogram with quantile queries.
+//! * [`TimeWeighted`] — time-weighted average of a piecewise-constant signal
+//!   (e.g. queue depth or "busy" state), the basis of processor-efficiency
+//!   numbers reported in the paper's figures.
+//! * [`Series`] — an (x, y) series for figure reproduction.
+
+use std::fmt;
+
+use crate::{SimDur, SimTime};
+
+/// A monotone event counter.
+///
+/// ```
+/// use sesame_sim::Counter;
+///
+/// let mut c = Counter::new();
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.value(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Streaming mean and variance via Welford's algorithm.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MeanVar {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl MeanVar {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        MeanVar {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance, or 0 when fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &MeanVar) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.n as f64 / n;
+        self.m2 += other.m2 + delta * delta * self.n as f64 * other.n as f64 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A log₂-bucketed histogram of durations with approximate quantiles.
+///
+/// Bucket `i` holds samples in `[2^i, 2^(i+1))` nanoseconds (bucket 0 also
+/// holds zero). Quantile answers are exact to within a factor of two, which
+/// is plenty for latency distribution reporting.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum_ns: u128,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        if ns == 0 {
+            0
+        } else {
+            63 - ns.leading_zeros() as usize
+        }
+    }
+
+    /// Records one duration sample.
+    pub fn record(&mut self, d: SimDur) {
+        let ns = d.as_nanos();
+        self.buckets[Self::bucket_of(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples, or zero when empty.
+    pub fn mean(&self) -> SimDur {
+        if self.count == 0 {
+            SimDur::ZERO
+        } else {
+            SimDur::from_nanos((self.sum_ns / self.count as u128) as u64)
+        }
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> SimDur {
+        SimDur::from_nanos(self.max_ns)
+    }
+
+    /// Approximate `q`-quantile (`0.0..=1.0`): the lower bound of the bucket
+    /// containing the q-th sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> SimDur {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return SimDur::ZERO;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                let lo = if i == 0 { 0 } else { 1u64 << i };
+                return SimDur::from_nanos(lo);
+            }
+        }
+        SimDur::from_nanos(self.max_ns)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal.
+///
+/// Used for processor busy fraction (efficiency) and queue depths: call
+/// [`TimeWeighted::set`] whenever the signal changes and
+/// [`TimeWeighted::average`] at the end of the run.
+#[derive(Debug, Clone, Copy)]
+pub struct TimeWeighted {
+    value: f64,
+    last_change: SimTime,
+    weighted_sum: f64,
+    start: SimTime,
+}
+
+impl Default for TimeWeighted {
+    fn default() -> Self {
+        Self::new(SimTime::ZERO, 0.0)
+    }
+}
+
+impl TimeWeighted {
+    /// Creates a collector whose signal is `initial` from `start` onwards.
+    pub fn new(start: SimTime, initial: f64) -> Self {
+        TimeWeighted {
+            value: initial,
+            last_change: start,
+            weighted_sum: 0.0,
+            start,
+        }
+    }
+
+    /// Sets the signal to `value` at time `now`.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        debug_assert!(now >= self.last_change, "time went backwards");
+        let dt = now.saturating_since(self.last_change).as_nanos() as f64;
+        self.weighted_sum += self.value * dt;
+        self.value = value;
+        self.last_change = now;
+    }
+
+    /// Current signal value.
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+
+    /// Time-weighted average over `[start, now]`. Returns the current value
+    /// when no time has elapsed.
+    pub fn average(&self, now: SimTime) -> f64 {
+        let dt_tail = now.saturating_since(self.last_change).as_nanos() as f64;
+        let total = now.saturating_since(self.start).as_nanos() as f64;
+        if total == 0.0 {
+            return self.value;
+        }
+        (self.weighted_sum + self.value * dt_tail) / total
+    }
+}
+
+/// One point of a reproduced figure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// X coordinate (e.g. number of CPUs).
+    pub x: f64,
+    /// Y coordinate (e.g. speedup or network power).
+    pub y: f64,
+}
+
+/// A named (x, y) series, one line of a reproduced figure.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// The points in x order.
+    pub points: Vec<Point>,
+}
+
+impl Series {
+    /// Creates an empty series with the given legend label.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push(Point { x, y });
+    }
+
+    /// The y value at the given x, if present.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| (p.x - x).abs() < 1e-9)
+            .map(|p| p.y)
+    }
+
+    /// The maximum y value, or `None` when empty.
+    pub fn y_max(&self) -> Option<f64> {
+        self.points.iter().map(|p| p.y).fold(None, |acc, y| {
+            Some(acc.map_or(y, |a: f64| a.max(y)))
+        })
+    }
+
+    /// Renders the series as CSV rows `x,y` with a `# label` header line.
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("# {}\nx,y\n", self.label);
+        for p in &self.points {
+            out.push_str(&format!("{},{}\n", p.x, p.y));
+        }
+        out
+    }
+
+    /// Renders the series as aligned `x y` rows, one per line.
+    pub fn to_table(&self) -> String {
+        let mut out = format!("# {}\n", self.label);
+        for p in &self.points {
+            out.push_str(&format!("{:>10.2} {:>12.4}\n", p.x, p.y));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.value(), 10);
+        assert_eq!(c.to_string(), "10");
+    }
+
+    #[test]
+    fn meanvar_matches_closed_form() {
+        let mut m = MeanVar::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            m.record(x);
+        }
+        assert!((m.mean() - 5.0).abs() < 1e-12);
+        assert!((m.variance() - 4.0).abs() < 1e-12);
+        assert!((m.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(m.min(), Some(2.0));
+        assert_eq!(m.max(), Some(9.0));
+        assert_eq!(m.count(), 8);
+    }
+
+    #[test]
+    fn meanvar_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = MeanVar::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = MeanVar::new();
+        let mut b = MeanVar::new();
+        for &x in &xs[..37] {
+            a.record(x);
+        }
+        for &x in &xs[37..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn meanvar_empty_is_zero() {
+        let m = MeanVar::new();
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.variance(), 0.0);
+        assert_eq!(m.min(), None);
+    }
+
+    #[test]
+    fn histogram_mean_and_max() {
+        let mut h = Histogram::new();
+        h.record(SimDur::from_nanos(100));
+        h.record(SimDur::from_nanos(300));
+        assert_eq!(h.mean(), SimDur::from_nanos(200));
+        assert_eq!(h.max(), SimDur::from_nanos(300));
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(SimDur::from_nanos(i));
+        }
+        let p50 = h.quantile(0.5).as_nanos();
+        // The true median is 500; bucketed answer must be within 2x below.
+        assert!((250..=512).contains(&p50), "p50 was {p50}");
+        let p100 = h.quantile(1.0).as_nanos();
+        assert!((512..=1000).contains(&p100));
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(SimDur::from_nanos(5));
+        b.record(SimDur::from_nanos(500));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), SimDur::from_nanos(500));
+    }
+
+    #[test]
+    fn time_weighted_average_of_square_wave() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 1.0);
+        tw.set(SimTime::from_nanos(10), 0.0); // busy 10ns
+        tw.set(SimTime::from_nanos(30), 1.0); // idle 20ns
+        // busy again until t=40: 10 + 10 busy of 40 total
+        let avg = tw.average(SimTime::from_nanos(40));
+        assert!((avg - 0.5).abs() < 1e-12, "avg={avg}");
+    }
+
+    #[test]
+    fn time_weighted_zero_span_returns_current() {
+        let tw = TimeWeighted::new(SimTime::ZERO, 0.7);
+        assert_eq!(tw.average(SimTime::ZERO), 0.7);
+    }
+
+    #[test]
+    fn series_csv_round_trips_values() {
+        let mut s = Series::new("opt");
+        s.push(2.0, 1.68);
+        s.push(128.0, 1.15);
+        let csv = s.to_csv();
+        assert!(csv.starts_with("# opt\nx,y\n"));
+        assert!(csv.contains("2,1.68\n"));
+        assert!(csv.contains("128,1.15\n"));
+        assert_eq!(csv.lines().count(), 4);
+    }
+
+    #[test]
+    fn series_lookup_and_table() {
+        let mut s = Series::new("gwc");
+        s.push(2.0, 1.53);
+        s.push(128.0, 1.03);
+        assert_eq!(s.y_at(2.0), Some(1.53));
+        assert_eq!(s.y_at(3.0), None);
+        assert_eq!(s.y_max(), Some(1.53));
+        let table = s.to_table();
+        assert!(table.contains("# gwc"));
+        assert!(table.contains("1.5300"));
+    }
+}

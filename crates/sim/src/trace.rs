@@ -1,0 +1,183 @@
+//! Event tracing and timeline extraction.
+//!
+//! A [`TraceRecorder`] captures `(time, actor, kind, detail)` records while a
+//! simulation runs. Tracing is how the reproduction renders the paper's
+//! Figure 1 and Figure 7 timing diagrams: workloads record protocol actions
+//! ("lock-request", "rollback", …) and the harness prints them as a per-CPU
+//! timeline.
+//!
+//! Recording is disabled by default and costs a single branch when off.
+
+use std::fmt;
+
+use crate::SimTime;
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// When the event happened.
+    pub time: SimTime,
+    /// Which actor (node) it happened on.
+    pub actor: usize,
+    /// A short machine-readable kind, e.g. `"lock-grant"`.
+    pub kind: &'static str,
+    /// Free-form human-readable detail.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>12} node{:<3} {:<24} {}",
+            format!("{}", self.time),
+            self.actor,
+            self.kind,
+            self.detail
+        )
+    }
+}
+
+/// Collects [`TraceEntry`] records during a run.
+#[derive(Debug, Default, Clone)]
+pub struct TraceRecorder {
+    enabled: bool,
+    entries: Vec<TraceEntry>,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder; pass `enabled = false` for zero-overhead runs.
+    pub fn new(enabled: bool) -> Self {
+        TraceRecorder {
+            enabled,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Whether records are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Turns recording on or off mid-run.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Appends a record if recording is enabled.
+    pub fn record(&mut self, time: SimTime, actor: usize, kind: &'static str, detail: String) {
+        if self.enabled {
+            self.entries.push(TraceEntry {
+                time,
+                actor,
+                kind,
+                detail,
+            });
+        }
+    }
+
+    /// All records, in the order they were made (which is time order, since
+    /// the simulator's clock never goes backwards).
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Records whose kind equals `kind`.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TraceEntry> {
+        self.entries.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Records made on the given actor.
+    pub fn for_actor(&self, actor: usize) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter().filter(move |e| e.actor == actor)
+    }
+
+    /// The time of the first record with the given kind, if any.
+    pub fn first_time_of(&self, kind: &str) -> Option<SimTime> {
+        self.of_kind(kind).next().map(|e| e.time)
+    }
+
+    /// The time of the last record with the given kind, if any.
+    pub fn last_time_of(&self, kind: &str) -> Option<SimTime> {
+        self.of_kind(kind).last().map(|e| e.time)
+    }
+
+    /// Number of records with the given kind.
+    pub fn count_of(&self, kind: &str) -> usize {
+        self.of_kind(kind).count()
+    }
+
+    /// Renders every record, one per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Drops all records.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn disabled_recorder_keeps_nothing() {
+        let mut tr = TraceRecorder::new(false);
+        tr.record(t(1), 0, "x", String::new());
+        assert!(tr.entries().is_empty());
+        assert!(!tr.is_enabled());
+    }
+
+    #[test]
+    fn enabled_recorder_keeps_everything() {
+        let mut tr = TraceRecorder::new(true);
+        tr.record(t(1), 0, "lock-request", "lock 7".into());
+        tr.record(t(5), 2, "lock-grant", "lock 7".into());
+        assert_eq!(tr.entries().len(), 2);
+        assert_eq!(tr.count_of("lock-grant"), 1);
+        assert_eq!(tr.first_time_of("lock-grant"), Some(t(5)));
+    }
+
+    #[test]
+    fn filters_by_actor_and_kind() {
+        let mut tr = TraceRecorder::new(true);
+        tr.record(t(1), 0, "a", String::new());
+        tr.record(t(2), 1, "a", String::new());
+        tr.record(t(3), 0, "b", String::new());
+        assert_eq!(tr.for_actor(0).count(), 2);
+        assert_eq!(tr.of_kind("a").count(), 2);
+        assert_eq!(tr.last_time_of("a"), Some(t(2)));
+        assert_eq!(tr.first_time_of("missing"), None);
+    }
+
+    #[test]
+    fn render_contains_all_fields() {
+        let mut tr = TraceRecorder::new(true);
+        tr.record(t(1500), 3, "rollback", "lock 9".into());
+        let s = tr.render();
+        assert!(s.contains("node3"));
+        assert!(s.contains("rollback"));
+        assert!(s.contains("lock 9"));
+    }
+
+    #[test]
+    fn toggle_and_clear() {
+        let mut tr = TraceRecorder::new(false);
+        tr.set_enabled(true);
+        tr.record(t(1), 0, "x", String::new());
+        assert_eq!(tr.entries().len(), 1);
+        tr.clear();
+        assert!(tr.entries().is_empty());
+    }
+}

@@ -1,0 +1,202 @@
+//! Property tests of the simulation kernel against reference models:
+//! the event queue versus a sorted stable list, statistics collectors
+//! versus brute-force computation, and engine determinism over random
+//! actor graphs.
+
+use proptest::prelude::*;
+use sesame_sim::{
+    Actor, ActorId, Context, DetRng, EventQueue, Histogram, MeanVar, SimDur, SimTime, Simulation,
+    TimeWeighted,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The event queue pops exactly what a stable sort of (time, insertion
+    /// index) would produce.
+    #[test]
+    fn event_queue_matches_stable_sort(times in proptest::collection::vec(0u64..100, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), i);
+        }
+        let mut reference: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        reference.sort_by_key(|&(t, _)| t); // stable: insertion order ties
+        let mut popped = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t.as_nanos(), i));
+        }
+        prop_assert_eq!(popped, reference);
+    }
+
+    /// Interleaved push/pop never violates the (time, FIFO) order among
+    /// the elements present in the queue at pop time.
+    #[test]
+    fn event_queue_interleaved_pops_are_monotone_per_batch(
+        ops in proptest::collection::vec((0u64..50, proptest::bool::ANY), 1..100)
+    ) {
+        let mut q = EventQueue::new();
+        let mut seq = 0usize;
+        let mut last_popped: Option<(u64, usize)> = None;
+        let mut max_time_popped = 0u64;
+        for (t, is_push) in ops {
+            if is_push {
+                // Pushing into the past relative to popped events is the
+                // caller's responsibility; emulate a monotone clock.
+                let t = t.max(max_time_popped);
+                q.push(SimTime::from_nanos(t), seq);
+                seq += 1;
+            } else if let Some((t, i)) = q.pop() {
+                let t = t.as_nanos();
+                if let Some((lt, li)) = last_popped {
+                    prop_assert!(t > lt || (t == lt && i > li),
+                        "pop order violated: ({lt},{li}) then ({t},{i})");
+                }
+                last_popped = Some((t, i));
+                max_time_popped = t;
+            }
+        }
+    }
+
+    /// DetRng range helpers always stay in bounds.
+    #[test]
+    fn rng_bounds_hold(seed: u64, lo in 0u64..1000, span in 1u64..1000) {
+        let mut r = DetRng::new(seed);
+        let hi = lo + span;
+        for _ in 0..100 {
+            let v = r.next_range(lo, hi);
+            prop_assert!((lo..=hi).contains(&v));
+            let b = r.next_below(span);
+            prop_assert!(b < span);
+            let f = r.next_f64();
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    /// MeanVar equals the brute-force mean and variance.
+    #[test]
+    fn meanvar_matches_bruteforce(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut m = MeanVar::new();
+        for &x in &xs {
+            m.record(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let scale = 1.0 + mean.abs() + var.abs();
+        prop_assert!((m.mean() - mean).abs() / scale < 1e-9);
+        prop_assert!((m.variance() - var).abs() / (1.0 + var) < 1e-6);
+    }
+
+    /// Merged MeanVar accumulators equal one sequential accumulator.
+    #[test]
+    fn meanvar_merge_is_associative(
+        xs in proptest::collection::vec(-1e3f64..1e3, 1..100),
+        split in 0usize..100,
+    ) {
+        let k = split % xs.len();
+        let mut whole = MeanVar::new();
+        for &x in &xs { whole.record(x); }
+        let mut a = MeanVar::new();
+        let mut b = MeanVar::new();
+        for &x in &xs[..k] { a.record(x); }
+        for &x in &xs[k..] { b.record(x); }
+        a.merge(&b);
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-6);
+        prop_assert_eq!(a.count(), whole.count());
+    }
+
+    /// Histogram quantiles bracket the true quantile within its power-of-
+    /// two bucket.
+    #[test]
+    fn histogram_quantile_brackets_truth(
+        samples in proptest::collection::vec(1u64..1_000_000, 1..300),
+        q in 0.01f64..1.0,
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(SimDur::from_nanos(s));
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+        let truth = sorted[idx];
+        let est = h.quantile(q).as_nanos();
+        // The estimate is the lower bound of the truth's bucket.
+        prop_assert!(est <= truth, "estimate {est} above truth {truth}");
+        prop_assert!(est * 2 > truth || est == 0 || truth <= 1,
+            "estimate {est} more than 2x below truth {truth}");
+    }
+
+    /// TimeWeighted equals brute-force integration of the step signal.
+    #[test]
+    fn time_weighted_matches_integration(
+        steps in proptest::collection::vec((1u64..1000, 0.0f64..10.0), 1..50)
+    ) {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        let mut t = 0u64;
+        let mut integral = 0.0;
+        let mut level = 0.0;
+        for &(dt, v) in &steps {
+            integral += level * dt as f64;
+            t += dt;
+            tw.set(SimTime::from_nanos(t), v);
+            level = v;
+        }
+        // Advance one more tick so the last level contributes.
+        let end = t + 100;
+        integral += level * 100.0;
+        let expect = integral / end as f64;
+        let got = tw.average(SimTime::from_nanos(end));
+        prop_assert!((got - expect).abs() < 1e-9, "{got} vs {expect}");
+    }
+
+    /// A random relay network is deterministic: same seed, same event
+    /// count and end time.
+    #[test]
+    fn engine_is_deterministic_over_random_relays(
+        edges in proptest::collection::vec((0usize..6, 0usize..6, 1u64..500), 1..20),
+        seed: u64,
+    ) {
+        struct Relay {
+            edges: Vec<(usize, usize, u64)>,
+            fired: u32,
+        }
+        impl Actor for Relay {
+            type Msg = u32;
+            fn handle(&mut self, hops: u32, ctx: &mut Context<'_, u32>) {
+                self.fired += 1;
+                if hops == 0 {
+                    return;
+                }
+                let me = ctx.self_id().index();
+                // Forward along every outgoing edge, delay jittered by the
+                // deterministic RNG.
+                let outgoing: Vec<(usize, u64)> = self
+                    .edges
+                    .iter()
+                    .filter(|&&(s, _, _)| s == me)
+                    .map(|&(_, d, w)| (d, w))
+                    .collect();
+                for (dst, w) in outgoing {
+                    let jitter = ctx.rng().next_below(w);
+                    ctx.send(ActorId::new(dst), SimDur::from_nanos(w + jitter), hops - 1);
+                }
+            }
+        }
+        let run = || {
+            let actors: Vec<Relay> = (0..6)
+                .map(|_| Relay { edges: edges.clone(), fired: 0 })
+                .collect();
+            let mut sim = Simulation::new(actors, seed);
+            sim.set_event_limit(50_000);
+            sim.schedule(SimTime::ZERO, ActorId::new(0), 4);
+            let outcome = sim.run_to_completion();
+            let fired: Vec<u32> = sim.actors().map(|a| a.fired).collect();
+            (sim.now(), sim.events_processed(), fired, outcome)
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

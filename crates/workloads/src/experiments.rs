@@ -1,0 +1,209 @@
+//! Experiment drivers that regenerate every figure of the paper.
+//!
+//! Each `figure*` function sweeps the paper's parameter range and returns
+//! labelled [`Series`] ready for printing; the `repro-*` binaries in
+//! `sesame-bench` call these and print the tables recorded in
+//! EXPERIMENTS.md.
+
+use sesame_core::builder::ModelChoice;
+use sesame_net::LinkTiming;
+use sesame_sim::Series;
+
+use crate::pipeline::{run_pipeline, MutexMethod, PipelineConfig};
+use crate::task_queue::{run_task_queue, TaskQueueConfig};
+use crate::three_cpu::{run_figure1_all, Figure1Config, Figure1Run};
+
+/// The network sizes of Figure 2: powers of two plus one, "to eliminate
+/// load balancing effects" (one producer + 2^k consumers).
+pub fn figure2_sizes() -> Vec<usize> {
+    vec![3, 5, 9, 17, 33, 65, 129]
+}
+
+/// The network sizes of Figure 8: 2 to 128 processors.
+pub fn figure8_sizes() -> Vec<usize> {
+    vec![2, 4, 8, 16, 32, 64, 128]
+}
+
+/// The three series of Figure 2.
+#[derive(Debug, Clone)]
+pub struct Figure2Data {
+    /// Maximum speedup with zero network delays (the top line).
+    pub ideal: Series,
+    /// Sesame GWC with eagersharing.
+    pub gwc: Series,
+    /// Entry consistency.
+    pub entry: Series,
+}
+
+/// Runs the Figure 2 sweep over `sizes`.
+pub fn figure2(cfg: TaskQueueConfig, sizes: &[usize]) -> Figure2Data {
+    let mut ideal = Series::new("ideal (zero network delay)");
+    let mut gwc = Series::new("Sesame GWC eagersharing");
+    let mut entry = Series::new("entry consistency");
+    for &n in sizes {
+        let zero_cfg = TaskQueueConfig {
+            timing: LinkTiming::zero_delay(),
+            ..cfg
+        };
+        ideal.push(
+            n as f64,
+            run_task_queue(n, ModelChoice::Gwc, zero_cfg).speedup,
+        );
+        gwc.push(n as f64, run_task_queue(n, ModelChoice::Gwc, cfg).speedup);
+        entry.push(
+            n as f64,
+            run_task_queue(n, ModelChoice::Entry, cfg).speedup,
+        );
+    }
+    Figure2Data { ideal, gwc, entry }
+}
+
+/// The four series of Figure 8.
+#[derive(Debug, Clone)]
+pub struct Figure8Data {
+    /// The zero-delay bound (≈ 1.89).
+    pub ideal: Series,
+    /// Optimistic mutual exclusion under GWC.
+    pub optimistic: Series,
+    /// Non-optimistic GWC queue locks.
+    pub regular: Series,
+    /// Entry consistency.
+    pub entry: Series,
+}
+
+impl Figure8Data {
+    /// The paper's §4.1 headline ratios, measured at the leftmost network
+    /// size: optimistic over non-optimistic GWC, and optimistic / regular
+    /// over entry consistency.
+    pub fn headline_ratios(&self) -> HeadlineRatios {
+        let x = self.optimistic.points[0].x;
+        let opt = self.optimistic.y_at(x).unwrap_or(f64::NAN);
+        let reg = self.regular.y_at(x).unwrap_or(f64::NAN);
+        let ent = self.entry.y_at(x).unwrap_or(f64::NAN);
+        HeadlineRatios {
+            nodes: x as usize,
+            optimistic_over_regular: opt / reg,
+            optimistic_over_entry: opt / ent,
+            regular_over_entry: reg / ent,
+        }
+    }
+}
+
+/// The §4.1 speedup ratios (paper: ≈1.1, ≈2.1, and ≈1.9 respectively at 2
+/// CPUs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeadlineRatios {
+    /// Network size the ratios are taken at.
+    pub nodes: usize,
+    /// Optimistic over non-optimistic GWC.
+    pub optimistic_over_regular: f64,
+    /// Optimistic GWC over entry consistency.
+    pub optimistic_over_entry: f64,
+    /// Non-optimistic GWC over entry consistency.
+    pub regular_over_entry: f64,
+}
+
+/// Runs the Figure 8 sweep over `sizes`.
+pub fn figure8(cfg: PipelineConfig, sizes: &[usize]) -> Figure8Data {
+    let mut ideal = Series::new("no network delay bound");
+    let mut optimistic = Series::new("optimistic GWC");
+    let mut regular = Series::new("non-optimistic GWC");
+    let mut entry = Series::new("entry consistency");
+    for &n in sizes {
+        let zero_cfg = PipelineConfig {
+            timing: LinkTiming::zero_delay(),
+            ..cfg
+        };
+        ideal.push(
+            n as f64,
+            run_pipeline(n, MutexMethod::RegularGwc, zero_cfg).power,
+        );
+        optimistic.push(
+            n as f64,
+            run_pipeline(n, MutexMethod::OptimisticGwc, cfg).power,
+        );
+        regular.push(n as f64, run_pipeline(n, MutexMethod::RegularGwc, cfg).power);
+        entry.push(n as f64, run_pipeline(n, MutexMethod::Entry, cfg).power);
+    }
+    Figure8Data {
+        ideal,
+        optimistic,
+        regular,
+        entry,
+    }
+}
+
+/// Runs the Figure 1 scenario under all models and renders the comparison
+/// table (completion and per-CPU lock waits).
+pub fn figure1(cfg: Figure1Config) -> (Vec<Figure1Run>, String) {
+    let runs = run_figure1_all(cfg);
+    let mut table = String::from(
+        "model      completion   wait(cpu0)   wait(cpu2)   wait(cpu1=root)\n",
+    );
+    for r in &runs {
+        table.push_str(&format!(
+            "{:<10} {:>12} {:>12} {:>12} {:>12}\n",
+            r.model,
+            r.completion.to_string(),
+            r.lock_waits[0].to_string(),
+            r.lock_waits[1].to_string(),
+            r.lock_waits[2].to_string(),
+        ));
+    }
+    (runs, table)
+}
+
+/// Renders a figure's series as an aligned text table, one block per line.
+pub fn render_series(series: &[&Series]) -> String {
+    let mut out = String::new();
+    for s in series {
+        out.push_str(&s.to_table());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sweep_sizes_are_as_published() {
+        assert_eq!(figure2_sizes(), vec![3, 5, 9, 17, 33, 65, 129]);
+        assert!(figure2_sizes().iter().all(|&n| (n - 1).is_power_of_two()));
+        assert_eq!(figure8_sizes(), vec![2, 4, 8, 16, 32, 64, 128]);
+        assert!(figure8_sizes().iter().all(|&n| n.is_power_of_two()));
+    }
+
+    #[test]
+    fn headline_ratios_divide_the_leftmost_points() {
+        let mut d = Figure8Data {
+            ideal: Series::new("ideal"),
+            optimistic: Series::new("opt"),
+            regular: Series::new("reg"),
+            entry: Series::new("ent"),
+        };
+        d.optimistic.push(2.0, 1.68);
+        d.regular.push(2.0, 1.53);
+        d.entry.push(2.0, 0.81);
+        let r = d.headline_ratios();
+        assert_eq!(r.nodes, 2);
+        assert!((r.optimistic_over_regular - 1.68 / 1.53).abs() < 1e-12);
+        assert!((r.optimistic_over_entry - 1.68 / 0.81).abs() < 1e-12);
+        assert!((r.regular_over_entry - 1.53 / 0.81).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_series_concatenates_tables() {
+        let mut a = Series::new("first");
+        a.push(1.0, 2.0);
+        let mut b = Series::new("second");
+        b.push(3.0, 4.0);
+        let out = render_series(&[&a, &b]);
+        assert!(out.contains("# first"));
+        assert!(out.contains("# second"));
+        let first_pos = out.find("# first").unwrap();
+        let second_pos = out.find("# second").unwrap();
+        assert!(first_pos < second_pos);
+    }
+}

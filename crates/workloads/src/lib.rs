@@ -1,0 +1,25 @@
+//! # sesame-workloads — the paper's evaluation workloads
+//!
+//! Drivers reproducing every figure of *Hermannsson & Wittie (ICDCS
+//! 1994)*:
+//!
+//! * [`three_cpu`] — Figure 1, three successive mutex accesses compared
+//!   across GWC, entry, and weak/release consistency, cross-checked
+//!   against closed forms;
+//! * [`task_queue`] — Figure 2, task management through a lock-protected
+//!   shared queue (one producer, `N−1` consumers);
+//! * [`pipeline`] — Figure 8, the linear pipeline comparing optimistic
+//!   GWC, non-optimistic GWC, and entry consistency;
+//! * [`contention`] — rollback / contention sweeps (the Figure 7 regime at
+//!   scale) used by the ablation benches;
+//! * [`experiments`] — sweep runners that produce the figures' series.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod contention;
+pub mod experiments;
+pub mod pipeline;
+pub mod task_queue;
+pub mod three_cpu;
+pub mod timeline;

@@ -1,0 +1,126 @@
+//! ASCII timeline rendering — the reproduction's version of the paper's
+//! Figure 1 timing diagrams.
+//!
+//! Each CPU gets one row: `.` idle, `w` waiting for the lock, `#`
+//! executing the critical section. The scale line shows microseconds from
+//! the measured-window start.
+
+use sesame_sim::SimTime;
+
+use crate::three_cpu::Figure1Run;
+
+/// Renders one Figure 1 run as a per-CPU timeline of width `cols`.
+///
+/// # Panics
+///
+/// Panics if `cols` is zero.
+pub fn render_figure1_timeline(run: &Figure1Run, cols: usize) -> String {
+    assert!(cols > 0, "need at least one column");
+    let t0 = run
+        .marks
+        .iter()
+        .map(|&(_, _, t)| t)
+        .min()
+        .unwrap_or(SimTime::ZERO);
+    let t1 = run
+        .marks
+        .iter()
+        .map(|&(_, _, t)| t)
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    let span = (t1 - t0).as_nanos().max(1);
+    let col_of = |t: SimTime| -> usize {
+        let off = t.saturating_since(t0).as_nanos();
+        ((off as u128 * (cols as u128 - 1)) / span as u128) as usize
+    };
+
+    let mut out = format!("{} (span {})\n", run.model, t1 - t0);
+    for cpu in 0..3u32 {
+        let find = |what: &str| {
+            run.marks
+                .iter()
+                .find(|&&(c, w, _)| c == cpu && w == what)
+                .map(|&(_, _, t)| t)
+        };
+        let (req, grant, rel) = (find("request"), find("granted"), find("released"));
+        let mut row = vec!['.'; cols];
+        if let (Some(req), Some(grant), Some(rel)) = (req, grant, rel) {
+            for c in &mut row[col_of(req)..=col_of(grant)] {
+                *c = 'w';
+            }
+            for c in &mut row[col_of(grant)..=col_of(rel)] {
+                *c = '#';
+            }
+        }
+        out.push_str(&format!("CPU{cpu} |{}|\n", row.iter().collect::<String>()));
+    }
+    out.push_str(&format!(
+        "      0{:>width$}\n",
+        format!("{:.1}us", (t1 - t0).as_micros_f64()),
+        width = cols - 1
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::three_cpu::{run_figure1, Figure1Config};
+    use sesame_core::builder::ModelChoice;
+
+    #[test]
+    fn timeline_rows_reflect_the_scenario() {
+        let run = run_figure1(ModelChoice::Gwc, Figure1Config::default());
+        let s = render_figure1_timeline(&run, 60);
+        assert!(s.starts_with("gwc"));
+        let rows: Vec<&str> = s.lines().collect();
+        assert_eq!(rows.len(), 5, "header + 3 CPUs + scale");
+        for cpu in 0..3 {
+            let row = rows[cpu + 1];
+            assert!(row.starts_with(&format!("CPU{cpu}")));
+            assert!(row.contains('#'), "every CPU executes a section: {row}");
+            assert!(row.contains('w'), "every CPU waits at least briefly: {row}");
+        }
+        // CPU1 (the root, served last) has the longest wait.
+        let waits: Vec<usize> = (0..3)
+            .map(|cpu| rows[cpu + 1].matches('w').count())
+            .collect();
+        assert!(waits[1] > waits[0], "root waits longer than CPU0: {waits:?}");
+        assert!(waits[1] > waits[2], "root waits longer than CPU2: {waits:?}");
+    }
+
+    #[test]
+    fn sections_do_not_overlap_in_columns() {
+        let run = run_figure1(ModelChoice::Gwc, Figure1Config::default());
+        let s = render_figure1_timeline(&run, 80);
+        let rows: Vec<&str> = s.lines().skip(1).take(3).collect();
+        // At most one '#' per column, except at hand-off boundaries where
+        // rounding may overlap by one cell.
+        let grids: Vec<&str> = rows
+            .iter()
+            .map(|r| r.split('|').nth(1).unwrap())
+            .collect();
+        let cols = grids[0].chars().count();
+        let mut overlapping = 0;
+        for i in 0..cols {
+            let execs = grids
+                .iter()
+                .filter(|g| g.chars().nth(i) == Some('#'))
+                .count();
+            if execs > 1 {
+                overlapping += 1;
+            }
+        }
+        assert!(
+            overlapping <= 3,
+            "sections visibly overlap beyond boundary rounding: {s}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one column")]
+    fn zero_width_panics() {
+        let run = run_figure1(ModelChoice::Gwc, Figure1Config::default());
+        let _ = render_figure1_timeline(&run, 0);
+    }
+}

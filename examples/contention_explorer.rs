@@ -1,0 +1,49 @@
+//! Explores the regime between Figure 8 (no contention, optimism always
+//! pays) and heavy contention (the usage history pushes everyone onto the
+//! regular path): sweeps the mean think time and reports path mix,
+//! rollbacks, and mean section latency for optimistic vs regular locking.
+//!
+//! Run with: `cargo run --release -p sesame-examples --bin contention_explorer`
+
+use sesame_core::OptimisticConfig;
+use sesame_sim::SimDur;
+use sesame_workloads::contention::{run_contention, ContentionConfig};
+
+fn main() {
+    println!(
+        "{:>10} {:>12} {:>12} {:>8} {:>8} {:>8} {:>12}",
+        "think(us)", "opt latency", "reg latency", "opt%", "roll", "flick", "speed ratio"
+    );
+    for think_us in [500u64, 100, 50, 20, 10, 5, 2] {
+        let base = ContentionConfig {
+            contenders: 6,
+            rounds: 50,
+            mean_think: SimDur::from_us(think_us),
+            ..ContentionConfig::default()
+        };
+        let opt = run_contention(base);
+        let reg = run_contention(ContentionConfig {
+            mutex: OptimisticConfig {
+                optimistic: false,
+                ..OptimisticConfig::default()
+            },
+            ..base
+        });
+        let s = opt.stats;
+        let attempts = s.optimistic_attempts + s.regular_attempts;
+        println!(
+            "{:>10} {:>12} {:>12} {:>7.1}% {:>8} {:>8} {:>12.3}",
+            think_us,
+            opt.mean_section_latency.to_string(),
+            reg.mean_section_latency.to_string(),
+            100.0 * s.optimistic_attempts as f64 / attempts as f64,
+            s.rollbacks,
+            s.free_flickers,
+            reg.mean_section_latency / opt.mean_section_latency,
+        );
+    }
+    println!("\nat long think times the lock is usually free: the engine goes optimistic");
+    println!("and hides the round trip. As contention rises the EWMA history crosses its");
+    println!("threshold and the engine falls back to regular requests — adding no");
+    println!("optimistic traffic exactly when the lock is busiest, as the paper claims.");
+}

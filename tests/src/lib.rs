@@ -1,0 +1,7 @@
+//! # sesame-tests — cross-crate integration and property tests
+//!
+//! This crate exists to host the workspace-level test suites in
+//! `tests/tests/`: end-to-end scenarios spanning every crate, determinism
+//! checks, and property-based tests of the core protocol invariants
+//! (GWC total ordering, mutual exclusion safety under optimistic locking,
+//! loss recovery). The library itself is intentionally empty.

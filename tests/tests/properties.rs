@@ -1,0 +1,337 @@
+//! Property-based tests of the core protocol invariants, over randomized
+//! workloads, topologies, timings, and failure injection:
+//!
+//! * **GWC total ordering** — every group member observes the same
+//!   sequence of applied writes, whatever the writers, timings, and
+//!   (injected) packet loss;
+//! * **mutual exclusion safety** — optimistic locking with arbitrary
+//!   history parameters never lets critical sections overlap and never
+//!   loses a counter increment;
+//! * **pipeline liveness and mutex-method ordering** under random sizes
+//!   and computation grain;
+//! * **task conservation** in the bounded queue under random capacities
+//!   and both memory models.
+
+#![allow(clippy::type_complexity)]
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use sesame_core::builder::ModelChoice;
+use sesame_core::OptimisticConfig;
+use sesame_dsm::{
+    run, AppEvent, GroupSpec, GroupTable, GwcModel, Machine, MachineConfig, NodeApi, Program,
+    RunOptions, VarId, Word,
+};
+use sesame_net::{LinkTiming, MeshTorus2d, NodeId, Ring, Topology};
+use sesame_sim::{SimDur, SimTime};
+use sesame_workloads::contention::{run_contention, ContentionConfig};
+use sesame_workloads::pipeline::{run_pipeline, MutexMethod, PipelineConfig};
+use sesame_workloads::task_queue::{run_task_queue, TaskQueueConfig};
+
+fn n(id: u32) -> NodeId {
+    NodeId::new(id)
+}
+
+/// One randomized write: (writer, delay ns, var, value).
+#[derive(Debug, Clone)]
+struct WritePlan {
+    writer: u32,
+    delay_ns: u64,
+    var: u32,
+    value: Word,
+}
+
+fn write_plan(nodes: u32, vars: u32) -> impl Strategy<Value = WritePlan> {
+    (0..nodes, 0u64..50_000, 0..vars, -1000i64..1000).prop_map(|(writer, delay_ns, var, value)| {
+        WritePlan {
+            writer,
+            delay_ns,
+            var,
+            value,
+        }
+    })
+}
+
+/// Runs a randomized eagersharing workload and returns each node's
+/// observed (var, value) sequence plus final memories.
+fn run_gwc_order_experiment(
+    nodes: u32,
+    vars: u32,
+    plan: &[WritePlan],
+    loss: f64,
+    seed: u64,
+) -> (Vec<Vec<(u32, Word)>>, Vec<Vec<Word>>) {
+    let observed: Rc<RefCell<Vec<Vec<(u32, Word)>>>> =
+        Rc::new(RefCell::new(vec![Vec::new(); nodes as usize]));
+    let groups = GroupTable::new(vec![GroupSpec {
+        root: n(0),
+        members: (0..nodes).map(n).collect(),
+        vars: (0..vars).map(VarId::new).collect(),
+        mutex_lock: None,
+    }])
+    .unwrap();
+    let mut programs: Vec<Box<dyn Program>> = Vec::new();
+    for node in 0..nodes {
+        let mut my_writes: Vec<(u64, u32, Word)> = plan
+            .iter()
+            .filter(|w| w.writer == node)
+            .map(|w| (w.delay_ns, w.var, w.value))
+            .collect();
+        // Flush writes so loss recovery always has follow-up traffic; they
+        // are value-tagged so the checker can ignore them.
+        if node == 0 {
+            for i in 0..12 {
+                my_writes.push((60_000 + i * 3_000, 0, FLUSH_BASE + i as Word));
+            }
+        }
+        let obs = observed.clone();
+        programs.push(Box::new(move |ev: AppEvent, api: &mut NodeApi<'_>| {
+            match ev {
+                AppEvent::Started => {
+                    for (i, &(delay, _, _)) in my_writes.iter().enumerate() {
+                        api.set_timer(SimDur::from_nanos(delay), i as u64);
+                    }
+                }
+                AppEvent::TimerFired { tag } => {
+                    let (_, var, value) = my_writes[tag as usize];
+                    api.write(VarId::new(var), value);
+                }
+                AppEvent::Updated { var, value, .. } => {
+                    obs.borrow_mut()[api.id().index()].push((var.get(), value));
+                }
+                _ => {}
+            }
+        }));
+    }
+    let model = GwcModel::new(&groups, nodes as usize);
+    let mut machine = Machine::new(
+        Box::new(MeshTorus2d::with_nodes(nodes as usize)),
+        LinkTiming::paper_1994(),
+        groups,
+        programs,
+        model,
+        MachineConfig::default(),
+    );
+    if loss > 0.0 {
+        machine.fabric_mut().set_loss(loss, seed);
+    }
+    let result = run(machine, RunOptions::default());
+    let mems = (0..nodes)
+        .map(|node| {
+            (0..vars)
+                .map(|v| result.machine.mem(n(node)).read(VarId::new(v)))
+                .collect()
+        })
+        .collect();
+    let observed = observed.borrow().clone();
+    (observed, mems)
+}
+
+const FLUSH_BASE: Word = 1_000_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// GWC total ordering: all members observe identical write sequences.
+    #[test]
+    fn gwc_total_order_holds(
+        nodes in 2u32..8,
+        vars in 1u32..4,
+        plan in proptest::collection::vec(write_plan(8, 4), 1..25),
+    ) {
+        let plan: Vec<WritePlan> = plan
+            .into_iter()
+            .map(|mut w| { w.writer %= nodes; w.var %= vars; w })
+            .collect();
+        let (observed, mems) = run_gwc_order_experiment(nodes, vars, &plan, 0.0, 0);
+        let reference = &observed[0];
+        prop_assert_eq!(reference.len(), plan.len() + 12, "all writes observed");
+        for (node, seq) in observed.iter().enumerate().skip(1) {
+            prop_assert_eq!(seq, reference, "node {} diverged", node);
+        }
+        for (node, mem) in mems.iter().enumerate().skip(1) {
+            prop_assert_eq!(mem, &mems[0], "memory {} diverged", node);
+        }
+    }
+
+    /// The same invariant under packet loss: nack-based retransmission
+    /// restores total order for every write that precedes the flush tail.
+    #[test]
+    fn gwc_total_order_survives_loss(
+        nodes in 2u32..6,
+        plan in proptest::collection::vec(write_plan(6, 2), 1..15),
+        loss in 0.05f64..0.30,
+        seed in 0u64..1000,
+    ) {
+        let vars = 2;
+        let plan: Vec<WritePlan> = plan
+            .into_iter()
+            .map(|mut w| { w.writer %= nodes; w.var %= vars; w })
+            .collect();
+        let (observed, _) = run_gwc_order_experiment(nodes, vars, &plan, loss, seed);
+        // Sequences agree on the common prefix, and every node saw at
+        // least all non-flush writes.
+        let min_len = observed.iter().map(Vec::len).min().unwrap();
+        prop_assert!(min_len >= plan.len(),
+            "a node missed real writes: saw {} of {}", min_len, plan.len());
+        for node in 1..nodes as usize {
+            prop_assert_eq!(
+                &observed[node][..min_len],
+                &observed[0][..min_len],
+                "node {} diverged under loss", node
+            );
+        }
+    }
+
+    /// Optimistic mutual exclusion is safe for arbitrary history
+    /// parameters, contention levels, and timing grain. The contention
+    /// driver asserts internally that every section completed and the
+    /// shared counter equals the section count.
+    #[test]
+    fn optimistic_mutex_is_always_safe(
+        contenders in 2u32..7,
+        rounds in 3u32..15,
+        think_us in 1u64..100,
+        section_ns in 500u64..10_000,
+        alpha in 0.01f64..0.9,
+        threshold in 0.05f64..0.95,
+        seed in 0u64..10_000,
+    ) {
+        let run = run_contention(ContentionConfig {
+            contenders,
+            rounds,
+            section: SimDur::from_nanos(section_ns),
+            mean_think: SimDur::from_us(think_us),
+            mutex: OptimisticConfig { alpha, threshold, optimistic: true },
+            timing: LinkTiming::paper_1994(),
+            seed,
+            ..ContentionConfig::default()
+        });
+        prop_assert_eq!(run.counter, run.sections as Word);
+        prop_assert_eq!(
+            run.stats.completions,
+            run.stats.optimistic_attempts + run.stats.regular_attempts
+        );
+    }
+
+    /// The pipeline completes under every mutex method at random scales,
+    /// never rolls back, and preserves the paper's method ordering.
+    #[test]
+    fn pipeline_liveness_and_ordering(
+        nodes in 2usize..10,
+        visits in 16u32..80,
+        local_us in 2u64..20,
+    ) {
+        let cfg = PipelineConfig {
+            total_visits: visits,
+            local_calc: SimDur::from_us(local_us),
+            ..PipelineConfig::default()
+        };
+        let opt = run_pipeline(nodes, MutexMethod::OptimisticGwc, cfg);
+        let reg = run_pipeline(nodes, MutexMethod::RegularGwc, cfg);
+        let ent = run_pipeline(nodes, MutexMethod::Entry, cfg);
+        prop_assert_eq!(opt.rollbacks, 0);
+        let bound = cfg.ideal_power();
+        for (label, p) in [("opt", opt.power), ("reg", reg.power), ("ent", ent.power)] {
+            prop_assert!(p > 0.0 && p <= bound + 1e-9, "{} power {} out of range", label, p);
+        }
+        prop_assert!(opt.power + 1e-9 >= reg.power,
+            "optimism must never lose: {} vs {}", opt.power, reg.power);
+        prop_assert!(reg.power > ent.power,
+            "GWC must beat entry: {} vs {}", reg.power, ent.power);
+    }
+
+    /// The bounded task queue conserves tasks for random capacities and
+    /// both memory models.
+    #[test]
+    fn task_queue_conserves_tasks(
+        nodes in 2usize..8,
+        tasks in 8u32..60,
+        capacity in 2u32..32,
+        exec_us in 50u64..400,
+    ) {
+        let cfg = TaskQueueConfig {
+            total_tasks: tasks,
+            capacity,
+            exec_time: SimDur::from_us(exec_us),
+            ..TaskQueueConfig::default()
+        };
+        // Conservation is asserted inside run_task_queue.
+        let gwc = run_task_queue(nodes, ModelChoice::Gwc, cfg);
+        prop_assert!(gwc.speedup <= nodes as f64 + 1e-9);
+        let entry = run_task_queue(nodes, ModelChoice::Entry, cfg);
+        prop_assert!(entry.speedup <= nodes as f64 + 1e-9);
+    }
+
+    /// Torus routing invariants: path length equals hop count, hops are
+    /// symmetric, and the spanning tree reaches everything at shortest
+    /// depth from any root.
+    #[test]
+    fn torus_routing_invariants(nodes in 2usize..40, a in 0u32..40, b in 0u32..40, r in 0u32..40) {
+        let topo = MeshTorus2d::with_nodes(nodes);
+        let a = n(a % nodes as u32);
+        let b = n(b % nodes as u32);
+        prop_assert_eq!(topo.route(a, b).len() as u32, topo.hops(a, b));
+        prop_assert_eq!(topo.hops(a, b), topo.hops(b, a));
+        let root = n(r % nodes as u32);
+        let tree = sesame_net::SpanningTree::build(&topo, root);
+        for m in 0..nodes as u32 {
+            prop_assert_eq!(tree.depth(n(m)), topo.hops(root, n(m)));
+        }
+    }
+
+    /// Ring and torus agree with each other's invariants on the shared
+    /// Topology contract (route validity end to end).
+    #[test]
+    fn ring_routes_are_valid(nodes in 2usize..30, a in 0u32..30, b in 0u32..30) {
+        let topo = Ring::new(nodes);
+        let a = n(a % nodes as u32);
+        let b = n(b % nodes as u32);
+        let links = topo.route(a, b);
+        let mut at = a;
+        for l in &links {
+            prop_assert_eq!(l.from_node(), at);
+            at = l.to_node();
+        }
+        prop_assert_eq!(at, b);
+        prop_assert!(links.len() as u32 <= nodes as u32 / 2);
+    }
+}
+
+/// Determinism meta-property: any fixed contention configuration produces
+/// identical outcomes across repeated runs (non-proptest because one pair
+/// suffices per configuration, exercised with three seeds).
+#[test]
+fn contention_runs_are_deterministic_across_seeds() {
+    for seed in [1u64, 99, 12345] {
+        let cfg = ContentionConfig {
+            contenders: 5,
+            rounds: 10,
+            seed,
+            ..ContentionConfig::default()
+        };
+        let a = run_contention(cfg);
+        let b = run_contention(cfg);
+        assert_eq!(a.result.end, b.result.end);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.mean_section_latency, b.mean_section_latency);
+    }
+}
+
+/// The simulated end time never precedes the last observed event.
+#[test]
+fn makespan_is_monotone_in_workload_size() {
+    let mut last = SimTime::ZERO;
+    for rounds in [2u32, 6, 12] {
+        let cfg = ContentionConfig {
+            contenders: 3,
+            rounds,
+            ..ContentionConfig::default()
+        };
+        let r = run_contention(cfg);
+        assert!(r.result.end > last, "more rounds must take longer");
+        last = r.result.end;
+    }
+}
