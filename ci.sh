@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Offline CI for sesame-rs: formatting, lints, and the full test suite
+# (including the sesame-verify online-checking integration tests).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> cargo test --features verify (online verification)"
+cargo test -q -p sesame-dsm -p sesame-core --features verify
+
+echo "CI green."

@@ -7,16 +7,15 @@
 //!   blocking, insharing suspension) on a rollback-heavy workload;
 //! * tree multicast vs unicast fan-out (link traversals and wall time).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sesame_bench::Harness;
 use sesame_core::OptimisticConfig;
 use sesame_dsm::MachineConfig;
 use sesame_net::{Fabric, LinkTiming, MeshTorus2d, NodeId, SpanningTree};
 use sesame_sim::{SimDur, SimTime};
 use sesame_workloads::contention::{run_contention, ContentionConfig};
 
-fn bench_contention_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_contention");
-    group.sample_size(10);
+fn bench_contention_sweep() {
+    let group = Harness::group("ablation_contention").sample_size(10);
     for think_us in [200u64, 20, 2] {
         for (name, optimistic) in [("optimistic", true), ("regular", false)] {
             let cfg = ContentionConfig {
@@ -29,19 +28,15 @@ fn bench_contention_sweep(c: &mut Criterion) {
                 },
                 ..ContentionConfig::default()
             };
-            group.bench_with_input(
-                BenchmarkId::new(name, format!("think{think_us}us")),
-                &cfg,
-                |b, cfg| b.iter(|| run_contention(*cfg).mean_section_latency),
-            );
+            group.bench(&format!("{name}/think{think_us}us"), || {
+                run_contention(cfg).mean_section_latency
+            });
         }
     }
-    group.finish();
 }
 
-fn bench_threshold_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_history_threshold");
-    group.sample_size(10);
+fn bench_threshold_sweep() {
+    let group = Harness::group("ablation_history_threshold").sample_size(10);
     for threshold in [0.05, 0.30, 0.95] {
         let cfg = ContentionConfig {
             contenders: 4,
@@ -53,20 +48,16 @@ fn bench_threshold_sweep(c: &mut Criterion) {
             },
             ..ContentionConfig::default()
         };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("thr{threshold}")),
-            &cfg,
-            |b, cfg| b.iter(|| run_contention(*cfg).mean_section_latency),
-        );
+        group.bench(&format!("thr{threshold}"), || {
+            run_contention(cfg).mean_section_latency
+        });
     }
-    group.finish();
 }
 
-fn bench_safety_mechanisms(c: &mut Criterion) {
+fn bench_safety_mechanisms() {
     // Correctness requires both mechanisms (crates/core/tests proves it);
     // this prices their simulation overhead on a rollback-heavy workload.
-    let mut group = c.benchmark_group("ablation_safety_mechanisms");
-    group.sample_size(10);
+    let group = Harness::group("ablation_safety_mechanisms").sample_size(10);
     for (name, hw_block, insharing_suspension) in [
         ("both-on", true, true),
         ("no-hw-block", false, true),
@@ -84,15 +75,12 @@ fn bench_safety_mechanisms(c: &mut Criterion) {
             check_counter: hw_block && insharing_suspension,
             ..ContentionConfig::default()
         };
-        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            b.iter(|| run_contention(*cfg).result.end)
-        });
+        group.bench(name, || run_contention(cfg).result.end);
     }
-    group.finish();
 }
 
-fn bench_multicast_vs_unicast(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_multicast");
+fn bench_multicast_vs_unicast() {
+    let group = Harness::group("ablation_multicast");
     for nodes in [16usize, 64] {
         let topo = MeshTorus2d::with_nodes(nodes);
         let tree = SpanningTree::build(&topo, NodeId::new(0));
@@ -109,31 +97,24 @@ fn bench_multicast_vs_unicast(c: &mut Criterion) {
             mc.stats().link_traversals,
             uc.stats().link_traversals
         );
-        group.bench_with_input(BenchmarkId::new("tree", nodes), &nodes, |b, _| {
-            b.iter(|| {
-                let mut f = Fabric::new(LinkTiming::paper_1994());
-                f.multicast(SimTime::ZERO, &tree, 64, &members);
-                f.stats().link_traversals
-            })
+        group.bench(&format!("tree/{nodes}"), || {
+            let mut f = Fabric::new(LinkTiming::paper_1994());
+            f.multicast(SimTime::ZERO, &tree, 64, &members);
+            f.stats().link_traversals
         });
-        group.bench_with_input(BenchmarkId::new("unicast-fanout", nodes), &nodes, |b, _| {
-            b.iter(|| {
-                let mut f = Fabric::new(LinkTiming::paper_1994());
-                for &m in &members[1..] {
-                    f.unicast(SimTime::ZERO, &topo, NodeId::new(0), m, 64);
-                }
-                f.stats().link_traversals
-            })
+        group.bench(&format!("unicast-fanout/{nodes}"), || {
+            let mut f = Fabric::new(LinkTiming::paper_1994());
+            for &m in &members[1..] {
+                f.unicast(SimTime::ZERO, &topo, NodeId::new(0), m, 64);
+            }
+            f.stats().link_traversals
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_contention_sweep,
-    bench_threshold_sweep,
-    bench_safety_mechanisms,
-    bench_multicast_vs_unicast
-);
-criterion_main!(benches);
+fn main() {
+    bench_contention_sweep();
+    bench_threshold_sweep();
+    bench_safety_mechanisms();
+    bench_multicast_vs_unicast();
+}

@@ -1,9 +1,9 @@
-//! Criterion bench over the Figure 1 scenario: simulation cost of the
+//! Bench over the Figure 1 scenario: simulation cost of the
 //! three-CPU locking comparison per consistency model, plus an assertion
 //! that the simulated completions still match the closed forms (a protocol
 //! regression here is a correctness bug, not just a slowdown).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sesame_bench::Harness;
 use sesame_consistency::analysis::Figure1Params;
 use sesame_core::builder::ModelChoice;
 use sesame_workloads::three_cpu::{run_figure1, Figure1Config};
@@ -25,20 +25,16 @@ fn verify_against_closed_forms() {
     );
 }
 
-fn bench_fig1(c: &mut Criterion) {
+fn main() {
     verify_against_closed_forms();
-    let mut group = c.benchmark_group("fig1_locking");
+    let group = Harness::group("fig1_locking");
     for (name, model) in [
         ("gwc", ModelChoice::Gwc),
         ("entry", ModelChoice::Entry),
         ("release", ModelChoice::Release),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &model, |b, &model| {
-            b.iter(|| run_figure1(model, Figure1Config::default()).completion)
+        group.bench(name, || {
+            run_figure1(model, Figure1Config::default()).completion
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig1);
-criterion_main!(benches);

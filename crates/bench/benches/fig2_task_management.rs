@@ -1,8 +1,8 @@
-//! Criterion bench over the Figure 2 task-management workload at reduced
+//! Bench over the Figure 2 task-management workload at reduced
 //! scale (9 and 17 CPUs, 128 tasks), per memory model. Guards both the
 //! simulator's speed and — via assertions — task conservation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sesame_bench::Harness;
 use sesame_core::builder::ModelChoice;
 use sesame_workloads::task_queue::{run_task_queue, TaskQueueConfig};
 
@@ -13,26 +13,15 @@ fn small_cfg() -> TaskQueueConfig {
     }
 }
 
-fn bench_fig2(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig2_task_management");
-    group.sample_size(10);
+fn main() {
+    let group = Harness::group("fig2_task_management").sample_size(10);
     for nodes in [9usize, 17] {
         for (name, model) in [("gwc", ModelChoice::Gwc), ("entry", ModelChoice::Entry)] {
-            group.bench_with_input(
-                BenchmarkId::new(name, nodes),
-                &(nodes, model),
-                |b, &(nodes, model)| {
-                    b.iter(|| {
-                        let run = run_task_queue(nodes, model, small_cfg());
-                        assert_eq!(run.executed.iter().sum::<u32>(), 128);
-                        run.speedup
-                    })
-                },
-            );
+            group.bench(&format!("{name}/{nodes}"), || {
+                let run = run_task_queue(nodes, model, small_cfg());
+                assert_eq!(run.executed.iter().sum::<u32>(), 128);
+                run.speedup
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig2);
-criterion_main!(benches);

@@ -1,9 +1,9 @@
-//! Criterion bench over the Figure 8 pipeline at reduced scale (8 and 16
+//! Bench over the Figure 8 pipeline at reduced scale (8 and 16
 //! CPUs, 128 visits), per mutual exclusion method. Asserts the paper's
 //! ordering (optimistic > regular > entry) up front so a protocol
 //! regression fails the bench.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sesame_bench::Harness;
 use sesame_workloads::pipeline::{run_pipeline, MutexMethod, PipelineConfig};
 
 fn small_cfg() -> PipelineConfig {
@@ -13,7 +13,7 @@ fn small_cfg() -> PipelineConfig {
     }
 }
 
-fn bench_fig8(c: &mut Criterion) {
+fn main() {
     // The ordering claim, checked once at bench scale.
     for nodes in [8usize, 16] {
         let opt = run_pipeline(nodes, MutexMethod::OptimisticGwc, small_cfg()).power;
@@ -24,23 +24,16 @@ fn bench_fig8(c: &mut Criterion) {
             "mutex-method ordering broke at {nodes} CPUs: {opt} / {reg} / {ent}"
         );
     }
-    let mut group = c.benchmark_group("fig8_mutex_methods");
-    group.sample_size(20);
+    let group = Harness::group("fig8_mutex_methods").sample_size(20);
     for nodes in [8usize, 16] {
         for method in [
             MutexMethod::OptimisticGwc,
             MutexMethod::RegularGwc,
             MutexMethod::Entry,
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(method.label(), nodes),
-                &(nodes, method),
-                |b, &(nodes, method)| b.iter(|| run_pipeline(nodes, method, small_cfg()).power),
-            );
+            group.bench(&format!("{}/{nodes}", method.label()), || {
+                run_pipeline(nodes, method, small_cfg()).power
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig8);
-criterion_main!(benches);

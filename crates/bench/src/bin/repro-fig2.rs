@@ -23,10 +23,7 @@ fn main() {
     };
     eprintln!(
         "figure 2: {} tasks, exec {}, produce ratio {:.5}, queue capacity {}",
-        cfg.total_tasks,
-        cfg.exec_time,
-        cfg.produce_ratio,
-        cfg.capacity
+        cfg.total_tasks, cfg.exec_time, cfg.produce_ratio, cfg.capacity
     );
     let data = figure2(cfg, &sizes);
     println!("# Figure 2 — Speedup for Task Management (paper: GWC peak ~84.1 @129, entry peak ~22.5 @33)");

@@ -44,7 +44,10 @@ fn main() {
         "# root drops (losing optimistic writes discarded): {}",
         gs.root_drops
     );
-    println!("# hardware-blocking drops (own echoes): {}", gs.hw_block_drops);
+    println!(
+        "# hardware-blocking drops (own echoes): {}",
+        gs.hw_block_drops
+    );
     let _ = MachineConfig::default();
     let _ = NodeId::new(0);
 

@@ -37,11 +37,20 @@ fn main() {
         render_series(&[&data.ideal, &data.optimistic, &data.regular, &data.entry])
     );
     let r = data.headline_ratios();
-    println!("# headline ratios at {} CPUs (paper: 1.1x, 2.1x, 1.9x):", r.nodes);
+    println!(
+        "# headline ratios at {} CPUs (paper: 1.1x, 2.1x, 1.9x):",
+        r.nodes
+    );
     println!(
         "#   optimistic / non-optimistic GWC: {:.2}",
         r.optimistic_over_regular
     );
-    println!("#   optimistic / entry:              {:.2}", r.optimistic_over_entry);
-    println!("#   non-optimistic / entry:          {:.2}", r.regular_over_entry);
+    println!(
+        "#   optimistic / entry:              {:.2}",
+        r.optimistic_over_entry
+    );
+    println!(
+        "#   non-optimistic / entry:          {:.2}",
+        r.regular_over_entry
+    );
 }

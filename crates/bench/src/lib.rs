@@ -1,4 +1,4 @@
-//! # sesame-bench — figure regeneration binaries and Criterion benches
+//! # sesame-bench — figure regeneration binaries and timing benches
 //!
 //! Each `repro-*` binary regenerates one figure of *Hermannsson & Wittie
 //! (ICDCS 1994)* and prints the series recorded in EXPERIMENTS.md:
@@ -12,9 +12,63 @@
 //! * `repro-fig8` — mutex-method network power, 2..128 CPUs, plus the
 //!   paper's headline speedup ratios.
 //!
-//! The Criterion benches (`fig1_locking`, `fig2_task_management`,
+//! The benches (`fig1_locking`, `fig2_task_management`,
 //! `fig8_mutex_methods`, `ablations`) measure the same experiments at
 //! reduced scale so regressions in protocol cost show up as timing
-//! regressions.
+//! regressions. They use the dependency-free [`Harness`] below instead of
+//! an external benchmarking crate so the workspace builds offline.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// A minimal wall-clock benchmarking harness: runs each case for a warmup
+/// pass plus `samples` timed iterations and prints the median and spread.
+#[derive(Debug)]
+pub struct Harness {
+    group: String,
+    samples: u32,
+}
+
+impl Harness {
+    /// Creates a harness for one named bench group with a default of 20
+    /// timed samples per case.
+    pub fn group(name: &str) -> Self {
+        Harness {
+            group: name.to_string(),
+            samples: 20,
+        }
+    }
+
+    /// Overrides the number of timed samples per case.
+    pub fn sample_size(mut self, samples: u32) -> Self {
+        self.samples = samples.max(3);
+        self
+    }
+
+    /// Times `f` and prints `group/case: median (min .. max)`.
+    ///
+    /// The closure's return value is passed through [`black_box`] so the
+    /// optimizer cannot elide the measured work.
+    pub fn bench<T>(&self, case: &str, mut f: impl FnMut() -> T) {
+        black_box(f()); // warmup, also pre-faults lazily allocated state
+        let mut times = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            times.push(start.elapsed());
+        }
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        println!(
+            "{}/{case}: {:?} (min {:?} .. max {:?}, n={})",
+            self.group,
+            median,
+            times[0],
+            times[times.len() - 1],
+            self.samples
+        );
+    }
+}

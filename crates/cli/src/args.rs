@@ -106,8 +106,11 @@ mod tests {
 
     #[test]
     fn parses_known_flags() {
-        let a = Args::parse(&argv(&["--nodes", "17", "--model", "gwc"]), &["--nodes", "--model"])
-            .unwrap();
+        let a = Args::parse(
+            &argv(&["--nodes", "17", "--model", "gwc"]),
+            &["--nodes", "--model"],
+        )
+        .unwrap();
         assert_eq!(a.get_or("--nodes", 0usize, "integer").unwrap(), 17);
         assert_eq!(a.get_str("--model"), Some("gwc"));
         assert_eq!(a.get_or("--missing", 5u32, "integer").unwrap(), 5);

@@ -48,6 +48,9 @@ COMMANDS:
                     --format <table|csv>
     contention    optimistic vs regular locking across think times
                     --contenders <N=6>  --rounds <N=50>  --think-us <N=50>
+    verify        replay scenarios under the sesame-verify checkers
+                    --scenario <all|three-cpu|contention|task-queue>
+                    --contenders <N=4>  --rounds <N=30>
     help          print this message
 ";
 
@@ -166,8 +169,10 @@ fn cmd_fig8(args: &Args) -> Result<(), String> {
         )?
     );
     let r = data.headline_ratios();
-    println!("# at {} CPUs: opt/reg {:.2}, opt/entry {:.2}, reg/entry {:.2}",
-        r.nodes, r.optimistic_over_regular, r.optimistic_over_entry, r.regular_over_entry);
+    println!(
+        "# at {} CPUs: opt/reg {:.2}, opt/entry {:.2}, reg/entry {:.2}",
+        r.nodes, r.optimistic_over_regular, r.optimistic_over_entry, r.regular_over_entry
+    );
     Ok(())
 }
 
@@ -210,6 +215,92 @@ fn cmd_contention(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Replays the seed scenarios with tracing on, runs every `sesame-verify`
+/// checker over each trace, and fails if any diagnostic is produced.
+fn cmd_verify(args: &Args) -> Result<(), String> {
+    use sesame_core::builder::ModelChoice;
+    use sesame_verify::{check_recorder, Violation};
+    use sesame_workloads::task_queue::run_task_queue;
+    use sesame_workloads::three_cpu::run_figure1;
+
+    let scenario = args.get_str("--scenario").unwrap_or("all");
+    let contenders = args
+        .get_or("--contenders", 4u32, "integer")
+        .map_err(|e| e.to_string())?;
+    let rounds = args
+        .get_or("--rounds", 30u32, "integer")
+        .map_err(|e| e.to_string())?;
+
+    let mut checked: Vec<(String, usize, Vec<Violation>)> = Vec::new();
+    let mut check = |name: String, trace: &sesame_sim::TraceRecorder| {
+        checked.push((name, trace.entries().len(), check_recorder(trace)));
+    };
+
+    if matches!(scenario, "all" | "three-cpu") {
+        for model in [ModelChoice::Gwc, ModelChoice::Entry, ModelChoice::Release] {
+            let run = run_figure1(model, Figure1Config::default());
+            check(format!("three-cpu/{}", run.model), &run.trace);
+        }
+    }
+    if matches!(scenario, "all" | "contention") {
+        for optimistic in [true, false] {
+            let run = run_contention(ContentionConfig {
+                contenders,
+                rounds,
+                mutex: OptimisticConfig {
+                    optimistic,
+                    ..OptimisticConfig::default()
+                },
+                tracing: true,
+                ..ContentionConfig::default()
+            });
+            let name = if optimistic { "optimistic" } else { "regular" };
+            check(format!("contention/{name}"), &run.result.trace);
+        }
+    }
+    if matches!(scenario, "all" | "task-queue") {
+        let run = run_task_queue(
+            4,
+            ModelChoice::Gwc,
+            TaskQueueConfig {
+                total_tasks: 96,
+                tracing: true,
+                ..TaskQueueConfig::default()
+            },
+        );
+        check("task-queue/gwc".to_string(), &run.result.trace);
+    }
+    if checked.is_empty() {
+        return Err(format!(
+            "unknown --scenario {scenario:?} (use all, three-cpu, contention or task-queue)"
+        ));
+    }
+
+    let mut bad = 0usize;
+    for (name, events, violations) in &checked {
+        if violations.is_empty() {
+            println!("ok   {name}: {events} events, 0 violations");
+        } else {
+            bad += violations.len();
+            println!(
+                "FAIL {name}: {events} events, {} violations",
+                violations.len()
+            );
+            for v in violations {
+                println!("     {v}");
+            }
+        }
+    }
+    if bad > 0 {
+        return Err(format!("{bad} protocol violations detected"));
+    }
+    println!(
+        "verified {} scenario(s): races, mutual exclusion, GWC sequencing all clean",
+        checked.len()
+    );
+    Ok(())
+}
+
 /// A subcommand implementation.
 type Command = fn(&Args) -> Result<(), String>;
 
@@ -223,6 +314,7 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
         "fig7" => (&[], cmd_fig7),
         "fig8" => (&["--sizes", "--visits", "--local-us", "--format"], cmd_fig8),
         "contention" => (&["--contenders", "--rounds", "--think-us"], cmd_contention),
+        "verify" => (&["--scenario", "--contenders", "--rounds"], cmd_verify),
         _ => return Err(format!("unknown command {cmd:?}\n\n{USAGE}")),
     };
     let args = Args::parse(rest, allowed).map_err(|e| format!("{e}\n\n{USAGE}"))?;

@@ -120,11 +120,7 @@ mod tests {
         assert_eq!(p.ack_message(), SimDur::from_nanos(464));
         assert_eq!(p.data_extra(), SimDur::from_nanos(2048));
         let pred = p.predict();
-        assert_eq!(
-            pred.gwc,
-            SimDur::from_nanos(5 * 528 + 3 * 5_000),
-            "5m + 3u"
-        );
+        assert_eq!(pred.gwc, SimDur::from_nanos(5 * 528 + 3 * 5_000), "5m + 3u");
         assert_eq!(
             pred.entry,
             SimDur::from_nanos(5 * 528 + 464 + 3 * 2048 + 3 * 5_000),

@@ -23,9 +23,7 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use sesame_dsm::{
-    sizes, AppEvent, GroupTable, Model, ModelAction, Mx, Packet, PacketKind, VarId,
-};
+use sesame_dsm::{sizes, AppEvent, GroupTable, Model, ModelAction, Mx, Packet, PacketKind, VarId};
 use sesame_net::NodeId;
 
 /// Counters exposed for tests and the experiment harness.
@@ -177,17 +175,28 @@ impl EntryModel {
             pending_acks: targets.len(),
         });
         if mx.tracing() {
-            mx.trace(from, "ec-begin-transfer", format!("{lock} to {to} invalidating {targets:?}"));
+            mx.trace(
+                from,
+                "ec-begin-transfer",
+                format!("{lock} to {to} invalidating {targets:?}"),
+            );
         }
         self.stats.invalidations += targets.len() as u64;
         for r in &targets {
-            self.locks.get_mut(&lock).expect("known lock").readers.remove(r);
-            mx.send_after(self.handler_time, Packet {
-                from,
-                to: *r,
-                bytes: sizes::CTRL,
-                kind: PacketKind::EcInvalidate { lock },
-            });
+            self.locks
+                .get_mut(&lock)
+                .expect("known lock")
+                .readers
+                .remove(r);
+            mx.send_after(
+                self.handler_time,
+                Packet {
+                    from,
+                    to: *r,
+                    bytes: sizes::CTRL,
+                    kind: PacketKind::EcInvalidate { lock },
+                },
+            );
         }
         if targets.is_empty() {
             self.finish_transfer(lock, mx);
@@ -209,12 +218,15 @@ impl EntryModel {
             self.grant_arrived(lock, t.to, mx);
             return;
         }
-        mx.send_after(self.handler_time, Packet {
-            from: t.from,
-            to: t.to,
-            bytes: sizes::CTRL + data_bytes,
-            kind: PacketKind::EcGrant { lock },
-        });
+        mx.send_after(
+            self.handler_time,
+            Packet {
+                from: t.from,
+                to: t.to,
+                bytes: sizes::CTRL + data_bytes,
+                kind: PacketKind::EcGrant { lock },
+            },
+        );
     }
 
     /// The token (with its data) reached `node`.
@@ -267,28 +279,40 @@ impl EntryModel {
             return;
         }
         let owner = l.owner;
-        mx.send_after(self.handler_time, Packet {
-            from: node,
-            to: owner,
-            bytes: sizes::CTRL,
-            kind: PacketKind::EcAcquire {
-                lock,
-                requester: node,
+        mx.send_after(
+            self.handler_time,
+            Packet {
+                from: node,
+                to: owner,
+                bytes: sizes::CTRL,
+                kind: PacketKind::EcAcquire {
+                    lock,
+                    requester: node,
+                },
             },
-        });
+        );
     }
 
-    fn owner_receives_request(&mut self, node: NodeId, lock: VarId, requester: NodeId, mx: &mut Mx<'_, '_>) {
+    fn owner_receives_request(
+        &mut self,
+        node: NodeId,
+        lock: VarId,
+        requester: NodeId,
+        mx: &mut Mx<'_, '_>,
+    ) {
         let l = self.locks.get_mut(&lock).expect("known lock");
         if l.owner != node {
             // The token moved while the request was in flight; chase it.
             let owner = l.owner;
-            mx.send_after(self.handler_time, Packet {
-                from: node,
-                to: owner,
-                bytes: sizes::CTRL,
-                kind: PacketKind::EcAcquire { lock, requester },
-            });
+            mx.send_after(
+                self.handler_time,
+                Packet {
+                    from: node,
+                    to: owner,
+                    bytes: sizes::CTRL,
+                    kind: PacketKind::EcAcquire { lock, requester },
+                },
+            );
             return;
         }
         if l.held || l.transfer.is_some() || !l.queue.is_empty() {
@@ -330,12 +354,15 @@ impl Model for EntryModel {
                     if home == node {
                         self.invalidate_home_readers(gid, var, node, mx);
                     } else {
-                        mx.send_after(self.handler_time, Packet {
-                            from: node,
-                            to: home,
-                            bytes: sizes::WRITE,
-                            kind: PacketKind::EcHomeUpdate { var, value },
-                        });
+                        mx.send_after(
+                            self.handler_time,
+                            Packet {
+                                from: node,
+                                to: home,
+                                bytes: sizes::WRITE,
+                                kind: PacketKind::EcHomeUpdate { var, value },
+                            },
+                        );
                     }
                 }
             }
@@ -352,7 +379,11 @@ impl Model for EntryModel {
                 l.held = false;
                 // All releases are local in the fast variant.
                 mx.deliver(node, AppEvent::Released { lock });
-                if let Some(next) = self.locks.get_mut(&lock).unwrap().queue.pop_front() {
+                let l = self
+                    .locks
+                    .get_mut(&lock)
+                    .expect("invariant: every entry-consistency lock is registered at build");
+                if let Some(next) = l.queue.pop_front() {
                     self.begin_transfer(lock, next, mx);
                 }
             }
@@ -379,15 +410,18 @@ impl Model for EntryModel {
                     Some(lock) => self.locks[&lock].owner,
                     None => g.root(),
                 };
-                mx.send_after(self.handler_time, Packet {
-                    from: node,
-                    to: target,
-                    bytes: sizes::CTRL,
-                    kind: PacketKind::EcFetch {
-                        var,
-                        requester: node,
+                mx.send_after(
+                    self.handler_time,
+                    Packet {
+                        from: node,
+                        to: target,
+                        bytes: sizes::CTRL,
+                        kind: PacketKind::EcFetch {
+                            var,
+                            requester: node,
+                        },
                     },
-                });
+                );
             }
             ModelAction::ArmLockInterrupt { .. }
             | ModelAction::DisarmLockInterrupt { .. }
@@ -417,12 +451,15 @@ impl Model for EntryModel {
                 }
                 let l = &self.locks[&lock];
                 let back = l.transfer.map(|t| t.from).unwrap_or(l.owner);
-                mx.send_after(self.handler_time, Packet {
-                    from: node,
-                    to: back,
-                    bytes: sizes::ACK,
-                    kind: PacketKind::EcInvalidateAck { lock },
-                });
+                mx.send_after(
+                    self.handler_time,
+                    Packet {
+                        from: node,
+                        to: back,
+                        bytes: sizes::ACK,
+                        kind: PacketKind::EcInvalidateAck { lock },
+                    },
+                );
             }
             PacketKind::EcInvalidateAck { lock } => {
                 let l = self.locks.get_mut(&lock).expect("known lock");
@@ -442,15 +479,22 @@ impl Model for EntryModel {
                 if let Some(lock) = g.mutex_lock() {
                     let owner = self.locks[&lock].owner;
                     if owner != node {
-                        mx.send_after(self.handler_time, Packet {
-                            from: node,
-                            to: owner,
-                            bytes: sizes::CTRL,
-                            kind: PacketKind::EcFetch { var, requester },
-                        });
+                        mx.send_after(
+                            self.handler_time,
+                            Packet {
+                                from: node,
+                                to: owner,
+                                bytes: sizes::CTRL,
+                                kind: PacketKind::EcFetch { var, requester },
+                            },
+                        );
                         return;
                     }
-                    self.locks.get_mut(&lock).unwrap().readers.insert(requester);
+                    self.locks
+                        .get_mut(&lock)
+                        .expect("invariant: guarded var maps to a registered lock")
+                        .readers
+                        .insert(requester);
                 } else {
                     self.homes
                         .get_mut(&g.id())
@@ -461,12 +505,15 @@ impl Model for EntryModel {
                         .insert(requester);
                 }
                 let value = mx.mem(node).read(var);
-                mx.send_after(self.handler_time, Packet {
-                    from: node,
-                    to: requester,
-                    bytes: sizes::WRITE,
-                    kind: PacketKind::EcFetchReply { var, value },
-                });
+                mx.send_after(
+                    self.handler_time,
+                    Packet {
+                        from: node,
+                        to: requester,
+                        bytes: sizes::WRITE,
+                        kind: PacketKind::EcFetchReply { var, value },
+                    },
+                );
             }
             PacketKind::EcFetchReply { var, value } => {
                 mx.mem(node).write(var, value);
@@ -521,12 +568,15 @@ impl EntryModel {
         self.stats.invalidations += targets.len() as u64;
         for r in targets {
             self.nodes[r.index()].valid.remove(&var);
-            mx.send_after(self.handler_time, Packet {
-                from: root,
-                to: r,
-                bytes: sizes::CTRL,
-                kind: PacketKind::EcHomeInval { var },
-            });
+            mx.send_after(
+                self.handler_time,
+                Packet {
+                    from: root,
+                    to: r,
+                    bytes: sizes::CTRL,
+                    kind: PacketKind::EcHomeInval { var },
+                },
+            );
         }
     }
 }

@@ -19,9 +19,7 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use sesame_dsm::{
-    sizes, AppEvent, GroupTable, Model, ModelAction, Mx, Packet, PacketKind, VarId,
-};
+use sesame_dsm::{sizes, AppEvent, GroupTable, Model, ModelAction, Mx, Packet, PacketKind, VarId};
 use sesame_net::NodeId;
 
 /// Counters exposed for tests and the experiment harness.
@@ -138,10 +136,7 @@ impl ReleaseModel {
         let st = &mut self.nodes[node.index()];
         st.holding.remove(&lock);
         mx.deliver(node, AppEvent::Released { lock });
-        let next = st
-            .local_queue
-            .get_mut(&lock)
-            .and_then(|q| q.pop_front());
+        let next = st.local_queue.get_mut(&lock).and_then(|q| q.pop_front());
         let manager = self.locks[&lock].manager;
         match next {
             Some(next) => {
@@ -161,7 +156,10 @@ impl ReleaseModel {
                 // Tell the manager where the lock went (non-blocking), then
                 // hand the token directly to the waiter.
                 if manager == node {
-                    self.locks.get_mut(&lock).unwrap().owner = Some(next);
+                    self.locks
+                        .get_mut(&lock)
+                        .expect("invariant: released lock is registered at its manager")
+                        .owner = Some(next);
                 } else {
                     mx.send(Packet {
                         from: node,
@@ -181,7 +179,10 @@ impl ReleaseModel {
                 // stale grantee (prevents chase cycles).
                 self.nodes[node.index()].last_granted.remove(&lock);
                 if manager == node {
-                    self.locks.get_mut(&lock).unwrap().owner = None;
+                    self.locks
+                        .get_mut(&lock)
+                        .expect("invariant: released lock is registered at its manager")
+                        .owner = None;
                 } else {
                     mx.send(Packet {
                         from: node,
@@ -242,7 +243,10 @@ impl Model for ReleaseModel {
                     let owner = self.locks[&lock].owner;
                     match owner {
                         None => {
-                            self.locks.get_mut(&lock).unwrap().owner = Some(node);
+                            self.locks
+                                .get_mut(&lock)
+                                .expect("invariant: acquired lock is registered at its manager")
+                                .owner = Some(node);
                             self.grant(lock, node, node, mx);
                         }
                         Some(o) => {
@@ -329,12 +333,18 @@ impl Model for ReleaseModel {
                 let owner = self.locks[&lock].owner;
                 match owner {
                     None => {
-                        self.locks.get_mut(&lock).unwrap().owner = Some(requester);
+                        self.locks
+                            .get_mut(&lock)
+                            .expect("invariant: RcAcquire names a lock registered at this manager")
+                            .owner = Some(requester);
                         self.grant(lock, node, requester, mx);
                     }
                     Some(o) => {
                         self.stats.forwards += 1;
-                        self.locks.get_mut(&lock).unwrap().owner = Some(o);
+                        self.locks
+                            .get_mut(&lock)
+                            .expect("invariant: RcAcquire names a lock registered at this manager")
+                            .owner = Some(o);
                         mx.send(Packet {
                             from: node,
                             to: o,
@@ -373,7 +383,10 @@ impl Model for ReleaseModel {
                 mx.deliver(node, AppEvent::Acquired { lock });
             }
             PacketKind::RcRelease { lock, new_owner } => {
-                self.locks.get_mut(&lock).unwrap().owner = new_owner;
+                self.locks
+                    .get_mut(&lock)
+                    .expect("invariant: RcRelease names a lock registered at this manager")
+                    .owner = new_owner;
             }
             PacketKind::App { tag } => {
                 mx.deliver(

@@ -41,9 +41,7 @@ impl Program for Contender {
     fn on_event(&mut self, ev: AppEvent, api: &mut NodeApi<'_>) {
         match ev {
             AppEvent::Started if self.rounds > 0 => {
-                {
-                    api.acquire(LOCK);
-                }
+                api.acquire(LOCK);
             }
             AppEvent::Acquired { lock } if lock == LOCK => {
                 self.entered = api.now();
@@ -280,7 +278,11 @@ fn entry_invalidation_forces_refetch_after_remote_write() {
     assert_eq!(seen.len(), 2);
     assert_eq!(seen[0].1, 9, "first read sees the initial write");
     assert_eq!(seen[1].1, 44, "re-read after invalidation sees the rewrite");
-    assert_eq!(result.machine.model().stats().fetches, 2, "both reads remote");
+    assert_eq!(
+        result.machine.model().stats().fetches,
+        2,
+        "both reads remote"
+    );
     assert!(result.machine.model().stats().invalidations >= 1);
 }
 
@@ -426,5 +428,8 @@ fn entry_requests_chase_a_moving_token() {
     let result = run(machine, RunOptions::default());
     assert_eq!(spans.borrow().len(), 15);
     let stats = result.machine.model().stats();
-    assert!(stats.transfers >= 5, "token moved between owners: {stats:?}");
+    assert!(
+        stats.transfers >= 5,
+        "token moved between owners: {stats:?}"
+    );
 }

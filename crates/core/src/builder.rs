@@ -347,9 +347,7 @@ impl SystemBuilder {
         let model = match self.model {
             ModelChoice::Gwc => ModelInstance::Gwc(GwcModel::new(&groups, self.nodes)),
             ModelChoice::Entry => ModelInstance::Entry(EntryModel::new(&groups, self.nodes)),
-            ModelChoice::Release => {
-                ModelInstance::Release(ReleaseModel::new(&groups, self.nodes))
-            }
+            ModelChoice::Release => ModelInstance::Release(ReleaseModel::new(&groups, self.nodes)),
             ModelChoice::Weak => ModelInstance::Release(ReleaseModel::weak(&groups, self.nodes)),
         };
         let topo = self.topology.instantiate(self.nodes);

@@ -232,6 +232,10 @@ impl OptimisticMutex {
         self.section = section;
         self.saved.clear(); // line 02: variables_saved = NO
 
+        // Canonical entry event for trace-level checkers, before the
+        // request write so they learn the lock variable first.
+        api.trace("mutex-enter", format!("v={}", self.lock.get()));
+
         // Lines 03–04: atomically exchange the request value into the local
         // lock copy, keeping the previous value.
         let old_val = api.lock_exchange(self.lock);
@@ -259,6 +263,7 @@ impl OptimisticMutex {
 
         // Line 06: watch for any lock change, atomically coupled with
         // insharing suspension when it fires.
+        api.trace("opt-enter", format!("v={}", self.lock.get()));
         api.arm_lock_interrupt(self.lock);
 
         // Lines 14–16: save the variables the section will change.
@@ -267,6 +272,9 @@ impl OptimisticMutex {
             .iter()
             .map(|&var| (var, api.read(var)))
             .collect();
+        for &(var, val) in &self.saved {
+            api.trace("opt-save", format!("v={} val={val}", var.get()));
+        }
 
         // Line 17 onward: compute immediately, overlapping the lock
         // request's round trip.
@@ -336,6 +344,7 @@ impl OptimisticMutex {
                 let (path, rollbacks) = (*path, *rollbacks);
                 if value == lockval::grant(api.id()) {
                     // Line 10: the wait is over; execute the section.
+                    api.trace("mutex-granted", format!("v={}", self.lock.get()));
                     self.state = State::PostGrantCompute { path, rollbacks };
                     self.start_compute(api);
                 } else if lockval::as_grant(value).is_some() {
@@ -358,11 +367,7 @@ impl OptimisticMutex {
 
     /// Figure 5: the lock changed while the interrupt was armed; insharing
     /// is suspended until the engine resumes it.
-    fn handle_lock_interrupt(
-        &mut self,
-        value: Word,
-        api: &mut NodeApi<'_>,
-    ) -> Option<MutexSignal> {
+    fn handle_lock_interrupt(&mut self, value: Word, api: &mut NodeApi<'_>) -> Option<MutexSignal> {
         let State::Optimistic {
             computing,
             body_ran,
@@ -379,6 +384,7 @@ impl OptimisticMutex {
         if value == lockval::grant(api.id()) {
             // P2: permission for the local CPU. Resume insharing and either
             // release (body already ran) or keep computing.
+            api.trace("mutex-granted", format!("v={}", self.lock.get()));
             api.resume_insharing();
             if body_ran {
                 return self.release(api, Path::Optimistic, rollbacks, true);
@@ -405,6 +411,9 @@ impl OptimisticMutex {
         debug_assert!(lockval::as_grant(value).is_some(), "unexpected lock value");
         self.history.observe(true); // P9
         self.stats.rollbacks += 1;
+        // Canonical rollback event, before the restores so the checkers
+        // see the `acc-write-local` restorations as part of the rollback.
+        api.trace("opt-rollback", format!("v={}", self.lock.get()));
         if computing {
             api.cancel_compute();
             self.epoch += 1; // invalidate the in-flight completion

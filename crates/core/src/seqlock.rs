@@ -123,7 +123,7 @@ impl SeqReader {
     /// (mid-update) version; GWC ordering makes the even-version case
     /// sufficient for consistency *within one event handler*, because no
     /// remote write can be applied while the program is running.
-    pub fn snapshot(&self, api: &NodeApi<'_>, vars: &[VarId]) -> Snapshot {
+    pub fn snapshot(&self, api: &mut NodeApi<'_>, vars: &[VarId]) -> Snapshot {
         let before = api.read(self.version_var);
         if before % 2 != 0 {
             return Snapshot::Retry;

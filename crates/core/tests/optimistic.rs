@@ -135,7 +135,12 @@ fn uncontended_optimistic_overlaps_lock_round_trip() {
             idle(),
             idle(), // root, 2 hops from the worker
         ];
-        let machine = build(Box::new(Line::new(3)), 2, programs, MachineConfig::default());
+        let machine = build(
+            Box::new(Line::new(3)),
+            2,
+            programs,
+            MachineConfig::default(),
+        );
         let result = run(machine, RunOptions::default());
         let log = done.borrow();
         assert_eq!(log.len(), 1);
@@ -147,7 +152,10 @@ fn uncontended_optimistic_overlaps_lock_round_trip() {
     let (t_reg, c_reg) = run_one(false);
     assert_eq!(c_opt.path, Path::Optimistic);
     assert_eq!(c_opt.rollbacks, 0);
-    assert!(c_opt.fully_overlapped, "grant should arrive mid-computation");
+    assert!(
+        c_opt.fully_overlapped,
+        "grant should arrive mid-computation"
+    );
     assert_eq!(c_reg.path, Path::Regular);
     assert!(
         t_opt < t_reg,
@@ -237,7 +245,10 @@ fn figure7_rollback_with_hardware_blocking_produces_correct_values() {
     assert_eq!(stats.grants, 2);
     // The trace records the rollback on node 0.
     assert_eq!(result.trace.count_of("mutex-rollback"), 1);
-    assert_eq!(result.trace.of_kind("mutex-rollback").next().unwrap().actor, 0);
+    assert_eq!(
+        result.trace.of_kind("mutex-rollback").next().unwrap().actor,
+        0
+    );
 }
 
 #[test]
@@ -286,7 +297,12 @@ fn contended_optimistic_write_is_discarded_at_root() {
         done.clone(),
     );
     let programs: Vec<Box<dyn Program>> = vec![Box::new(a), idle(), Box::new(b)];
-    let machine = build(Box::new(Line::new(3)), 1, programs, MachineConfig::default());
+    let machine = build(
+        Box::new(Line::new(3)),
+        1,
+        programs,
+        MachineConfig::default(),
+    );
     let result = run(machine, RunOptions::default());
 
     let log = done.borrow();
@@ -318,7 +334,12 @@ fn sustained_contention_drives_the_regular_path() {
         )
     };
     let programs: Vec<Box<dyn Program>> = vec![Box::new(mk(0)), idle(), Box::new(mk(10))];
-    let machine = build(Box::new(Line::new(3)), 1, programs, MachineConfig::default());
+    let machine = build(
+        Box::new(Line::new(3)),
+        1,
+        programs,
+        MachineConfig::default(),
+    );
     let result = run(machine, RunOptions::default());
 
     assert_eq!(done.borrow().len(), 2 * rounds as usize, "all rounds ran");
@@ -351,7 +372,12 @@ fn reentering_an_active_mutex_is_an_error() {
         }
     };
     let programs: Vec<Box<dyn Program>> = vec![Box::new(program), idle()];
-    let machine = build(Box::new(Line::new(2)), 1, programs, MachineConfig::default());
+    let machine = build(
+        Box::new(Line::new(2)),
+        1,
+        programs,
+        MachineConfig::default(),
+    );
     run(machine, RunOptions::default());
     assert!(*errored.borrow(), "nested enter must fail");
 }
@@ -381,7 +407,12 @@ fn reentering_during_own_free_echo_causes_a_flicker() {
         done.clone(),
     );
     let programs: Vec<Box<dyn Program>> = vec![Box::new(worker), idle()];
-    let machine = build(Box::new(Line::new(2)), 1, programs, MachineConfig::default());
+    let machine = build(
+        Box::new(Line::new(2)),
+        1,
+        programs,
+        MachineConfig::default(),
+    );
     let result = run(machine, RunOptions::default());
     assert_eq!(done.borrow().len(), 2, "both sections completed");
     // The flicker is visible in the engine stats via the trace? The

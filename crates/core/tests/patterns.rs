@@ -65,9 +65,7 @@ impl Program for Observer {
     fn on_event(&mut self, ev: AppEvent, api: &mut NodeApi<'_>) {
         if let AppEvent::Updated { .. } = ev {
             let snap = self.reader.snapshot(api, &[FIELD_A, FIELD_B, FIELD_C]);
-            self.snapshots
-                .borrow_mut()
-                .push((api.id().get(), snap));
+            self.snapshots.borrow_mut().push((api.id().get(), snap));
         }
     }
 }

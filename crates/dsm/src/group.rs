@@ -259,11 +259,8 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_var() {
-        let err = GroupTable::new(vec![
-            spec(0, &[0], &[5], None),
-            spec(1, &[1], &[5], None),
-        ])
-        .unwrap_err();
+        let err = GroupTable::new(vec![spec(0, &[0], &[5], None), spec(1, &[1], &[5], None)])
+            .unwrap_err();
         assert_eq!(err, GroupConfigError::DuplicateVar(v(5)));
         assert!(err.to_string().contains("more than one group"));
     }

@@ -256,6 +256,20 @@ impl GwcModel {
         let rg = self.roots.get_mut(&group).expect("known group");
         let seq = rg.next_seq;
         rg.next_seq += 1;
+        if mx.tracing() {
+            let root = mx.groups().group(group).root();
+            mx.trace(
+                root,
+                "root-seq",
+                format!(
+                    "g={} seq={seq} v={} val={value} origin={}",
+                    group.get(),
+                    var.get(),
+                    origin.get()
+                ),
+            );
+        }
+        let rg = self.roots.get_mut(&group).expect("known group");
         rg.history.push_back((var, value, origin));
         if let Some(window) = self.history_window {
             while rg.history.len() as u64 > window {
@@ -307,12 +321,29 @@ impl GwcModel {
             return;
         }
         // Data write: mutex groups accept data only from the lock holder.
-        let holder = self.roots.get(&group).and_then(|r| r.lock.as_ref()).map(|l| l.holder);
+        let holder = self
+            .roots
+            .get(&group)
+            .and_then(|r| r.lock.as_ref())
+            .map(|l| l.holder);
         if let Some(holder) = holder {
             if holder != Some(origin) {
                 self.stats.root_drops += 1;
                 if mx.tracing() {
                     mx.trace(node, "root-drop", format!("{var}={value} from {origin}"));
+                    // Canonical twin of "root-drop" for the checkers: the
+                    // write was consumed at the root without a sequence
+                    // number (failed optimistic update).
+                    mx.trace(
+                        node,
+                        "root-filtered",
+                        format!(
+                            "g={} v={} val={value} origin={}",
+                            group.get(),
+                            var.get(),
+                            origin.get()
+                        ),
+                    );
                 }
                 return;
             }
@@ -333,6 +364,14 @@ impl GwcModel {
             Grant(NodeId),
             Free,
             Queued,
+        }
+        if mx.tracing() && lockval::is_free(value) {
+            let root = mx.groups().group(group).root();
+            mx.trace(
+                root,
+                "root-release",
+                format!("g={} v={} from={}", group.get(), var.get(), origin.get()),
+            );
         }
         let outcome = {
             let lock = self
@@ -374,6 +413,11 @@ impl GwcModel {
                 self.stats.grants += 1;
                 if mx.tracing() {
                     mx.trace(root, "lock-grant", format!("{var} -> {holder}"));
+                    mx.trace(
+                        root,
+                        "root-grant",
+                        format!("g={} v={} holder={}", group.get(), var.get(), holder.get()),
+                    );
                 }
                 self.sequence_and_multicast(group, var, lockval::grant(holder), root, mx);
                 if let Some(timeout) = self.grant_timeout {
@@ -423,12 +467,34 @@ impl GwcModel {
         *st.expected.entry(item.group).or_insert(1) = item.seq + 1;
         let g = mx.groups().group(item.group);
         let is_lock_var = g.mutex_lock() == Some(item.var);
+        // Canonical in-order receipt event for the checkers; `mode` says
+        // what happened to the payload: `a` applied, `h` hardware-blocked
+        // (Figure 6 own-echo drop), `i` applied via armed lock interrupt.
+        let gwc_apply = |mx: &mut Mx<'_, '_>, mode: &str| {
+            mx.trace(
+                node,
+                "gwc-apply",
+                format!(
+                    "g={} seq={} v={} val={} origin={} mode={mode}",
+                    item.group.get(),
+                    item.seq,
+                    item.var.get(),
+                    item.value,
+                    item.origin.get()
+                ),
+            );
+        };
 
         // Figure 6 hardware blocking: drop echoed own mutex-group data.
         if mx.config().hw_block && g.is_mutex_group() && item.origin == node && !is_lock_var {
             self.stats.hw_block_drops += 1;
             if mx.tracing() {
-                mx.trace(node, "hw-block-drop", format!("{}={}", item.var, item.value));
+                mx.trace(
+                    node,
+                    "hw-block-drop",
+                    format!("{}={}", item.var, item.value),
+                );
+                gwc_apply(mx, "h");
             }
             return;
         }
@@ -439,6 +505,9 @@ impl GwcModel {
             st.armed.remove(&item.var);
             if mx.config().insharing_suspension {
                 st.suspended = true;
+            }
+            if mx.tracing() {
+                gwc_apply(mx, "i");
             }
             mx.mem(node).write(item.var, item.value);
             mx.deliver(
@@ -451,6 +520,9 @@ impl GwcModel {
             return;
         }
 
+        if mx.tracing() {
+            gwc_apply(mx, "a");
+        }
         mx.mem(node).write(item.var, item.value);
         if st.pending_acquire.contains(&item.var) && item.value == lockval::grant(node) {
             st.pending_acquire.remove(&item.var);
@@ -653,7 +725,11 @@ impl Model for GwcModel {
         let (var, value, origin) = rg.history[(seq - 1 - rg.history_base) as usize];
         self.stats.grant_retransmissions += 1;
         if mx.tracing() {
-            mx.trace(node, "grant-retransmit", format!("{var} seq {seq} -> {}", w.holder));
+            mx.trace(
+                node,
+                "grant-retransmit",
+                format!("{var} seq {seq} -> {}", w.holder),
+            );
         }
         mx.send(Packet {
             from: node,

@@ -75,7 +75,8 @@ pub use addr::{lockval, GroupId, VarId, Word};
 pub use group::{GroupConfigError, GroupSpec, GroupTable, SharingGroup};
 pub use gwc::{GwcModel, GwcStats};
 pub use machine::{
-    run, CpuMeter, DsmEvent, Machine, MachineConfig, MachineMsg, Model, Mx, RunOptions, RunResult,
+    run, run_observed, CpuMeter, DsmEvent, Machine, MachineConfig, MachineMsg, Model, Mx,
+    RunOptions, RunResult,
 };
 pub use memory::LocalMemory;
 pub use program::{Action, AppEvent, IdleProgram, ModelAction, NodeApi, Program};

@@ -132,7 +132,8 @@ impl Mx<'_, '_> {
             .fabric
             .unicast(self.now + extra, self.topo, pkt.from, pkt.to, pkt.bytes);
         let target = self.ctx.self_id();
-        self.ctx.send_at(target, at, (pkt.to, DsmEvent::Packet(pkt)));
+        self.ctx
+            .send_at(target, at, (pkt.to, DsmEvent::Packet(pkt)));
     }
 
     /// Multicasts one sequenced write down `group`'s spanning tree to every
@@ -156,7 +157,8 @@ impl Mx<'_, '_> {
                 bytes,
                 kind,
             };
-            self.ctx.send_at(target, at, (member, DsmEvent::Packet(pkt)));
+            self.ctx
+                .send_at(target, at, (member, DsmEvent::Packet(pkt)));
         }
     }
 
@@ -164,8 +166,11 @@ impl Mx<'_, '_> {
     /// after `delay`.
     pub fn set_model_timer(&mut self, node: NodeId, delay: SimDur, tag: u64) {
         let target = self.ctx.self_id();
-        self.ctx
-            .send_at(target, self.now + delay, (node, DsmEvent::ModelTimer { tag }));
+        self.ctx.send_at(
+            target,
+            self.now + delay,
+            (node, DsmEvent::ModelTimer { tag }),
+        );
     }
 
     /// Queues an application event for delivery to `node`'s program in the
@@ -443,8 +448,26 @@ impl<M: Model> Machine<M> {
         f(model, &mut mx)
     }
 
-    fn drain(&mut self, mut app_q: VecDeque<(NodeId, AppEvent)>, ctx: &mut Context<'_, MachineMsg>) {
+    fn drain(
+        &mut self,
+        mut app_q: VecDeque<(NodeId, AppEvent)>,
+        ctx: &mut Context<'_, MachineMsg>,
+    ) {
         while let Some((node, event)) = app_q.pop_front() {
+            if ctx.tracing() {
+                // Canonical lock-transfer events for trace-level checkers
+                // (`sesame-verify`): a node now believes it holds / has
+                // given up the lock.
+                match &event {
+                    AppEvent::Acquired { lock } => {
+                        ctx.trace_for(node.index(), "ev-acquired", format!("v={}", lock.get()));
+                    }
+                    AppEvent::Released { lock } => {
+                        ctx.trace_for(node.index(), "ev-released", format!("v={}", lock.get()));
+                    }
+                    _ => {}
+                }
+            }
             let mut actions = Vec::new();
             {
                 let mem = &self.mems[node.index()];
@@ -454,6 +477,34 @@ impl<M: Model> Machine<M> {
             for action in actions {
                 match action {
                     Action::Model(ma) => {
+                        if ctx.tracing() {
+                            // Canonical shared-access events, in program
+                            // issue order (interleaved with `acc-read`
+                            // records pushed by `NodeApi::read`).
+                            match &ma {
+                                ModelAction::Write { var, value } => ctx.trace_for(
+                                    node.index(),
+                                    "acc-write",
+                                    format!("v={} val={}", var.get(), value),
+                                ),
+                                ModelAction::WriteLocal { var, value } => ctx.trace_for(
+                                    node.index(),
+                                    "acc-write-local",
+                                    format!("v={} val={}", var.get(), value),
+                                ),
+                                ModelAction::Acquire { lock } => ctx.trace_for(
+                                    node.index(),
+                                    "lock-acquire",
+                                    format!("v={}", lock.get()),
+                                ),
+                                ModelAction::Release { lock } => ctx.trace_for(
+                                    node.index(),
+                                    "lock-release",
+                                    format!("v={}", lock.get()),
+                                ),
+                                _ => {}
+                            }
+                        }
                         self.with_mx(ctx, &mut app_q, |model, mx| model.on_action(node, ma, mx));
                     }
                     Action::Compute { dur, tag } => {
@@ -478,9 +529,9 @@ impl<M: Model> Machine<M> {
                             bytes,
                             kind: PacketKind::App { tag },
                         };
-                        let at = self
-                            .fabric
-                            .unicast(ctx.now(), self.topo.as_ref(), node, to, bytes);
+                        let at =
+                            self.fabric
+                                .unicast(ctx.now(), self.topo.as_ref(), node, to, bytes);
                         let target = ctx.self_id();
                         ctx.send_at(target, at, (to, DsmEvent::Packet(pkt)));
                     }
@@ -576,10 +627,25 @@ impl<M: Model> RunResult<M> {
 /// Runs a machine to completion (or to the configured limits), scheduling
 /// [`AppEvent::Started`] on every node at time zero.
 pub fn run<M: Model>(machine: Machine<M>, opts: RunOptions) -> RunResult<M> {
+    run_observed(machine, opts, None)
+}
+
+/// Like [`run`], but with an optional online [`TraceObserver`] that sees
+/// every trace record as it is made (e.g. the `sesame-verify` checkers).
+/// The observer receives records even when `opts.tracing` is false, in
+/// which case no in-memory trace is retained.
+pub fn run_observed<M: Model>(
+    machine: Machine<M>,
+    opts: RunOptions,
+    observer: Option<std::rc::Rc<std::cell::RefCell<dyn sesame_sim::TraceObserver>>>,
+) -> RunResult<M> {
     let n = machine.node_count();
     let mut sim = Simulation::new(vec![machine], opts.seed);
     sim.set_tracing(opts.tracing);
     sim.set_event_limit(opts.event_limit);
+    if let Some(observer) = observer {
+        sim.set_trace_observer(observer);
+    }
     for i in 0..n {
         sim.schedule(
             SimTime::ZERO,

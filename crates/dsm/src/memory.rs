@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use crate::{Word, VarId};
+use crate::{VarId, Word};
 
 /// One node's local copies of shared variables.
 ///

@@ -13,8 +13,8 @@
 use sesame_net::NodeId;
 use sesame_sim::{SimDur, SimTime};
 
-use crate::{LocalMemory, VarId, Word};
 use crate::addr::lockval;
+use crate::{LocalMemory, VarId, Word};
 
 /// Events delivered to a [`Program`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -244,7 +244,12 @@ impl<'a> NodeApi<'a> {
     }
 
     /// Reads the local copy of a shared variable.
-    pub fn read(&self, var: VarId) -> Word {
+    ///
+    /// When tracing is on, the read is recorded as a canonical `acc-read`
+    /// event so trace-level checkers (`sesame-verify`) can include reads in
+    /// happens-before analysis.
+    pub fn read(&mut self, var: VarId) -> Word {
+        self.trace("acc-read", format!("v={}", var.get()));
         self.mem.read(var)
     }
 
@@ -306,13 +311,15 @@ impl<'a> NodeApi<'a> {
 
     /// Suspends insharing: incoming shared writes buffer in arrival order.
     pub fn suspend_insharing(&mut self) {
-        self.actions.push(Action::Model(ModelAction::SuspendInsharing));
+        self.actions
+            .push(Action::Model(ModelAction::SuspendInsharing));
     }
 
     /// Resumes insharing, applying buffered writes in order (Figure 4 line
     /// 25).
     pub fn resume_insharing(&mut self) {
-        self.actions.push(Action::Model(ModelAction::ResumeInsharing));
+        self.actions
+            .push(Action::Model(ModelAction::ResumeInsharing));
     }
 
     /// Occupies the CPU for `dur`; [`AppEvent::ComputeDone`] echoes `tag`.
@@ -368,7 +375,7 @@ mod tests {
         let mut mem = LocalMemory::new();
         mem.write(VarId::new(3), 77);
         let mut actions = Vec::new();
-        let api = NodeApi::new(NodeId::new(1), SimTime::ZERO, &mem, &mut actions, false);
+        let mut api = NodeApi::new(NodeId::new(1), SimTime::ZERO, &mem, &mut actions, false);
         assert_eq!(api.read(VarId::new(3)), 77);
         assert_eq!(api.id(), NodeId::new(1));
         assert!(!api.tracing());
@@ -389,7 +396,10 @@ mod tests {
             actions[0],
             Action::Model(ModelAction::Write { value: 5, .. })
         ));
-        assert!(matches!(actions[1], Action::Model(ModelAction::Acquire { .. })));
+        assert!(matches!(
+            actions[1],
+            Action::Model(ModelAction::Acquire { .. })
+        ));
         assert!(matches!(actions[3], Action::Compute { tag: 9, .. }));
         assert!(matches!(actions[4], Action::Stop));
     }

@@ -178,9 +178,7 @@ impl Program for Contender {
     fn on_event(&mut self, ev: AppEvent, api: &mut NodeApi<'_>) {
         match ev {
             AppEvent::Started if self.rounds > 0 => {
-                {
-                    api.acquire(self.lock);
-                }
+                api.acquire(self.lock);
             }
             AppEvent::Acquired { lock } if lock == self.lock => {
                 self.entered_at = api.now();
@@ -210,11 +208,7 @@ fn contention_run(
     nodes: u32,
     rounds: u32,
     cfg: MachineConfig,
-) -> (
-    RunResult<GwcModel>,
-    Vec<(u32, SimTime, SimTime)>,
-    Vec<u32>,
-) {
+) -> (RunResult<GwcModel>, Vec<(u32, SimTime, SimTime)>, Vec<u32>) {
     let lock = v(0);
     let counter = v(1);
     let spans = Rc::new(RefCell::new(Vec::new()));
@@ -535,16 +529,16 @@ fn lost_multicasts_recover_via_nack_and_retransmission() {
     let log: Log = Rc::new(RefCell::new(Vec::new()));
     let writes: i64 = 40;
     let mut programs: Vec<Box<dyn Program>> = Vec::new();
-    programs.push(Box::new(move |ev: AppEvent, api: &mut NodeApi<'_>| {
-        match ev {
+    programs.push(Box::new(
+        move |ev: AppEvent, api: &mut NodeApi<'_>| match ev {
             AppEvent::Started => api.set_timer(SimDur::from_us(1), 1),
             AppEvent::TimerFired { tag } if (tag as i64) <= writes => {
                 api.write(var, tag as Word);
                 api.set_timer(SimDur::from_us(5), tag + 1);
             }
             _ => {}
-        }
-    }));
+        },
+    ));
     for _ in 1..4 {
         programs.push(recorder(var, log.clone()));
     }
@@ -615,10 +609,7 @@ fn efficiency_metering_tracks_compute_time() {
     assert!((result.efficiency(n(0)) - 1.0).abs() < 1e-9);
     assert!((result.efficiency(n(1)) - 1.0 / 3.0).abs() < 1e-9);
     assert!((result.network_power() - (1.0 + 1.0 / 3.0)).abs() < 1e-9);
-    assert_eq!(
-        result.machine.total_busy(),
-        SimDur::from_us(40)
-    );
+    assert_eq!(result.machine.total_busy(), SimDur::from_us(40));
 }
 
 #[test]
@@ -666,7 +657,13 @@ fn lost_grants_recover_via_the_grant_watchdog() {
         stats.grant_retransmissions > 0,
         "the watchdog must have fired at this loss rate: {stats:?}"
     );
-    assert_eq!(result.machine.model().lock_queue_len(sesame_dsm::GroupId::new(0)), 0);
+    assert_eq!(
+        result
+            .machine
+            .model()
+            .lock_queue_len(sesame_dsm::GroupId::new(0)),
+        0
+    );
 }
 
 #[test]
@@ -718,14 +715,16 @@ fn history_window_bounds_root_memory() {
     let var = v(1);
     let writes = 200;
     let mut programs: Vec<Box<dyn Program>> = Vec::new();
-    programs.push(Box::new(move |ev: AppEvent, api: &mut NodeApi<'_>| match ev {
-        AppEvent::Started => api.set_timer(SimDur::from_nanos(100), 1),
-        AppEvent::TimerFired { tag } if tag <= writes => {
-            api.write(var, tag as Word);
-            api.set_timer(SimDur::from_us(2), tag + 1);
-        }
-        _ => {}
-    }));
+    programs.push(Box::new(
+        move |ev: AppEvent, api: &mut NodeApi<'_>| match ev {
+            AppEvent::Started => api.set_timer(SimDur::from_nanos(100), 1),
+            AppEvent::TimerFired { tag } if tag <= writes => {
+                api.write(var, tag as Word);
+                api.set_timer(SimDur::from_us(2), tag + 1);
+            }
+            _ => {}
+        },
+    ));
     programs.push(Box::new(sesame_dsm::IdleProgram));
     programs.push(Box::new(sesame_dsm::IdleProgram));
     let mut machine = one_group_machine(
@@ -739,11 +738,19 @@ fn history_window_bounds_root_memory() {
     machine.model_mut().set_history_window(Some(32));
     let result = run(machine, RunOptions::default());
     assert!(
-        result.machine.model().history_len(sesame_dsm::GroupId::new(0)) <= 32,
+        result
+            .machine
+            .model()
+            .history_len(sesame_dsm::GroupId::new(0))
+            <= 32,
         "history must stay within the window"
     );
     for i in 0..3 {
-        assert_eq!(result.machine.mem(n(i)).read(var), writes as Word, "node {i}");
+        assert_eq!(
+            result.machine.mem(n(i)).read(var),
+            writes as Word,
+            "node {i}"
+        );
     }
 }
 
@@ -754,14 +761,16 @@ fn history_window_recovers_recent_losses() {
     let writes = 60;
     let log: Log = Rc::new(RefCell::new(Vec::new()));
     let mut programs: Vec<Box<dyn Program>> = Vec::new();
-    programs.push(Box::new(move |ev: AppEvent, api: &mut NodeApi<'_>| match ev {
-        AppEvent::Started => api.set_timer(SimDur::from_us(1), 1),
-        AppEvent::TimerFired { tag } if tag <= writes => {
-            api.write(var, tag as Word);
-            api.set_timer(SimDur::from_us(5), tag + 1);
-        }
-        _ => {}
-    }));
+    programs.push(Box::new(
+        move |ev: AppEvent, api: &mut NodeApi<'_>| match ev {
+            AppEvent::Started => api.set_timer(SimDur::from_us(1), 1),
+            AppEvent::TimerFired { tag } if tag <= writes => {
+                api.write(var, tag as Word);
+                api.set_timer(SimDur::from_us(5), tag + 1);
+            }
+            _ => {}
+        },
+    ));
     for _ in 1..4 {
         programs.push(recorder(var, log.clone()));
     }
@@ -784,7 +793,11 @@ fn history_window_recovers_recent_losses() {
             .filter(|(node, _, _)| *node == i)
             .map(|&(_, _, w)| w)
             .collect();
-        assert_eq!(seen, (1..=writes as Word).collect::<Vec<Word>>(), "node {i}");
+        assert_eq!(
+            seen,
+            (1..=writes as Word).collect::<Vec<Word>>(),
+            "node {i}"
+        );
     }
 }
 
@@ -794,16 +807,15 @@ fn compute_cancellation_credits_only_elapsed_work() {
     // meter must credit exactly 40us of occupied time. (The cancelled
     // phase's stale ComputeDone still arrives at t=100us and is ignored —
     // programs identify their own completions by tag.)
-    let programs: Vec<Box<dyn Program>> = vec![Box::new(
-        |ev: AppEvent, api: &mut NodeApi<'_>| match ev {
+    let programs: Vec<Box<dyn Program>> =
+        vec![Box::new(|ev: AppEvent, api: &mut NodeApi<'_>| match ev {
             AppEvent::Started => {
                 api.compute(SimDur::from_us(100), 1);
                 api.set_timer(SimDur::from_us(40), 2);
             }
             AppEvent::TimerFired { tag: 2 } => api.cancel_compute(),
             _ => {}
-        },
-    )];
+        })];
     let machine = one_group_machine(
         Box::new(Ring::new(1)),
         0,

@@ -216,7 +216,11 @@ impl Fabric {
                     // Cut-through: the root clocks the packet out once, then
                     // the wavefront advances one hop latency per tree edge.
                     ContentionModel::None => {
-                        let base = if pos == tree.root() { t_here + ser } else { t_here };
+                        let base = if pos == tree.root() {
+                            t_here + ser
+                        } else {
+                            t_here
+                        };
                         base + self.timing.hop_latency
                     }
                     // Store-and-forward: every tree edge re-serializes and
@@ -231,10 +235,7 @@ impl Fabric {
                 };
             }
         }
-        members
-            .iter()
-            .map(|&m| (m, arrival[m.index()]))
-            .collect()
+        members.iter().map(|&m| (m, arrival[m.index()])).collect()
     }
 }
 
@@ -354,7 +355,10 @@ mod tests {
                 Delivery::Delivered(_) => delivered += 1,
             }
         }
-        assert!(lost > 50 && delivered > 50, "lost={lost} delivered={delivered}");
+        assert!(
+            lost > 50 && delivered > 50,
+            "lost={lost} delivered={delivered}"
+        );
         assert_eq!(f.stats().losses, lost);
     }
 

@@ -374,13 +374,17 @@ impl Topology for Star {
     }
 
     fn route(&self, a: NodeId, b: NodeId) -> Vec<LinkId> {
-        route_by_next_hop(a, b, |at, to| {
-            if at.get() == 0 {
-                to
-            } else {
-                NodeId::new(0)
-            }
-        })
+        route_by_next_hop(
+            a,
+            b,
+            |at, to| {
+                if at.get() == 0 {
+                    to
+                } else {
+                    NodeId::new(0)
+                }
+            },
+        )
     }
 }
 

@@ -1,13 +1,16 @@
-//! Property tests of the interconnect layer over every topology: route
+//! Randomized tests of the interconnect layer over every topology: route
 //! validity, hop symmetry, spanning-tree shortest paths, fabric timing
 //! monotonicity, and per-link FIFO under store-and-forward contention.
+//!
+//! Cases are drawn from the kernel's own deterministic [`DetRng`] so the
+//! suite needs no external property-testing crate and replays identically
+//! on every run.
 
-use proptest::prelude::*;
 use sesame_net::{
     ContentionModel, Fabric, FullMesh, Hypercube, Line, LinkTiming, MeshTorus2d, NodeId, Ring,
     SpanningTree, Star, Topology,
 };
-use sesame_sim::SimTime;
+use sesame_sim::{DetRng, SimTime};
 
 fn n(id: u32) -> NodeId {
     NodeId::new(id)
@@ -25,104 +28,107 @@ fn make_topology(kind: u8, nodes: usize) -> Box<dyn Topology> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Routes are connected, end at the destination, and have exactly
-    /// `hops` links; hops are symmetric; self-distance is zero.
-    #[test]
-    fn routes_are_valid_on_every_topology(
-        kind in 0u8..6,
-        nodes in 2usize..30,
-        a in 0u32..30,
-        b in 0u32..30,
-    ) {
+/// Routes are connected, end at the destination, and have exactly
+/// `hops` links; hops are symmetric; self-distance is zero.
+#[test]
+fn routes_are_valid_on_every_topology() {
+    let mut rng = DetRng::new(0xA11CE);
+    for _ in 0..48 {
+        let kind = rng.next_below(6) as u8;
+        let nodes = rng.next_range(2, 29) as usize;
+        let a = n(rng.next_below(nodes as u64) as u32);
+        let b = n(rng.next_below(nodes as u64) as u32);
         let topo = make_topology(kind, nodes);
-        let a = n(a % nodes as u32);
-        let b = n(b % nodes as u32);
         let links = topo.route(a, b);
-        prop_assert_eq!(links.len() as u32, topo.hops(a, b));
+        assert_eq!(links.len() as u32, topo.hops(a, b));
         let mut at = a;
         for l in &links {
-            prop_assert_eq!(l.from_node(), at);
+            assert_eq!(l.from_node(), at);
             // Each link connects adjacent positions.
-            prop_assert!(topo.neighbors(l.from_node()).contains(&l.to_node()),
-                "non-adjacent link {}", l);
+            assert!(
+                topo.neighbors(l.from_node()).contains(&l.to_node()),
+                "non-adjacent link {l}"
+            );
             at = l.to_node();
         }
-        prop_assert_eq!(at, b);
-        prop_assert_eq!(topo.hops(a, b), topo.hops(b, a));
-        prop_assert_eq!(topo.hops(a, a), 0);
-        prop_assert!(topo.hops(a, b) <= topo.diameter().max(1) * 2);
+        assert_eq!(at, b);
+        assert_eq!(topo.hops(a, b), topo.hops(b, a));
+        assert_eq!(topo.hops(a, a), 0);
+        assert!(topo.hops(a, b) <= topo.diameter().max(1) * 2);
     }
+}
 
-    /// Spanning trees reach every position at shortest-path depth with
-    /// consistent parent/child links, from any root.
-    #[test]
-    fn spanning_trees_are_shortest_path_trees(
-        kind in 0u8..6,
-        nodes in 2usize..25,
-        root in 0u32..25,
-    ) {
+/// Spanning trees reach every position at shortest-path depth with
+/// consistent parent/child links, from any root.
+#[test]
+fn spanning_trees_are_shortest_path_trees() {
+    let mut rng = DetRng::new(0xB0B);
+    for _ in 0..48 {
+        let kind = rng.next_below(6) as u8;
+        let nodes = rng.next_range(2, 24) as usize;
+        let root = n(rng.next_below(nodes as u64) as u32);
         let topo = make_topology(kind, nodes);
-        let root = n(root % nodes as u32);
         let tree = SpanningTree::build(topo.as_ref(), root);
-        prop_assert_eq!(tree.len(), topo.positions());
+        assert_eq!(tree.len(), topo.positions());
         for m in 0..topo.len() as u32 {
             let m = n(m);
-            prop_assert_eq!(tree.depth(m), topo.hops(root, m));
+            assert_eq!(tree.depth(m), topo.hops(root, m));
             if m != root {
                 let p = tree.parent(m).expect("non-root parent");
-                prop_assert_eq!(tree.depth(m), tree.depth(p) + 1);
-                prop_assert!(tree.children(p).contains(&m));
+                assert_eq!(tree.depth(m), tree.depth(p) + 1);
+                assert!(tree.children(p).contains(&m));
             }
         }
         let order = tree.bfs_order();
-        prop_assert_eq!(order.len(), topo.positions());
-        prop_assert_eq!(order[0], root);
+        assert_eq!(order.len(), topo.positions());
+        assert_eq!(order[0], root);
     }
+}
 
-    /// Cut-through delivery time is now + hops*latency + serialization;
-    /// arrival never precedes departure; bigger payloads never arrive
-    /// sooner.
-    #[test]
-    fn fabric_timing_is_monotone(
-        kind in 0u8..6,
-        nodes in 2usize..20,
-        a in 0u32..20,
-        b in 0u32..20,
-        bytes in 1u32..10_000,
-        start in 0u64..1_000_000,
-    ) {
+/// Cut-through delivery time is now + hops*latency + serialization;
+/// arrival never precedes departure; bigger payloads never arrive
+/// sooner.
+#[test]
+fn fabric_timing_is_monotone() {
+    let mut rng = DetRng::new(0xC0FFEE);
+    for _ in 0..48 {
+        let kind = rng.next_below(6) as u8;
+        let nodes = rng.next_range(2, 19) as usize;
+        let a = n(rng.next_below(nodes as u64) as u32);
+        let b = n(rng.next_below(nodes as u64) as u32);
+        let bytes = rng.next_range(1, 9_999) as u32;
+        let start = rng.next_below(1_000_000);
         let topo = make_topology(kind, nodes);
-        let a = n(a % nodes as u32);
-        let b = n(b % nodes as u32);
         let now = SimTime::from_nanos(start);
         let timing = LinkTiming::paper_1994();
         let mut f = Fabric::new(timing);
         let arr = f.unicast(now, topo.as_ref(), a, b, bytes);
-        prop_assert!(arr >= now);
+        assert!(arr >= now);
         let expect = now + timing.transfer(topo.hops(a, b), bytes);
         if a != b {
-            prop_assert_eq!(arr, expect);
+            assert_eq!(arr, expect);
         }
         let mut f2 = Fabric::new(timing);
         let arr_bigger = f2.unicast(now, topo.as_ref(), a, b, bytes + 64);
-        prop_assert!(arr_bigger >= arr);
+        assert!(arr_bigger >= arr);
     }
+}
 
-    /// Under store-and-forward contention, packets entering the same first
-    /// link in order leave in order (per-link FIFO), and contention never
-    /// makes anything *faster* than the contention-free model.
-    #[test]
-    fn store_and_forward_is_fifo_and_never_faster(
-        sends in proptest::collection::vec((0u64..5_000, 1u32..2_000), 1..30),
-        nodes in 3usize..12,
-    ) {
+/// Under store-and-forward contention, packets entering the same first
+/// link in order leave in order (per-link FIFO), and contention never
+/// makes anything *faster* than the contention-free model.
+#[test]
+fn store_and_forward_is_fifo_and_never_faster() {
+    let mut rng = DetRng::new(0xF1F0);
+    for _ in 0..48 {
+        let nodes = rng.next_range(3, 11) as usize;
+        let count = rng.next_range(1, 29) as usize;
+        let mut sends: Vec<(u64, u32)> = (0..count)
+            .map(|_| (rng.next_below(5_000), rng.next_range(1, 1_999) as u32))
+            .collect();
+        sends.sort_by_key(|&(t, _)| t);
         let topo = Line::new(nodes);
         let dst = n(nodes as u32 - 1);
-        let mut sends = sends;
-        sends.sort_by_key(|&(t, _)| t);
         let timing = LinkTiming::paper_1994();
         let mut contended = Fabric::new(timing);
         contended.set_contention(ContentionModel::StoreAndForward);
@@ -132,38 +138,39 @@ proptest! {
             let arr = contended.unicast(now, &topo, n(0), dst, bytes);
             let mut free = Fabric::new(timing);
             let free_arr = free.unicast(now, &topo, n(0), dst, bytes);
-            prop_assert!(arr >= free_arr, "contention made delivery faster");
+            assert!(arr >= free_arr, "contention made delivery faster");
             arrivals.push(arr);
         }
         for w in arrivals.windows(2) {
-            prop_assert!(w[0] <= w[1], "per-link FIFO violated: {:?}", w);
+            assert!(w[0] <= w[1], "per-link FIFO violated: {w:?}");
         }
     }
+}
 
-    /// Multicast arrivals are ordered by tree depth and each member's
-    /// arrival is no earlier than a direct unicast could make it.
-    #[test]
-    fn multicast_arrivals_follow_tree_depth(
-        kind in 0u8..6,
-        nodes in 2usize..20,
-        root in 0u32..20,
-        bytes in 1u32..1_000,
-    ) {
+/// Multicast arrivals are ordered by tree depth and each member's
+/// arrival is no earlier than a direct unicast could make it.
+#[test]
+fn multicast_arrivals_follow_tree_depth() {
+    let mut rng = DetRng::new(0xD00D);
+    for _ in 0..48 {
+        let kind = rng.next_below(6) as u8;
+        let nodes = rng.next_range(2, 19) as usize;
+        let root = n(rng.next_below(nodes as u64) as u32);
+        let bytes = rng.next_range(1, 999) as u32;
         let topo = make_topology(kind, nodes);
-        let root = n(root % nodes as u32);
         let tree = SpanningTree::build(topo.as_ref(), root);
         let members: Vec<NodeId> = (0..topo.len() as u32).map(n).collect();
         let mut f = Fabric::new(LinkTiming::paper_1994());
         let arrivals = f.multicast(SimTime::ZERO, &tree, bytes, &members);
-        prop_assert_eq!(arrivals.len(), members.len());
+        assert_eq!(arrivals.len(), members.len());
         for (m, at) in &arrivals {
             if *m == root {
-                prop_assert_eq!(*at, SimTime::ZERO);
+                assert_eq!(*at, SimTime::ZERO);
             } else {
                 let expect = SimTime::ZERO
                     + LinkTiming::paper_1994().serialization(bytes)
                     + sesame_sim::SimDur::from_nanos(200) * tree.depth(*m) as u64;
-                prop_assert_eq!(*at, expect, "member {}", m);
+                assert_eq!(*at, expect, "member {m}");
             }
         }
     }

@@ -203,6 +203,16 @@ impl<A: Actor> Simulation<A> {
         self.trace.set_enabled(enabled);
     }
 
+    /// Attaches an online [`TraceObserver`](crate::TraceObserver) that sees
+    /// every trace record as it is made, independent of whether the
+    /// in-memory trace is kept.
+    pub fn set_trace_observer(
+        &mut self,
+        observer: std::rc::Rc<std::cell::RefCell<dyn crate::TraceObserver>>,
+    ) {
+        self.trace.set_observer(observer);
+    }
+
     /// The trace collected so far.
     pub fn trace(&self) -> &TraceRecorder {
         &self.trace

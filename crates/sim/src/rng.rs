@@ -184,7 +184,10 @@ mod tests {
         let n = 20_000;
         let sum: f64 = (0..n).map(|_| r.next_exp(5.0)).sum();
         let mean = sum / n as f64;
-        assert!((mean - 5.0).abs() < 0.25, "sample mean {mean} too far from 5");
+        assert!(
+            (mean - 5.0).abs() < 0.25,
+            "sample mean {mean} too far from 5"
+        );
     }
 
     #[test]

@@ -340,9 +340,10 @@ impl Series {
 
     /// The maximum y value, or `None` when empty.
     pub fn y_max(&self) -> Option<f64> {
-        self.points.iter().map(|p| p.y).fold(None, |acc, y| {
-            Some(acc.map_or(y, |a: f64| a.max(y)))
-        })
+        self.points
+            .iter()
+            .map(|p| p.y)
+            .fold(None, |acc, y| Some(acc.map_or(y, |a: f64| a.max(y))))
     }
 
     /// Renders the series as CSV rows `x,y` with a `# label` header line.
@@ -458,7 +459,7 @@ mod tests {
         let mut tw = TimeWeighted::new(SimTime::ZERO, 1.0);
         tw.set(SimTime::from_nanos(10), 0.0); // busy 10ns
         tw.set(SimTime::from_nanos(30), 1.0); // idle 20ns
-        // busy again until t=40: 10 + 10 busy of 40 total
+                                              // busy again until t=40: 10 + 10 busy of 40 total
         let avg = tw.average(SimTime::from_nanos(40));
         assert!((avg - 0.5).abs() < 1e-12, "avg={avg}");
     }

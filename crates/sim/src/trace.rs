@@ -8,7 +8,9 @@
 //!
 //! Recording is disabled by default and costs a single branch when off.
 
+use std::cell::RefCell;
 use std::fmt;
+use std::rc::Rc;
 
 use crate::SimTime;
 
@@ -38,11 +40,33 @@ impl fmt::Display for TraceEntry {
     }
 }
 
-/// Collects [`TraceEntry`] records during a run.
-#[derive(Debug, Default, Clone)]
+/// Receives every trace record the moment it is made.
+///
+/// This is the hook through which online checkers (e.g. `sesame-verify`)
+/// watch a running simulation without waiting for the run to finish or
+/// requiring the recorder to retain the whole trace in memory.
+pub trait TraceObserver {
+    /// Called once per record, in simulation-time order.
+    fn on_record(&mut self, entry: &TraceEntry);
+}
+
+/// Collects [`TraceEntry`] records during a run and feeds an optional
+/// online [`TraceObserver`].
+#[derive(Default, Clone)]
 pub struct TraceRecorder {
     enabled: bool,
     entries: Vec<TraceEntry>,
+    observer: Option<Rc<RefCell<dyn TraceObserver>>>,
+}
+
+impl fmt::Debug for TraceRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceRecorder")
+            .field("enabled", &self.enabled)
+            .field("entries", &self.entries.len())
+            .field("observer", &self.observer.is_some())
+            .finish()
+    }
 }
 
 impl TraceRecorder {
@@ -51,28 +75,51 @@ impl TraceRecorder {
         TraceRecorder {
             enabled,
             entries: Vec::new(),
+            observer: None,
         }
     }
 
-    /// Whether records are being kept.
+    /// Whether records are being made, either into the in-memory trace or
+    /// to an attached observer. Call sites use this to skip building
+    /// detail strings on the fast path.
     pub fn is_enabled(&self) -> bool {
-        self.enabled
+        self.enabled || self.observer.is_some()
     }
 
-    /// Turns recording on or off mid-run.
+    /// Turns in-memory recording on or off mid-run. An attached observer
+    /// keeps receiving records regardless.
     pub fn set_enabled(&mut self, enabled: bool) {
         self.enabled = enabled;
     }
 
-    /// Appends a record if recording is enabled.
+    /// Attaches an online observer that sees every subsequent record, even
+    /// when in-memory recording stays off.
+    pub fn set_observer(&mut self, observer: Rc<RefCell<dyn TraceObserver>>) {
+        self.observer = Some(observer);
+    }
+
+    /// Detaches the online observer, if any.
+    pub fn clear_observer(&mut self) {
+        self.observer = None;
+    }
+
+    /// Appends a record if recording is enabled, and forwards it to the
+    /// observer if one is attached.
     pub fn record(&mut self, time: SimTime, actor: usize, kind: &'static str, detail: String) {
+        if !self.is_enabled() {
+            return;
+        }
+        let entry = TraceEntry {
+            time,
+            actor,
+            kind,
+            detail,
+        };
+        if let Some(observer) = &self.observer {
+            observer.borrow_mut().on_record(&entry);
+        }
         if self.enabled {
-            self.entries.push(TraceEntry {
-                time,
-                actor,
-                kind,
-                detail,
-            });
+            self.entries.push(entry);
         }
     }
 
@@ -169,6 +216,44 @@ mod tests {
         assert!(s.contains("node3"));
         assert!(s.contains("rollback"));
         assert!(s.contains("lock 9"));
+    }
+
+    #[test]
+    fn observer_sees_records_even_when_recording_is_off() {
+        struct Counter(Vec<&'static str>);
+        impl TraceObserver for Counter {
+            fn on_record(&mut self, entry: &TraceEntry) {
+                self.0.push(entry.kind);
+            }
+        }
+        let observer = Rc::new(RefCell::new(Counter(Vec::new())));
+        let mut tr = TraceRecorder::new(false);
+        tr.set_observer(observer.clone());
+        assert!(tr.is_enabled(), "observer forces detail generation on");
+        tr.record(t(1), 0, "a", String::new());
+        tr.record(t(2), 1, "b", String::new());
+        assert!(tr.entries().is_empty(), "recording itself stays off");
+        assert_eq!(observer.borrow().0, vec!["a", "b"]);
+        tr.clear_observer();
+        tr.record(t(3), 0, "c", String::new());
+        assert_eq!(observer.borrow().0.len(), 2);
+        assert!(!tr.is_enabled());
+    }
+
+    #[test]
+    fn observer_and_recording_can_run_together() {
+        struct Counter(usize);
+        impl TraceObserver for Counter {
+            fn on_record(&mut self, _: &TraceEntry) {
+                self.0 += 1;
+            }
+        }
+        let observer = Rc::new(RefCell::new(Counter(0)));
+        let mut tr = TraceRecorder::new(true);
+        tr.set_observer(observer.clone());
+        tr.record(t(1), 0, "x", String::new());
+        assert_eq!(tr.entries().len(), 1);
+        assert_eq!(observer.borrow().0, 1);
     }
 
     #[test]

@@ -1,21 +1,22 @@
-//! Property tests of the simulation kernel against reference models:
+//! Randomized tests of the simulation kernel against reference models:
 //! the event queue versus a sorted stable list, statistics collectors
 //! versus brute-force computation, and engine determinism over random
-//! actor graphs.
+//! actor graphs. Cases come from the kernel's own [`DetRng`], so the
+//! suite replays identically without an external property-testing crate.
 
-use proptest::prelude::*;
 use sesame_sim::{
     Actor, ActorId, Context, DetRng, EventQueue, Histogram, MeanVar, SimDur, SimTime, Simulation,
     TimeWeighted,
 };
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The event queue pops exactly what a stable sort of (time, insertion
-    /// index) would produce.
-    #[test]
-    fn event_queue_matches_stable_sort(times in proptest::collection::vec(0u64..100, 0..200)) {
+/// The event queue pops exactly what a stable sort of (time, insertion
+/// index) would produce.
+#[test]
+fn event_queue_matches_stable_sort() {
+    let mut rng = DetRng::new(0x0E5);
+    for _ in 0..64 {
+        let len = rng.next_below(200) as usize;
+        let times: Vec<u64> = (0..len).map(|_| rng.next_below(100)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(SimTime::from_nanos(t), i);
@@ -27,21 +28,24 @@ proptest! {
         while let Some((t, i)) = q.pop() {
             popped.push((t.as_nanos(), i));
         }
-        prop_assert_eq!(popped, reference);
+        assert_eq!(popped, reference);
     }
+}
 
-    /// Interleaved push/pop never violates the (time, FIFO) order among
-    /// the elements present in the queue at pop time.
-    #[test]
-    fn event_queue_interleaved_pops_are_monotone_per_batch(
-        ops in proptest::collection::vec((0u64..50, proptest::bool::ANY), 1..100)
-    ) {
+/// Interleaved push/pop never violates the (time, FIFO) order among
+/// the elements present in the queue at pop time.
+#[test]
+fn event_queue_interleaved_pops_are_monotone_per_batch() {
+    let mut rng = DetRng::new(0x1E4);
+    for _ in 0..64 {
+        let ops = rng.next_range(1, 99) as usize;
         let mut q = EventQueue::new();
         let mut seq = 0usize;
         let mut last_popped: Option<(u64, usize)> = None;
         let mut max_time_popped = 0u64;
-        for (t, is_push) in ops {
-            if is_push {
+        for _ in 0..ops {
+            let t = rng.next_below(50);
+            if rng.chance(0.5) {
                 // Pushing into the past relative to popped events is the
                 // caller's responsibility; emulate a monotone clock.
                 let t = t.max(max_time_popped);
@@ -50,33 +54,46 @@ proptest! {
             } else if let Some((t, i)) = q.pop() {
                 let t = t.as_nanos();
                 if let Some((lt, li)) = last_popped {
-                    prop_assert!(t > lt || (t == lt && i > li),
-                        "pop order violated: ({lt},{li}) then ({t},{i})");
+                    assert!(
+                        t > lt || (t == lt && i > li),
+                        "pop order violated: ({lt},{li}) then ({t},{i})"
+                    );
                 }
                 last_popped = Some((t, i));
                 max_time_popped = t;
             }
         }
     }
+}
 
-    /// DetRng range helpers always stay in bounds.
-    #[test]
-    fn rng_bounds_hold(seed: u64, lo in 0u64..1000, span in 1u64..1000) {
+/// DetRng range helpers always stay in bounds.
+#[test]
+fn rng_bounds_hold() {
+    let mut meta = DetRng::new(0xB0057);
+    for _ in 0..64 {
+        let seed = meta.next_u64();
+        let lo = meta.next_below(1000);
+        let span = meta.next_range(1, 999);
         let mut r = DetRng::new(seed);
         let hi = lo + span;
         for _ in 0..100 {
             let v = r.next_range(lo, hi);
-            prop_assert!((lo..=hi).contains(&v));
+            assert!((lo..=hi).contains(&v));
             let b = r.next_below(span);
-            prop_assert!(b < span);
+            assert!(b < span);
             let f = r.next_f64();
-            prop_assert!((0.0..1.0).contains(&f));
+            assert!((0.0..1.0).contains(&f));
         }
     }
+}
 
-    /// MeanVar equals the brute-force mean and variance.
-    #[test]
-    fn meanvar_matches_bruteforce(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+/// MeanVar equals the brute-force mean and variance.
+#[test]
+fn meanvar_matches_bruteforce() {
+    let mut rng = DetRng::new(0x3EA7);
+    for _ in 0..64 {
+        let len = rng.next_range(1, 199) as usize;
+        let xs: Vec<f64> = (0..len).map(|_| (rng.next_f64() - 0.5) * 2e6).collect();
         let mut m = MeanVar::new();
         for &x in &xs {
             m.record(x);
@@ -85,36 +102,47 @@ proptest! {
         let mean = xs.iter().sum::<f64>() / n;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
         let scale = 1.0 + mean.abs() + var.abs();
-        prop_assert!((m.mean() - mean).abs() / scale < 1e-9);
-        prop_assert!((m.variance() - var).abs() / (1.0 + var) < 1e-6);
+        assert!((m.mean() - mean).abs() / scale < 1e-9);
+        assert!((m.variance() - var).abs() / (1.0 + var) < 1e-6);
     }
+}
 
-    /// Merged MeanVar accumulators equal one sequential accumulator.
-    #[test]
-    fn meanvar_merge_is_associative(
-        xs in proptest::collection::vec(-1e3f64..1e3, 1..100),
-        split in 0usize..100,
-    ) {
-        let k = split % xs.len();
+/// Merged MeanVar accumulators equal one sequential accumulator.
+#[test]
+fn meanvar_merge_is_associative() {
+    let mut rng = DetRng::new(0x4E6E);
+    for _ in 0..64 {
+        let len = rng.next_range(1, 99) as usize;
+        let xs: Vec<f64> = (0..len).map(|_| (rng.next_f64() - 0.5) * 2e3).collect();
+        let k = rng.next_below(xs.len() as u64) as usize;
         let mut whole = MeanVar::new();
-        for &x in &xs { whole.record(x); }
+        for &x in &xs {
+            whole.record(x);
+        }
         let mut a = MeanVar::new();
         let mut b = MeanVar::new();
-        for &x in &xs[..k] { a.record(x); }
-        for &x in &xs[k..] { b.record(x); }
+        for &x in &xs[..k] {
+            a.record(x);
+        }
+        for &x in &xs[k..] {
+            b.record(x);
+        }
         a.merge(&b);
-        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9);
-        prop_assert!((a.variance() - whole.variance()).abs() < 1e-6);
-        prop_assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-6);
+        assert_eq!(a.count(), whole.count());
     }
+}
 
-    /// Histogram quantiles bracket the true quantile within its power-of-
-    /// two bucket.
-    #[test]
-    fn histogram_quantile_brackets_truth(
-        samples in proptest::collection::vec(1u64..1_000_000, 1..300),
-        q in 0.01f64..1.0,
-    ) {
+/// Histogram quantiles bracket the true quantile within its power-of-
+/// two bucket.
+#[test]
+fn histogram_quantile_brackets_truth() {
+    let mut rng = DetRng::new(0x6157);
+    for _ in 0..64 {
+        let len = rng.next_range(1, 299) as usize;
+        let samples: Vec<u64> = (0..len).map(|_| rng.next_range(1, 999_999)).collect();
+        let q = 0.01 + rng.next_f64() * 0.98;
         let mut h = Histogram::new();
         for &s in &samples {
             h.record(SimDur::from_nanos(s));
@@ -125,16 +153,22 @@ proptest! {
         let truth = sorted[idx];
         let est = h.quantile(q).as_nanos();
         // The estimate is the lower bound of the truth's bucket.
-        prop_assert!(est <= truth, "estimate {est} above truth {truth}");
-        prop_assert!(est * 2 > truth || est == 0 || truth <= 1,
-            "estimate {est} more than 2x below truth {truth}");
+        assert!(est <= truth, "estimate {est} above truth {truth}");
+        assert!(
+            est * 2 > truth || est == 0 || truth <= 1,
+            "estimate {est} more than 2x below truth {truth}"
+        );
     }
+}
 
-    /// TimeWeighted equals brute-force integration of the step signal.
-    #[test]
-    fn time_weighted_matches_integration(
-        steps in proptest::collection::vec((1u64..1000, 0.0f64..10.0), 1..50)
-    ) {
+/// TimeWeighted equals brute-force integration of the step signal.
+#[test]
+fn time_weighted_matches_integration() {
+    let mut rng = DetRng::new(0x7173);
+    for _ in 0..64 {
+        let steps: Vec<(u64, f64)> = (0..rng.next_range(1, 49))
+            .map(|_| (rng.next_range(1, 999), rng.next_f64() * 10.0))
+            .collect();
         let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
         let mut t = 0u64;
         let mut integral = 0.0;
@@ -150,45 +184,58 @@ proptest! {
         integral += level * 100.0;
         let expect = integral / end as f64;
         let got = tw.average(SimTime::from_nanos(end));
-        prop_assert!((got - expect).abs() < 1e-9, "{got} vs {expect}");
+        assert!((got - expect).abs() < 1e-9, "{got} vs {expect}");
     }
+}
 
-    /// A random relay network is deterministic: same seed, same event
-    /// count and end time.
-    #[test]
-    fn engine_is_deterministic_over_random_relays(
-        edges in proptest::collection::vec((0usize..6, 0usize..6, 1u64..500), 1..20),
-        seed: u64,
-    ) {
-        struct Relay {
-            edges: Vec<(usize, usize, u64)>,
-            fired: u32,
-        }
-        impl Actor for Relay {
-            type Msg = u32;
-            fn handle(&mut self, hops: u32, ctx: &mut Context<'_, u32>) {
-                self.fired += 1;
-                if hops == 0 {
-                    return;
-                }
-                let me = ctx.self_id().index();
-                // Forward along every outgoing edge, delay jittered by the
-                // deterministic RNG.
-                let outgoing: Vec<(usize, u64)> = self
-                    .edges
-                    .iter()
-                    .filter(|&&(s, _, _)| s == me)
-                    .map(|&(_, d, w)| (d, w))
-                    .collect();
-                for (dst, w) in outgoing {
-                    let jitter = ctx.rng().next_below(w);
-                    ctx.send(ActorId::new(dst), SimDur::from_nanos(w + jitter), hops - 1);
-                }
+/// A random relay network is deterministic: same seed, same event
+/// count and end time.
+#[test]
+fn engine_is_deterministic_over_random_relays() {
+    struct Relay {
+        edges: Vec<(usize, usize, u64)>,
+        fired: u32,
+    }
+    impl Actor for Relay {
+        type Msg = u32;
+        fn handle(&mut self, hops: u32, ctx: &mut Context<'_, u32>) {
+            self.fired += 1;
+            if hops == 0 {
+                return;
+            }
+            let me = ctx.self_id().index();
+            // Forward along every outgoing edge, delay jittered by the
+            // deterministic RNG.
+            let outgoing: Vec<(usize, u64)> = self
+                .edges
+                .iter()
+                .filter(|&&(s, _, _)| s == me)
+                .map(|&(_, d, w)| (d, w))
+                .collect();
+            for (dst, w) in outgoing {
+                let jitter = ctx.rng().next_below(w);
+                ctx.send(ActorId::new(dst), SimDur::from_nanos(w + jitter), hops - 1);
             }
         }
+    }
+    let mut rng = DetRng::new(0x8E1A);
+    for _ in 0..64 {
+        let seed = rng.next_u64();
+        let edges: Vec<(usize, usize, u64)> = (0..rng.next_range(1, 19))
+            .map(|_| {
+                (
+                    rng.next_below(6) as usize,
+                    rng.next_below(6) as usize,
+                    rng.next_range(1, 499),
+                )
+            })
+            .collect();
         let run = || {
             let actors: Vec<Relay> = (0..6)
-                .map(|_| Relay { edges: edges.clone(), fired: 0 })
+                .map(|_| Relay {
+                    edges: edges.clone(),
+                    fired: 0,
+                })
                 .collect();
             let mut sim = Simulation::new(actors, seed);
             sim.set_event_limit(50_000);
@@ -197,6 +244,6 @@ proptest! {
             let fired: Vec<u32> = sim.actors().map(|a| a.fired).collect();
             (sim.now(), sim.events_processed(), fired, outcome)
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
 }

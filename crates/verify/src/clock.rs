@@ -1,0 +1,88 @@
+//! Vector clocks for happens-before reasoning over trace events.
+
+/// A grow-on-demand vector clock indexed by node (actor) number.
+///
+/// Missing components are zero, so clocks over different node counts
+/// compare correctly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VectorClock(Vec<u64>);
+
+impl VectorClock {
+    /// The all-zero clock.
+    pub fn new() -> Self {
+        VectorClock(Vec::new())
+    }
+
+    /// Advances `node`'s component by one (a local step).
+    pub fn tick(&mut self, node: usize) {
+        if self.0.len() <= node {
+            self.0.resize(node + 1, 0);
+        }
+        self.0[node] += 1;
+    }
+
+    /// Component-wise maximum: after `a.join(&b)`, everything ordered
+    /// before `b` is ordered before `a`.
+    pub fn join(&mut self, other: &VectorClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (a, &b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(b);
+        }
+    }
+
+    /// Whether `self` happens-before-or-equals `other` (component-wise ≤).
+    pub fn leq(&self, other: &VectorClock) -> bool {
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(i, &a)| a <= other.0.get(i).copied().unwrap_or(0))
+    }
+
+    /// Whether the two clocks are concurrent (neither ordered).
+    pub fn concurrent(&self, other: &VectorClock) -> bool {
+        !self.leq(other) && !other.leq(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_compare() {
+        let mut a = VectorClock::new();
+        let mut b = VectorClock::new();
+        a.tick(0);
+        b.tick(1);
+        assert!(a.concurrent(&b));
+        b.join(&a);
+        assert!(a.leq(&b));
+        assert!(!b.leq(&a));
+    }
+
+    #[test]
+    fn join_is_componentwise_max() {
+        let mut a = VectorClock::new();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VectorClock::new();
+        b.tick(2);
+        a.join(&b);
+        let mut expect = VectorClock::new();
+        expect.tick(0);
+        expect.tick(0);
+        expect.tick(2);
+        assert_eq!(a, expect);
+    }
+
+    #[test]
+    fn zero_clock_precedes_everything() {
+        let zero = VectorClock::new();
+        let mut a = VectorClock::new();
+        a.tick(3);
+        assert!(zero.leq(&a));
+        assert!(zero.leq(&zero));
+    }
+}

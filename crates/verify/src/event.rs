@@ -1,0 +1,328 @@
+//! Parsing of canonical trace records into typed protocol events.
+//!
+//! The instrumented layers (`sesame-dsm`, `sesame-core`) emit records whose
+//! detail strings are machine-readable `key=value` pairs. This module is the
+//! single place that knows the schema; everything else in the crate works on
+//! the typed [`Event`].
+//!
+//! Unknown kinds (human-readable timeline records, workload marks) parse to
+//! `None` and are ignored by the checkers.
+
+use sesame_sim::TraceEntry;
+
+/// A shared-variable value (mirrors `sesame_dsm::Word`).
+pub type Val = i64;
+
+/// How a sequenced write was handled at a member interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyMode {
+    /// Applied to local memory normally.
+    Applied,
+    /// Dropped by the Figure 6 hardware blocking (own echo).
+    HwBlocked,
+    /// Applied via an armed lock-change interrupt (insharing suspended).
+    Interrupt,
+}
+
+/// Typed view of one canonical trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// `acc-read`: the program read shared variable `var`.
+    Read {
+        /// The variable.
+        var: u32,
+    },
+    /// `acc-write`: the program wrote `val` to shared variable `var`.
+    Write {
+        /// The variable.
+        var: u32,
+        /// The written value.
+        val: Val,
+    },
+    /// `acc-write-local`: a local-only write (rollback restoration).
+    WriteLocal {
+        /// The variable.
+        var: u32,
+        /// The restored value.
+        val: Val,
+    },
+    /// `lock-acquire`: a high-level blocking acquire was issued.
+    LockAcquire {
+        /// The lock variable.
+        var: u32,
+    },
+    /// `lock-release`: the node released the lock.
+    LockRelease {
+        /// The lock variable.
+        var: u32,
+    },
+    /// `ev-acquired`: the node was told it now holds the lock.
+    Acquired {
+        /// The lock variable.
+        var: u32,
+    },
+    /// `ev-released`: the node's release completed.
+    Released {
+        /// The lock variable.
+        var: u32,
+    },
+    /// `mutex-enter`: the optimistic mutex engine began an entry.
+    MutexEnter {
+        /// The lock variable.
+        var: u32,
+    },
+    /// `mutex-granted`: the engine observed its own grant.
+    MutexGranted {
+        /// The lock variable.
+        var: u32,
+    },
+    /// `opt-enter`: the engine chose the optimistic path; subsequent
+    /// accesses are speculative until grant or rollback.
+    OptEnter {
+        /// The lock variable.
+        var: u32,
+    },
+    /// `opt-save`: the engine saved `var`'s pre-section value for rollback.
+    OptSave {
+        /// The saved variable.
+        var: u32,
+        /// Its pre-section value.
+        val: Val,
+    },
+    /// `opt-rollback`: the speculation lost; saved values are restored next.
+    OptRollback {
+        /// The lock variable.
+        var: u32,
+    },
+    /// `root-seq`: the group root assigned sequence number `seq`.
+    RootSeq {
+        /// The group.
+        group: u32,
+        /// The assigned sequence number (from 1).
+        seq: u64,
+        /// The written variable.
+        var: u32,
+        /// The written value.
+        val: Val,
+        /// The writing node.
+        origin: u32,
+    },
+    /// `root-filtered`: the root discarded a non-holder's mutex-group data
+    /// write (failed optimistic update); no sequence number was assigned.
+    RootFiltered {
+        /// The group.
+        group: u32,
+        /// The written variable.
+        var: u32,
+        /// The written value.
+        val: Val,
+        /// The writing node.
+        origin: u32,
+    },
+    /// `gwc-apply`: a member interface consumed sequenced write `seq`.
+    GwcApply {
+        /// The group.
+        group: u32,
+        /// The sequence number.
+        seq: u64,
+        /// The written variable.
+        var: u32,
+        /// The written value.
+        val: Val,
+        /// The writing node.
+        origin: u32,
+        /// What happened to the payload.
+        mode: ApplyMode,
+    },
+    /// `root-grant`: the root's lock manager granted the mutex.
+    RootGrant {
+        /// The group.
+        group: u32,
+        /// The lock variable.
+        var: u32,
+        /// The new holder.
+        holder: u32,
+    },
+    /// `root-release`: a release reached the root's lock manager.
+    RootRelease {
+        /// The group.
+        group: u32,
+        /// The lock variable.
+        var: u32,
+        /// The releasing node.
+        from: u32,
+    },
+}
+
+/// Extracts integer field `key` from a `key=value`-formatted detail string.
+fn field(detail: &str, key: &str) -> Option<i64> {
+    detail.split_whitespace().find_map(|kv| {
+        let (k, v) = kv.split_once('=')?;
+        if k == key {
+            v.parse().ok()
+        } else {
+            None
+        }
+    })
+}
+
+fn field_u32(detail: &str, key: &str) -> Option<u32> {
+    field(detail, key).and_then(|x| u32::try_from(x).ok())
+}
+
+fn field_u64(detail: &str, key: &str) -> Option<u64> {
+    field(detail, key).and_then(|x| u64::try_from(x).ok())
+}
+
+fn mode(detail: &str) -> Option<ApplyMode> {
+    detail.split_whitespace().find_map(|kv| {
+        let (k, v) = kv.split_once('=')?;
+        if k != "mode" {
+            return None;
+        }
+        match v {
+            "a" => Some(ApplyMode::Applied),
+            "h" => Some(ApplyMode::HwBlocked),
+            "i" => Some(ApplyMode::Interrupt),
+            _ => None,
+        }
+    })
+}
+
+/// Parses one trace record; `None` for non-canonical (human-oriented)
+/// records, which the checkers ignore.
+pub fn parse(entry: &TraceEntry) -> Option<Event> {
+    let d = entry.detail.as_str();
+    match entry.kind {
+        "acc-read" => Some(Event::Read {
+            var: field_u32(d, "v")?,
+        }),
+        "acc-write" => Some(Event::Write {
+            var: field_u32(d, "v")?,
+            val: field(d, "val")?,
+        }),
+        "acc-write-local" => Some(Event::WriteLocal {
+            var: field_u32(d, "v")?,
+            val: field(d, "val")?,
+        }),
+        "lock-acquire" => Some(Event::LockAcquire {
+            var: field_u32(d, "v")?,
+        }),
+        "lock-release" => Some(Event::LockRelease {
+            var: field_u32(d, "v")?,
+        }),
+        "ev-acquired" => Some(Event::Acquired {
+            var: field_u32(d, "v")?,
+        }),
+        "ev-released" => Some(Event::Released {
+            var: field_u32(d, "v")?,
+        }),
+        "mutex-enter" => Some(Event::MutexEnter {
+            var: field_u32(d, "v")?,
+        }),
+        "mutex-granted" => Some(Event::MutexGranted {
+            var: field_u32(d, "v")?,
+        }),
+        "opt-enter" => Some(Event::OptEnter {
+            var: field_u32(d, "v")?,
+        }),
+        "opt-save" => Some(Event::OptSave {
+            var: field_u32(d, "v")?,
+            val: field(d, "val")?,
+        }),
+        "opt-rollback" => Some(Event::OptRollback {
+            var: field_u32(d, "v")?,
+        }),
+        "root-seq" => Some(Event::RootSeq {
+            group: field_u32(d, "g")?,
+            seq: field_u64(d, "seq")?,
+            var: field_u32(d, "v")?,
+            val: field(d, "val")?,
+            origin: field_u32(d, "origin")?,
+        }),
+        "root-filtered" => Some(Event::RootFiltered {
+            group: field_u32(d, "g")?,
+            var: field_u32(d, "v")?,
+            val: field(d, "val")?,
+            origin: field_u32(d, "origin")?,
+        }),
+        "gwc-apply" => Some(Event::GwcApply {
+            group: field_u32(d, "g")?,
+            seq: field_u64(d, "seq")?,
+            var: field_u32(d, "v")?,
+            val: field(d, "val")?,
+            origin: field_u32(d, "origin")?,
+            mode: mode(d)?,
+        }),
+        "root-grant" => Some(Event::RootGrant {
+            group: field_u32(d, "g")?,
+            var: field_u32(d, "v")?,
+            holder: field_u32(d, "holder")?,
+        }),
+        "root-release" => Some(Event::RootRelease {
+            group: field_u32(d, "g")?,
+            var: field_u32(d, "v")?,
+            from: field_u32(d, "from")?,
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sesame_sim::SimTime;
+
+    fn entry(kind: &'static str, detail: &str) -> TraceEntry {
+        TraceEntry {
+            time: SimTime::ZERO,
+            actor: 0,
+            kind,
+            detail: detail.to_string(),
+        }
+    }
+
+    #[test]
+    fn parses_access_events() {
+        assert_eq!(
+            parse(&entry("acc-write", "v=3 val=-42")),
+            Some(Event::Write { var: 3, val: -42 })
+        );
+        assert_eq!(
+            parse(&entry("acc-read", "v=7")),
+            Some(Event::Read { var: 7 })
+        );
+    }
+
+    #[test]
+    fn parses_gwc_events() {
+        assert_eq!(
+            parse(&entry("root-seq", "g=1 seq=12 v=5 val=9 origin=2")),
+            Some(Event::RootSeq {
+                group: 1,
+                seq: 12,
+                var: 5,
+                val: 9,
+                origin: 2
+            })
+        );
+        assert_eq!(
+            parse(&entry("gwc-apply", "g=1 seq=12 v=5 val=9 origin=2 mode=h")),
+            Some(Event::GwcApply {
+                group: 1,
+                seq: 12,
+                var: 5,
+                val: 9,
+                origin: 2,
+                mode: ApplyMode::HwBlocked
+            })
+        );
+    }
+
+    #[test]
+    fn human_records_are_ignored() {
+        assert_eq!(parse(&entry("lock-grant", "v3 -> node1")), None);
+        assert_eq!(parse(&entry("request", "lock 0")), None);
+        assert_eq!(parse(&entry("acc-write", "garbage")), None);
+    }
+}

@@ -1,0 +1,376 @@
+//! # sesame-verify — trace-level race detection and protocol invariant
+//! checking for the `sesame-rs` reproduction of *Hermannsson & Wittie,
+//! "Optimistic Synchronization in Distributed Shared Memory" (ICDCS 1994)*.
+//!
+//! The simulation layers emit canonical, machine-parsable trace records
+//! (`acc-write`, `root-seq`, `gwc-apply`, `opt-rollback`, …). This crate
+//! consumes that stream — **online**, as a [`sesame_sim::TraceObserver`]
+//! hooked into a running simulation, or **offline**, over a recorded
+//! [`sesame_sim::TraceRecorder`] — and reports structured [`Violation`]s.
+//!
+//! Three checkers run together in a [`Verifier`]:
+//!
+//! * [`RaceChecker`] — vector-clock happens-before data-race detection
+//!   over shared reads and writes, with lock grant/release and GWC root
+//!   sequencing as the synchronization edges;
+//! * [`MutexChecker`] — mutual exclusion (at most one holder per lock,
+//!   root-side and node-side) and rollback completeness (no optimistic
+//!   write survives a discarded section — the paper's Figure 6 hazard);
+//! * [`SeqChecker`] — GWC sequencing: every member observes root-ordered
+//!   writes gaplessly, in the same order, with identical payloads.
+//!
+//! ```
+//! use sesame_sim::{SimTime, TraceEntry};
+//! use sesame_verify::check_trace;
+//!
+//! // A root that grants a lock twice without a release in between:
+//! let t = |ns| SimTime::from_nanos(ns);
+//! let trace = vec![
+//!     TraceEntry { time: t(10), actor: 0, kind: "root-grant", detail: "g=0 v=0 holder=1".into() },
+//!     TraceEntry { time: t(20), actor: 0, kind: "root-grant", detail: "g=0 v=0 holder=2".into() },
+//! ];
+//! let violations = check_trace(&trace);
+//! assert_eq!(violations.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+pub mod event;
+mod mutex;
+mod race;
+mod seq;
+
+use std::fmt;
+
+use sesame_sim::{SimTime, TraceEntry, TraceObserver, TraceRecorder};
+
+pub use clock::VectorClock;
+pub use mutex::MutexChecker;
+pub use race::RaceChecker;
+pub use seq::SeqChecker;
+
+/// Which checker produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CheckKind {
+    /// Happens-before data race between shared accesses.
+    DataRace,
+    /// Mutual-exclusion or rollback-completeness failure.
+    MutualExclusion,
+    /// GWC sequencing (total store order) failure.
+    Sequencing,
+}
+
+impl fmt::Display for CheckKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CheckKind::DataRace => "data-race",
+            CheckKind::MutualExclusion => "mutual-exclusion",
+            CheckKind::Sequencing => "sequencing",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One structured diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Simulation time of the record that triggered the diagnostic.
+    pub time: SimTime,
+    /// The node (trace actor) the triggering record is attributed to.
+    pub node: usize,
+    /// Which invariant failed.
+    pub check: CheckKind,
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} node{}: {}",
+            self.check, self.time, self.node, self.message
+        )
+    }
+}
+
+/// All three checkers over one trace stream.
+///
+/// Feed records in simulation-time order — either by attaching the
+/// verifier as a [`TraceObserver`] (online) or via [`Verifier::feed`] /
+/// [`check_trace`] (offline) — then call [`Verifier::finish`] once.
+#[derive(Debug, Default)]
+pub struct Verifier {
+    race: RaceChecker,
+    mutex: MutexChecker,
+    seq: SeqChecker,
+    violations: Vec<Violation>,
+    finished: bool,
+}
+
+impl Verifier {
+    /// Creates a verifier with all checkers enabled.
+    pub fn new() -> Self {
+        Verifier::default()
+    }
+
+    /// Processes one trace record. Non-canonical records (human-readable
+    /// timeline marks) are ignored.
+    pub fn feed(&mut self, entry: &TraceEntry) {
+        let Some(ev) = event::parse(entry) else {
+            return;
+        };
+        let (time, node) = (entry.time, entry.actor);
+        self.race.feed(time, node, &ev, &mut self.violations);
+        self.mutex.feed(time, node, &ev, &mut self.violations);
+        self.seq.feed(time, node, &ev, &mut self.violations);
+    }
+
+    /// Finalizes end-of-trace checks (e.g. a rollback still awaiting its
+    /// restores). Idempotent.
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        self.race.finish(&mut self.violations);
+        self.mutex.finish(&mut self.violations);
+        self.seq.finish(&mut self.violations);
+    }
+
+    /// Diagnostics reported so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Finalizes and returns all diagnostics.
+    pub fn into_violations(mut self) -> Vec<Violation> {
+        self.finish();
+        self.violations
+    }
+
+    /// Renders every diagnostic, one per line (empty string when clean).
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&v.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl TraceObserver for Verifier {
+    fn on_record(&mut self, entry: &TraceEntry) {
+        self.feed(entry);
+    }
+}
+
+/// Checks a recorded trace offline and returns all diagnostics.
+pub fn check_trace(entries: &[TraceEntry]) -> Vec<Violation> {
+    let mut v = Verifier::new();
+    for e in entries {
+        v.feed(e);
+    }
+    v.into_violations()
+}
+
+/// Checks everything a [`TraceRecorder`] retained.
+pub fn check_recorder(recorder: &TraceRecorder) -> Vec<Violation> {
+    check_trace(recorder.entries())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(ns: u64, actor: usize, kind: &'static str, detail: &str) -> TraceEntry {
+        TraceEntry {
+            time: SimTime::from_nanos(ns),
+            actor,
+            kind,
+            detail: detail.to_string(),
+        }
+    }
+
+    #[test]
+    fn clean_locked_exchange_has_no_violations() {
+        // node1 takes the lock, writes, releases; node2 then takes it and
+        // reads — everything ordered through the lock and the root.
+        let trace = vec![
+            e(1, 1, "lock-acquire", "v=0"),
+            e(2, 0, "root-grant", "g=0 v=0 holder=1"),
+            e(3, 0, "root-seq", "g=0 seq=1 v=0 val=2 origin=0"),
+            e(4, 1, "gwc-apply", "g=0 seq=1 v=0 val=2 origin=0 mode=a"),
+            e(4, 2, "gwc-apply", "g=0 seq=1 v=0 val=2 origin=0 mode=a"),
+            e(4, 1, "ev-acquired", "v=0"),
+            e(5, 1, "acc-write", "v=5 val=42"),
+            e(6, 0, "root-seq", "g=0 seq=2 v=5 val=42 origin=1"),
+            e(7, 1, "gwc-apply", "g=0 seq=2 v=5 val=42 origin=1 mode=h"),
+            e(7, 2, "gwc-apply", "g=0 seq=2 v=5 val=42 origin=1 mode=a"),
+            e(8, 1, "lock-release", "v=0"),
+            e(9, 0, "root-release", "g=0 v=0 from=1"),
+            e(9, 0, "root-grant", "g=0 v=0 holder=2"),
+            e(10, 0, "root-seq", "g=0 seq=3 v=0 val=3 origin=0"),
+            e(11, 1, "gwc-apply", "g=0 seq=3 v=0 val=3 origin=0 mode=a"),
+            e(11, 2, "gwc-apply", "g=0 seq=3 v=0 val=3 origin=0 mode=a"),
+            e(11, 2, "ev-acquired", "v=0"),
+            e(12, 2, "acc-read", "v=5"),
+            e(13, 2, "lock-release", "v=0"),
+            e(14, 0, "root-release", "g=0 v=0 from=2"),
+        ];
+        let violations = check_trace(&trace);
+        assert!(violations.is_empty(), "unexpected: {violations:?}");
+    }
+
+    #[test]
+    fn concurrent_unsynchronized_writes_race() {
+        let trace = vec![
+            e(1, 1, "acc-write", "v=9 val=1"),
+            e(1, 2, "acc-write", "v=9 val=2"),
+        ];
+        let violations = check_trace(&trace);
+        assert_eq!(violations.len(), 1, "got: {violations:?}");
+        assert_eq!(violations[0].check, CheckKind::DataRace);
+    }
+
+    #[test]
+    fn gwc_delivery_edge_orders_writes() {
+        // node2 writes v9 only after applying node1's sequenced write: the
+        // delivery edge orders the two writes, so no race.
+        let trace = vec![
+            e(1, 1, "acc-write", "v=9 val=1"),
+            e(2, 0, "root-seq", "g=0 seq=1 v=9 val=1 origin=1"),
+            e(3, 2, "gwc-apply", "g=0 seq=1 v=9 val=1 origin=1 mode=a"),
+            e(4, 2, "acc-write", "v=9 val=2"),
+        ];
+        let violations = check_trace(&trace);
+        assert!(violations.is_empty(), "unexpected: {violations:?}");
+    }
+
+    #[test]
+    fn double_grant_is_reported_once() {
+        let trace = vec![
+            e(10, 0, "root-grant", "g=0 v=0 holder=1"),
+            e(20, 0, "root-grant", "g=0 v=0 holder=2"),
+            e(30, 0, "root-grant", "g=0 v=0 holder=3"),
+        ];
+        let violations = check_trace(&trace);
+        assert_eq!(violations.len(), 1, "got: {violations:?}");
+        assert_eq!(violations[0].check, CheckKind::MutualExclusion);
+    }
+
+    #[test]
+    fn release_by_non_holder_is_reported() {
+        let trace = vec![
+            e(10, 0, "root-grant", "g=0 v=0 holder=1"),
+            e(20, 0, "root-release", "g=0 v=0 from=2"),
+        ];
+        let violations = check_trace(&trace);
+        assert_eq!(violations.len(), 1, "got: {violations:?}");
+        assert_eq!(violations[0].check, CheckKind::MutualExclusion);
+    }
+
+    #[test]
+    fn completed_rollback_is_clean() {
+        let trace = vec![
+            e(1, 1, "mutex-enter", "v=0"),
+            e(1, 1, "opt-enter", "v=0"),
+            e(1, 1, "opt-save", "v=5 val=7"),
+            e(2, 1, "acc-write", "v=5 val=42"),
+            e(3, 1, "opt-rollback", "v=0"),
+            e(3, 1, "acc-write-local", "v=5 val=7"),
+        ];
+        let violations = check_trace(&trace);
+        assert!(violations.is_empty(), "unexpected: {violations:?}");
+    }
+
+    #[test]
+    fn surviving_optimistic_write_is_reported() {
+        let trace = vec![
+            e(1, 1, "mutex-enter", "v=0"),
+            e(1, 1, "opt-enter", "v=0"),
+            e(1, 1, "opt-save", "v=5 val=7"),
+            e(2, 1, "acc-write", "v=5 val=42"),
+            e(3, 1, "opt-rollback", "v=0"),
+            // No restore of v5: the speculative write survives.
+        ];
+        let violations = check_trace(&trace);
+        assert_eq!(violations.len(), 1, "got: {violations:?}");
+        assert_eq!(violations[0].check, CheckKind::MutualExclusion);
+        assert!(violations[0].message.contains("survived"));
+    }
+
+    #[test]
+    fn out_of_order_apply_is_reported_once() {
+        let trace = vec![
+            e(1, 0, "root-seq", "g=0 seq=1 v=1 val=7 origin=0"),
+            e(2, 0, "root-seq", "g=0 seq=2 v=1 val=8 origin=0"),
+            e(3, 1, "gwc-apply", "g=0 seq=1 v=1 val=7 origin=0 mode=a"),
+            e(4, 1, "gwc-apply", "g=0 seq=2 v=1 val=8 origin=0 mode=a"),
+            e(5, 2, "gwc-apply", "g=0 seq=2 v=1 val=8 origin=0 mode=a"),
+            e(6, 2, "gwc-apply", "g=0 seq=1 v=1 val=7 origin=0 mode=a"),
+        ];
+        let violations = check_trace(&trace);
+        assert_eq!(violations.len(), 1, "got: {violations:?}");
+        assert_eq!(violations[0].check, CheckKind::Sequencing);
+        assert_eq!(violations[0].node, 2);
+    }
+
+    #[test]
+    fn payload_mismatch_is_reported() {
+        let trace = vec![
+            e(1, 0, "root-seq", "g=0 seq=1 v=1 val=7 origin=0"),
+            e(3, 1, "gwc-apply", "g=0 seq=1 v=1 val=99 origin=0 mode=a"),
+        ];
+        let violations = check_trace(&trace);
+        assert_eq!(violations.len(), 1, "got: {violations:?}");
+        assert_eq!(violations[0].check, CheckKind::Sequencing);
+    }
+
+    #[test]
+    fn verifier_works_as_trace_observer() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let verifier = Rc::new(RefCell::new(Verifier::new()));
+        let mut recorder = TraceRecorder::new(false);
+        recorder.set_observer(verifier.clone());
+        recorder.record(
+            SimTime::from_nanos(10),
+            0,
+            "root-grant",
+            "g=0 v=0 holder=1".into(),
+        );
+        recorder.record(
+            SimTime::from_nanos(20),
+            0,
+            "root-grant",
+            "g=0 v=0 holder=2".into(),
+        );
+        verifier.borrow_mut().finish();
+        assert_eq!(verifier.borrow().violations().len(), 1);
+        assert!(
+            recorder.entries().is_empty(),
+            "no in-memory retention needed"
+        );
+    }
+
+    #[test]
+    fn report_renders_one_line_per_violation() {
+        let trace = vec![
+            e(10, 0, "root-grant", "g=0 v=0 holder=1"),
+            e(20, 0, "root-grant", "g=0 v=0 holder=2"),
+        ];
+        let mut v = Verifier::new();
+        for entry in &trace {
+            v.feed(entry);
+        }
+        v.finish();
+        let report = v.report();
+        assert_eq!(report.lines().count(), 1);
+        assert!(report.contains("mutual-exclusion"));
+    }
+}

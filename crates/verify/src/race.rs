@@ -1,0 +1,325 @@
+//! Vector-clock happens-before data-race detection over shared accesses.
+//!
+//! Synchronization edges come from two sources:
+//!
+//! * **Locks** — a release joins the releaser's clock into the lock's
+//!   clock; observing one's grant (or a high-level `Acquired`) joins the
+//!   lock's clock into the acquirer's.
+//! * **GWC delivery** — a sequenced write applied at a member joins the
+//!   writer's clock (snapshotted when the write was issued) into the
+//!   member's. Writes are matched to sequence numbers through the root:
+//!   `acc-write` at the origin enqueues a snapshot; `root-seq` binds the
+//!   oldest matching snapshot to `(group, seq)`; `root-filtered` discards
+//!   one (failed optimistic update); `gwc-apply` joins the bound snapshot.
+//!
+//! Speculative accesses made inside an optimistic section (between
+//! `opt-enter` and grant/rollback) are buffered: a rollback discards them
+//! (the paper's rollback makes them logically never-happened), a grant
+//! flushes them as critical-section accesses at grant time.
+//!
+//! Reported races: concurrent writes to the same data variable from
+//! different nodes, and concurrent read/write pairs where **both** accesses
+//! are inside critical sections. Out-of-section reads are polling by
+//! design under GWC (e.g. a task queue consumer watching a flag) and are
+//! not reported.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use sesame_sim::SimTime;
+
+use crate::clock::VectorClock;
+use crate::event::{ApplyMode, Event, Val};
+use crate::{CheckKind, Violation};
+
+/// One remembered access to a variable (the last by its node).
+#[derive(Debug, Clone)]
+struct Access {
+    vc: VectorClock,
+    in_section: bool,
+    time: SimTime,
+}
+
+/// A buffered speculative access.
+#[derive(Debug, Clone, Copy)]
+enum SpecAccess {
+    Read { var: u32 },
+    Write { var: u32 },
+}
+
+/// Per-node state.
+#[derive(Debug, Default)]
+struct NodeState {
+    vc: VectorClock,
+    /// Locks this node currently believes it holds.
+    held: HashSet<u32>,
+    /// `Some(lock)` while inside an optimistic speculation window.
+    speculating: Option<u32>,
+    spec_buf: Vec<SpecAccess>,
+}
+
+/// The happens-before race detector.
+#[derive(Debug, Default)]
+pub struct RaceChecker {
+    nodes: Vec<NodeState>,
+    /// Variables known to be lock words (never data-race-checked).
+    lock_vars: HashSet<u32>,
+    /// Per-lock clock carrying release-to-acquire edges.
+    lock_clocks: HashMap<u32, VectorClock>,
+    /// Write snapshots awaiting a root sequence number.
+    pending: HashMap<(u32, u32, Val), VecDeque<VectorClock>>,
+    /// Snapshot bound to each sequenced write.
+    seq_clocks: HashMap<(u32, u64), VectorClock>,
+    /// Last write per (var, node).
+    writes: HashMap<u32, HashMap<usize, Access>>,
+    /// Last in-section read per (var, node).
+    reads: HashMap<u32, HashMap<usize, Access>>,
+    /// Variables already reported (one diagnostic per racy variable).
+    latched: HashSet<u32>,
+}
+
+impl RaceChecker {
+    /// Creates an empty detector.
+    pub fn new() -> Self {
+        RaceChecker::default()
+    }
+
+    fn node(&mut self, node: usize) -> &mut NodeState {
+        if self.nodes.len() <= node {
+            self.nodes.resize_with(node + 1, NodeState::default);
+        }
+        &mut self.nodes[node]
+    }
+
+    fn mark_lock(&mut self, var: u32) {
+        self.lock_vars.insert(var);
+    }
+
+    /// Processes one event attributed to `node` at `time`.
+    pub fn feed(&mut self, time: SimTime, node: usize, ev: &Event, out: &mut Vec<Violation>) {
+        match *ev {
+            Event::Read { var } => {
+                if self.lock_vars.contains(&var) {
+                    return;
+                }
+                let st = self.node(node);
+                st.vc.tick(node);
+                if st.speculating.is_some() {
+                    st.spec_buf.push(SpecAccess::Read { var });
+                } else if !st.held.is_empty() {
+                    self.record_read(time, node, var, out);
+                }
+            }
+            Event::Write { var, val } => {
+                let st = self.node(node);
+                st.vc.tick(node);
+                let snapshot = st.vc.clone();
+                if self.lock_vars.contains(&var) {
+                    return;
+                }
+                // The write travels to the root regardless of speculation;
+                // the snapshot must be queued now so `root-seq` can bind it.
+                self.pending
+                    .entry((node as u32, var, val))
+                    .or_default()
+                    .push_back(snapshot);
+                let st = self.node(node);
+                if st.speculating.is_some() {
+                    st.spec_buf.push(SpecAccess::Write { var });
+                } else {
+                    let in_section = !st.held.is_empty();
+                    self.record_write(time, node, var, in_section, out);
+                }
+            }
+            Event::WriteLocal { .. } | Event::OptSave { .. } => {
+                self.node(node).vc.tick(node);
+            }
+            Event::LockAcquire { var } => {
+                self.mark_lock(var);
+                self.node(node).vc.tick(node);
+            }
+            Event::LockRelease { var } => {
+                self.mark_lock(var);
+                let st = self.node(node);
+                st.vc.tick(node);
+                st.held.remove(&var);
+                let vc = st.vc.clone();
+                self.lock_clocks.entry(var).or_default().join(&vc);
+            }
+            Event::Acquired { var } | Event::MutexGranted { var } => {
+                self.mark_lock(var);
+                let st = self.node(node);
+                st.vc.tick(node);
+                st.held.insert(var);
+                if let Some(lc) = self.lock_clocks.get(&var) {
+                    let lc = lc.clone();
+                    self.node(node).vc.join(&lc);
+                }
+                // A grant commits the speculation: flush buffered accesses
+                // as critical-section accesses at grant time.
+                let st = self.node(node);
+                if st.speculating == Some(var) {
+                    st.speculating = None;
+                    let buf = std::mem::take(&mut st.spec_buf);
+                    for acc in buf {
+                        match acc {
+                            SpecAccess::Read { var } => self.record_read(time, node, var, out),
+                            SpecAccess::Write { var } => {
+                                self.record_write(time, node, var, true, out)
+                            }
+                        }
+                    }
+                }
+            }
+            Event::Released { var } => {
+                self.node(node).held.remove(&var);
+            }
+            Event::MutexEnter { var } => {
+                self.mark_lock(var);
+            }
+            Event::OptEnter { var } => {
+                self.mark_lock(var);
+                let st = self.node(node);
+                st.speculating = Some(var);
+                st.spec_buf.clear();
+            }
+            Event::OptRollback { .. } => {
+                // The speculation logically never happened.
+                let st = self.node(node);
+                st.speculating = None;
+                st.spec_buf.clear();
+            }
+            Event::RootSeq {
+                group,
+                seq,
+                var,
+                val,
+                origin,
+            } => {
+                if self.lock_vars.contains(&var) {
+                    return;
+                }
+                if let Some(q) = self.pending.get_mut(&(origin, var, val)) {
+                    if let Some(snapshot) = q.pop_front() {
+                        self.seq_clocks.insert((group, seq), snapshot);
+                    }
+                }
+            }
+            Event::RootFiltered {
+                var, val, origin, ..
+            } => {
+                if let Some(q) = self.pending.get_mut(&(origin, var, val)) {
+                    q.pop_front();
+                }
+            }
+            Event::GwcApply {
+                group, seq, mode, ..
+            } => {
+                self.node(node).vc.tick(node);
+                if mode != ApplyMode::HwBlocked {
+                    if let Some(w) = self.seq_clocks.get(&(group, seq)) {
+                        let w = w.clone();
+                        self.node(node).vc.join(&w);
+                    }
+                }
+            }
+            Event::RootGrant { var, .. } => {
+                self.mark_lock(var);
+            }
+            Event::RootRelease { var, .. } => {
+                self.mark_lock(var);
+            }
+        }
+    }
+
+    fn record_read(&mut self, time: SimTime, node: usize, var: u32, out: &mut Vec<Violation>) {
+        let vc = self.nodes[node].vc.clone();
+        if !self.latched.contains(&var) {
+            if let Some(ws) = self.writes.get(&var) {
+                for (&m, w) in ws {
+                    if m != node && w.in_section && !w.vc.leq(&vc) {
+                        self.latched.insert(var);
+                        out.push(Violation {
+                            time,
+                            node,
+                            check: CheckKind::DataRace,
+                            message: format!(
+                                "read-write race on v{var}: in-section read at node{node} is \
+                                 concurrent with in-section write at node{m} (t={})",
+                                w.time
+                            ),
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+        self.reads.entry(var).or_default().insert(
+            node,
+            Access {
+                vc,
+                in_section: true,
+                time,
+            },
+        );
+    }
+
+    fn record_write(
+        &mut self,
+        time: SimTime,
+        node: usize,
+        var: u32,
+        in_section: bool,
+        out: &mut Vec<Violation>,
+    ) {
+        let vc = self.nodes[node].vc.clone();
+        if !self.latched.contains(&var) {
+            let mut report: Option<String> = None;
+            if let Some(ws) = self.writes.get(&var) {
+                for (&m, w) in ws {
+                    if m != node && !w.vc.leq(&vc) {
+                        report = Some(format!(
+                            "write-write race on v{var}: write at node{node} is concurrent \
+                             with write at node{m} (t={})",
+                            w.time
+                        ));
+                        break;
+                    }
+                }
+            }
+            if report.is_none() && in_section {
+                if let Some(rs) = self.reads.get(&var) {
+                    for (&m, r) in rs {
+                        if m != node && r.in_section && !r.vc.leq(&vc) {
+                            report = Some(format!(
+                                "read-write race on v{var}: in-section write at node{node} is \
+                                 concurrent with in-section read at node{m} (t={})",
+                                r.time
+                            ));
+                            break;
+                        }
+                    }
+                }
+            }
+            if let Some(message) = report {
+                self.latched.insert(var);
+                out.push(Violation {
+                    time,
+                    node,
+                    check: CheckKind::DataRace,
+                    message,
+                });
+            }
+        }
+        self.writes.entry(var).or_default().insert(
+            node,
+            Access {
+                vc,
+                in_section,
+                time,
+            },
+        );
+    }
+
+    /// End-of-trace finalization (nothing pending for the race detector).
+    pub fn finish(&mut self, _out: &mut Vec<Violation>) {}
+}

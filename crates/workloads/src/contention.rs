@@ -15,7 +15,9 @@ use std::rc::Rc;
 
 use sesame_core::builder::{ModelChoice, ModelInstance, SystemBuilder, TopologyChoice};
 use sesame_core::{MutexSignal, OptimisticConfig, OptimisticMutex, OptimisticStats};
-use sesame_dsm::{run, AppEvent, MachineConfig, NodeApi, Program, RunOptions, RunResult, VarId, Word};
+use sesame_dsm::{
+    run, AppEvent, MachineConfig, NodeApi, Program, RunOptions, RunResult, VarId, Word,
+};
 use sesame_net::{LinkTiming, NodeId};
 use sesame_sim::{DetRng, SimDur, SimTime};
 
@@ -44,6 +46,9 @@ pub struct ContentionConfig {
     /// Disable when deliberately running without the safety mechanisms,
     /// where corruption is the expected observation.
     pub check_counter: bool,
+    /// Whether to record a trace (`result.trace`), e.g. for the
+    /// `sesame-verify` checkers.
+    pub tracing: bool,
 }
 
 impl Default for ContentionConfig {
@@ -58,6 +63,7 @@ impl Default for ContentionConfig {
             seed: 7,
             machine: MachineConfig::default(),
             check_counter: true,
+            tracing: false,
         }
     }
 }
@@ -180,7 +186,13 @@ pub fn run_contention(cfg: ContentionConfig) -> ContentionRun {
         );
     }
     let machine = builder.build().expect("valid contention system");
-    let result = run(machine, RunOptions::default());
+    let result = run(
+        machine,
+        RunOptions {
+            tracing: cfg.tracing,
+            ..RunOptions::default()
+        },
+    );
 
     let mut stats = OptimisticStats::default();
     let mut all_latencies: Vec<SimDur> = Vec::new();

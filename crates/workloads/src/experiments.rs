@@ -50,10 +50,7 @@ pub fn figure2(cfg: TaskQueueConfig, sizes: &[usize]) -> Figure2Data {
             run_task_queue(n, ModelChoice::Gwc, zero_cfg).speedup,
         );
         gwc.push(n as f64, run_task_queue(n, ModelChoice::Gwc, cfg).speedup);
-        entry.push(
-            n as f64,
-            run_task_queue(n, ModelChoice::Entry, cfg).speedup,
-        );
+        entry.push(n as f64, run_task_queue(n, ModelChoice::Entry, cfg).speedup);
     }
     Figure2Data { ideal, gwc, entry }
 }
@@ -122,7 +119,10 @@ pub fn figure8(cfg: PipelineConfig, sizes: &[usize]) -> Figure8Data {
             n as f64,
             run_pipeline(n, MutexMethod::OptimisticGwc, cfg).power,
         );
-        regular.push(n as f64, run_pipeline(n, MutexMethod::RegularGwc, cfg).power);
+        regular.push(
+            n as f64,
+            run_pipeline(n, MutexMethod::RegularGwc, cfg).power,
+        );
         entry.push(n as f64, run_pipeline(n, MutexMethod::Entry, cfg).power);
     }
     Figure8Data {
@@ -137,9 +137,8 @@ pub fn figure8(cfg: PipelineConfig, sizes: &[usize]) -> Figure8Data {
 /// table (completion and per-CPU lock waits).
 pub fn figure1(cfg: Figure1Config) -> (Vec<Figure1Run>, String) {
     let runs = run_figure1_all(cfg);
-    let mut table = String::from(
-        "model      completion   wait(cpu0)   wait(cpu2)   wait(cpu1=root)\n",
-    );
+    let mut table =
+        String::from("model      completion   wait(cpu0)   wait(cpu2)   wait(cpu1=root)\n");
     for r in &runs {
         table.push_str(&format!(
             "{:<10} {:>12} {:>12} {:>12} {:>12}\n",

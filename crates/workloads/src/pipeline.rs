@@ -28,9 +28,7 @@ use std::rc::Rc;
 
 use sesame_core::builder::{ModelChoice, ModelInstance, SystemBuilder, TopologyChoice};
 use sesame_core::{MutexSignal, OptimisticConfig, OptimisticMutex};
-use sesame_dsm::{
-    run, AppEvent, GroupSpec, NodeApi, Program, RunOptions, RunResult, VarId, Word,
-};
+use sesame_dsm::{run, AppEvent, GroupSpec, NodeApi, Program, RunOptions, RunResult, VarId, Word};
 use sesame_net::{LinkTiming, NodeId};
 use sesame_sim::SimDur;
 
@@ -507,7 +505,11 @@ mod tests {
         let run = run_pipeline(4, MutexMethod::OptimisticGwc, cfg);
         // Every visit increments SH_BASE exactly once; check the root's
         // authoritative copy.
-        let v = run.result.machine.mem(NodeId::new(0)).read(VarId::new(SH_BASE));
+        let v = run
+            .result
+            .machine
+            .mem(NodeId::new(0))
+            .read(VarId::new(SH_BASE));
         assert_eq!(v, cfg.total_visits as Word);
     }
 

@@ -25,11 +25,11 @@
 //! negligible" and "with over 100 processors there are not enough tasks
 //! produced"); see DESIGN.md.
 
+use sesame_core::builder::ModelInstance;
 use sesame_core::builder::{ModelChoice, SystemBuilder, TopologyChoice};
 use sesame_dsm::{
     run, AppEvent, Machine, Model, NodeApi, Program, RunOptions, RunResult, VarId, Word,
 };
-use sesame_core::builder::ModelInstance;
 use sesame_net::{LinkTiming, NodeId};
 use sesame_sim::SimDur;
 
@@ -90,6 +90,9 @@ pub struct TaskQueueConfig {
     /// roughly 300 instructions plus interrupt entry per protocol event in
     /// 1994, i.e. on the order of 10us. See DESIGN.md.
     pub ec_handler: SimDur,
+    /// Whether to record a trace (`result.trace`), e.g. for the
+    /// `sesame-verify` checkers.
+    pub tracing: bool,
 }
 
 impl Default for TaskQueueConfig {
@@ -104,6 +107,7 @@ impl Default for TaskQueueConfig {
             timing: LinkTiming::paper_1994(),
             contention: false,
             ec_handler: SimDur::from_us(6),
+            tracing: false,
         }
     }
 }
@@ -201,9 +205,7 @@ impl Program for Producer {
                 self.state = ProducerState::WantLock;
                 api.acquire(LOCK);
             }
-            AppEvent::TimerFired { tag: TAG_POLL }
-                if self.state == ProducerState::WaitingSpace =>
-            {
+            AppEvent::TimerFired { tag: TAG_POLL } if self.state == ProducerState::WaitingSpace => {
                 self.state = ProducerState::WantLock;
                 api.acquire(LOCK);
             }
@@ -277,10 +279,7 @@ impl Program for Consumer {
         match ev {
             AppEvent::Started => {
                 // Stagger initial checks slightly to break the start herd.
-                api.set_timer(
-                    SimDur::from_nanos(50 * api.id().get() as u64),
-                    TAG_POLL,
-                );
+                api.set_timer(SimDur::from_nanos(50 * api.id().get() as u64), TAG_POLL);
                 self.state = ConsumerState::Idle;
             }
             AppEvent::TimerFired { tag: TAG_POLL } if self.state == ConsumerState::Idle => {
@@ -435,7 +434,13 @@ pub fn build_task_queue(
 /// Panics if tasks were lost (executed counts must sum to the total).
 pub fn run_task_queue(nodes: usize, model: ModelChoice, cfg: TaskQueueConfig) -> TaskQueueRun {
     let (machine, executed_out) = build_task_queue(nodes, model, cfg);
-    let result = run(machine, RunOptions::default());
+    let result = run(
+        machine,
+        RunOptions {
+            tracing: cfg.tracing,
+            ..RunOptions::default()
+        },
+    );
     let executed = executed_out.borrow().clone();
     let done: u32 = executed.iter().sum();
     assert_eq!(

@@ -176,14 +176,8 @@ pub fn run_figure1(model: ModelChoice, cfg: Figure1Config) -> Figure1Run {
         .model(model)
         .mutex_group(NodeId::new(1), vars, LOCK)
         .program(NodeId::new(0), Box::new(mk(SimDur::ZERO, false)))
-        .program(
-            NodeId::new(1),
-            Box::new(mk(SimDur::from_nanos(500), true)),
-        )
-        .program(
-            NodeId::new(2),
-            Box::new(mk(SimDur::from_nanos(10), false)),
-        )
+        .program(NodeId::new(1), Box::new(mk(SimDur::from_nanos(500), true)))
+        .program(NodeId::new(2), Box::new(mk(SimDur::from_nanos(10), false)))
         .build()
         .expect("valid figure-1 system");
     let name = {
@@ -268,10 +262,7 @@ mod tests {
         let cfg = Figure1Config::default();
         let runs = run_figure1_all(cfg);
         assert!(runs[0].completion < runs[1].completion, "GWC beats entry");
-        assert!(
-            runs[0].completion < runs[2].completion,
-            "GWC beats release"
-        );
+        assert!(runs[0].completion < runs[2].completion, "GWC beats release");
         for r in &runs {
             assert!(
                 r.lock_waits[0] < r.lock_waits[1],

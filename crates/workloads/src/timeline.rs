@@ -85,8 +85,14 @@ mod tests {
         let waits: Vec<usize> = (0..3)
             .map(|cpu| rows[cpu + 1].matches('w').count())
             .collect();
-        assert!(waits[1] > waits[0], "root waits longer than CPU0: {waits:?}");
-        assert!(waits[1] > waits[2], "root waits longer than CPU2: {waits:?}");
+        assert!(
+            waits[1] > waits[0],
+            "root waits longer than CPU0: {waits:?}"
+        );
+        assert!(
+            waits[1] > waits[2],
+            "root waits longer than CPU2: {waits:?}"
+        );
     }
 
     #[test]
@@ -96,10 +102,7 @@ mod tests {
         let rows: Vec<&str> = s.lines().skip(1).take(3).collect();
         // At most one '#' per column, except at hand-off boundaries where
         // rounding may overlap by one cell.
-        let grids: Vec<&str> = rows
-            .iter()
-            .map(|r| r.split('|').nth(1).unwrap())
-            .collect();
+        let grids: Vec<&str> = rows.iter().map(|r| r.split('|').nth(1).unwrap()).collect();
         let cols = grids[0].chars().count();
         let mut overlapping = 0;
         for i in 0..cols {

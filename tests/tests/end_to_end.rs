@@ -124,7 +124,12 @@ fn one_program_runs_under_every_model() {
         }
     }
 
-    for model in [ModelChoice::Gwc, ModelChoice::Entry, ModelChoice::Release, ModelChoice::Weak] {
+    for model in [
+        ModelChoice::Gwc,
+        ModelChoice::Entry,
+        ModelChoice::Release,
+        ModelChoice::Weak,
+    ] {
         let mut builder = SystemBuilder::new(4)
             .topology(TopologyChoice::MeshTorus)
             .timing(LinkTiming::paper_1994())

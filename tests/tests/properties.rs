@@ -1,4 +1,4 @@
-//! Property-based tests of the core protocol invariants, over randomized
+//! Randomized tests of the core protocol invariants, over randomized
 //! workloads, topologies, timings, and failure injection:
 //!
 //! * **GWC total ordering** — every group member observes the same
@@ -11,13 +11,16 @@
 //!   and computation grain;
 //! * **task conservation** in the bounded queue under random capacities
 //!   and both memory models.
+//!
+//! Random cases are drawn from the kernel's own deterministic [`DetRng`]
+//! so the suite needs no external property-testing crate and replays
+//! identically on every run.
 
 #![allow(clippy::type_complexity)]
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use proptest::prelude::*;
 use sesame_core::builder::ModelChoice;
 use sesame_core::OptimisticConfig;
 use sesame_dsm::{
@@ -25,7 +28,7 @@ use sesame_dsm::{
     RunOptions, VarId, Word,
 };
 use sesame_net::{LinkTiming, MeshTorus2d, NodeId, Ring, Topology};
-use sesame_sim::{SimDur, SimTime};
+use sesame_sim::{DetRng, SimDur, SimTime};
 use sesame_workloads::contention::{run_contention, ContentionConfig};
 use sesame_workloads::pipeline::{run_pipeline, MutexMethod, PipelineConfig};
 use sesame_workloads::task_queue::{run_task_queue, TaskQueueConfig};
@@ -43,15 +46,16 @@ struct WritePlan {
     value: Word,
 }
 
-fn write_plan(nodes: u32, vars: u32) -> impl Strategy<Value = WritePlan> {
-    (0..nodes, 0u64..50_000, 0..vars, -1000i64..1000).prop_map(|(writer, delay_ns, var, value)| {
-        WritePlan {
-            writer,
-            delay_ns,
-            var,
-            value,
-        }
-    })
+fn random_plan(rng: &mut DetRng, nodes: u32, vars: u32) -> Vec<WritePlan> {
+    let count = rng.next_range(1, 24) as usize;
+    (0..count)
+        .map(|_| WritePlan {
+            writer: rng.next_below(nodes as u64) as u32,
+            delay_ns: rng.next_below(50_000),
+            var: rng.next_below(vars as u64) as u32,
+            value: rng.next_range(0, 2000) as Word - 1000,
+        })
+        .collect()
 }
 
 /// Runs a randomized eagersharing workload and returns each node's
@@ -87,8 +91,8 @@ fn run_gwc_order_experiment(
             }
         }
         let obs = observed.clone();
-        programs.push(Box::new(move |ev: AppEvent, api: &mut NodeApi<'_>| {
-            match ev {
+        programs.push(Box::new(
+            move |ev: AppEvent, api: &mut NodeApi<'_>| match ev {
                 AppEvent::Started => {
                     for (i, &(delay, _, _)) in my_writes.iter().enumerate() {
                         api.set_timer(SimDur::from_nanos(delay), i as u64);
@@ -102,8 +106,8 @@ fn run_gwc_order_experiment(
                     obs.borrow_mut()[api.id().index()].push((var.get(), value));
                 }
                 _ => {}
-            }
-        }));
+            },
+        ));
     }
     let model = GwcModel::new(&groups, nodes as usize);
     let mut machine = Machine::new(
@@ -131,178 +135,189 @@ fn run_gwc_order_experiment(
 
 const FLUSH_BASE: Word = 1_000_000;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// GWC total ordering: all members observe identical write sequences.
-    #[test]
-    fn gwc_total_order_holds(
-        nodes in 2u32..8,
-        vars in 1u32..4,
-        plan in proptest::collection::vec(write_plan(8, 4), 1..25),
-    ) {
-        let plan: Vec<WritePlan> = plan
-            .into_iter()
-            .map(|mut w| { w.writer %= nodes; w.var %= vars; w })
-            .collect();
+/// GWC total ordering: all members observe identical write sequences.
+#[test]
+fn gwc_total_order_holds() {
+    let mut rng = DetRng::new(0x670C);
+    for _ in 0..24 {
+        let nodes = rng.next_range(2, 7) as u32;
+        let vars = rng.next_range(1, 3) as u32;
+        let plan = random_plan(&mut rng, nodes, vars);
         let (observed, mems) = run_gwc_order_experiment(nodes, vars, &plan, 0.0, 0);
         let reference = &observed[0];
-        prop_assert_eq!(reference.len(), plan.len() + 12, "all writes observed");
+        assert_eq!(reference.len(), plan.len() + 12, "all writes observed");
         for (node, seq) in observed.iter().enumerate().skip(1) {
-            prop_assert_eq!(seq, reference, "node {} diverged", node);
+            assert_eq!(seq, reference, "node {node} diverged");
         }
         for (node, mem) in mems.iter().enumerate().skip(1) {
-            prop_assert_eq!(mem, &mems[0], "memory {} diverged", node);
+            assert_eq!(mem, &mems[0], "memory {node} diverged");
         }
     }
+}
 
-    /// The same invariant under packet loss: nack-based retransmission
-    /// restores total order for every write that precedes the flush tail.
-    #[test]
-    fn gwc_total_order_survives_loss(
-        nodes in 2u32..6,
-        plan in proptest::collection::vec(write_plan(6, 2), 1..15),
-        loss in 0.05f64..0.30,
-        seed in 0u64..1000,
-    ) {
+/// The same invariant under packet loss: nack-based retransmission
+/// restores total order for every write that precedes the flush tail.
+#[test]
+fn gwc_total_order_survives_loss() {
+    let mut rng = DetRng::new(0x1055);
+    for _ in 0..24 {
+        let nodes = rng.next_range(2, 5) as u32;
         let vars = 2;
-        let plan: Vec<WritePlan> = plan
-            .into_iter()
-            .map(|mut w| { w.writer %= nodes; w.var %= vars; w })
-            .collect();
+        let plan = random_plan(&mut rng, nodes, vars);
+        let loss = 0.05 + rng.next_f64() * 0.25;
+        let seed = rng.next_below(1000);
         let (observed, _) = run_gwc_order_experiment(nodes, vars, &plan, loss, seed);
         // Sequences agree on the common prefix, and every node saw at
         // least all non-flush writes.
         let min_len = observed.iter().map(Vec::len).min().unwrap();
-        prop_assert!(min_len >= plan.len(),
-            "a node missed real writes: saw {} of {}", min_len, plan.len());
+        assert!(
+            min_len >= plan.len(),
+            "a node missed real writes: saw {min_len} of {}",
+            plan.len()
+        );
         for node in 1..nodes as usize {
-            prop_assert_eq!(
+            assert_eq!(
                 &observed[node][..min_len],
                 &observed[0][..min_len],
-                "node {} diverged under loss", node
+                "node {node} diverged under loss"
             );
         }
     }
+}
 
-    /// Optimistic mutual exclusion is safe for arbitrary history
-    /// parameters, contention levels, and timing grain. The contention
-    /// driver asserts internally that every section completed and the
-    /// shared counter equals the section count.
-    #[test]
-    fn optimistic_mutex_is_always_safe(
-        contenders in 2u32..7,
-        rounds in 3u32..15,
-        think_us in 1u64..100,
-        section_ns in 500u64..10_000,
-        alpha in 0.01f64..0.9,
-        threshold in 0.05f64..0.95,
-        seed in 0u64..10_000,
-    ) {
+/// Optimistic mutual exclusion is safe for arbitrary history
+/// parameters, contention levels, and timing grain. The contention
+/// driver asserts internally that every section completed and the
+/// shared counter equals the section count.
+#[test]
+fn optimistic_mutex_is_always_safe() {
+    let mut rng = DetRng::new(0x5AFE);
+    for _ in 0..24 {
         let run = run_contention(ContentionConfig {
-            contenders,
-            rounds,
-            section: SimDur::from_nanos(section_ns),
-            mean_think: SimDur::from_us(think_us),
-            mutex: OptimisticConfig { alpha, threshold, optimistic: true },
+            contenders: rng.next_range(2, 6) as u32,
+            rounds: rng.next_range(3, 14) as u32,
+            section: SimDur::from_nanos(rng.next_range(500, 10_000)),
+            mean_think: SimDur::from_us(rng.next_range(1, 99)),
+            mutex: OptimisticConfig {
+                alpha: 0.01 + rng.next_f64() * 0.89,
+                threshold: 0.05 + rng.next_f64() * 0.90,
+                optimistic: true,
+            },
             timing: LinkTiming::paper_1994(),
-            seed,
+            seed: rng.next_below(10_000),
             ..ContentionConfig::default()
         });
-        prop_assert_eq!(run.counter, run.sections as Word);
-        prop_assert_eq!(
+        assert_eq!(run.counter, run.sections as Word);
+        assert_eq!(
             run.stats.completions,
             run.stats.optimistic_attempts + run.stats.regular_attempts
         );
     }
+}
 
-    /// The pipeline completes under every mutex method at random scales,
-    /// never rolls back, and preserves the paper's method ordering.
-    #[test]
-    fn pipeline_liveness_and_ordering(
-        nodes in 2usize..10,
-        visits in 16u32..80,
-        local_us in 2u64..20,
-    ) {
+/// The pipeline completes under every mutex method at random scales,
+/// never rolls back, and preserves the paper's method ordering.
+#[test]
+fn pipeline_liveness_and_ordering() {
+    let mut rng = DetRng::new(0x9199);
+    for _ in 0..8 {
+        let nodes = rng.next_range(2, 9) as usize;
         let cfg = PipelineConfig {
-            total_visits: visits,
-            local_calc: SimDur::from_us(local_us),
+            total_visits: rng.next_range(16, 79) as u32,
+            local_calc: SimDur::from_us(rng.next_range(2, 19)),
             ..PipelineConfig::default()
         };
         let opt = run_pipeline(nodes, MutexMethod::OptimisticGwc, cfg);
         let reg = run_pipeline(nodes, MutexMethod::RegularGwc, cfg);
         let ent = run_pipeline(nodes, MutexMethod::Entry, cfg);
-        prop_assert_eq!(opt.rollbacks, 0);
+        assert_eq!(opt.rollbacks, 0);
         let bound = cfg.ideal_power();
         for (label, p) in [("opt", opt.power), ("reg", reg.power), ("ent", ent.power)] {
-            prop_assert!(p > 0.0 && p <= bound + 1e-9, "{} power {} out of range", label, p);
+            assert!(
+                p > 0.0 && p <= bound + 1e-9,
+                "{label} power {p} out of range"
+            );
         }
-        prop_assert!(opt.power + 1e-9 >= reg.power,
-            "optimism must never lose: {} vs {}", opt.power, reg.power);
-        prop_assert!(reg.power > ent.power,
-            "GWC must beat entry: {} vs {}", reg.power, ent.power);
+        assert!(
+            opt.power + 1e-9 >= reg.power,
+            "optimism must never lose: {} vs {}",
+            opt.power,
+            reg.power
+        );
+        assert!(
+            reg.power > ent.power,
+            "GWC must beat entry: {} vs {}",
+            reg.power,
+            ent.power
+        );
     }
+}
 
-    /// The bounded task queue conserves tasks for random capacities and
-    /// both memory models.
-    #[test]
-    fn task_queue_conserves_tasks(
-        nodes in 2usize..8,
-        tasks in 8u32..60,
-        capacity in 2u32..32,
-        exec_us in 50u64..400,
-    ) {
+/// The bounded task queue conserves tasks for random capacities and
+/// both memory models.
+#[test]
+fn task_queue_conserves_tasks() {
+    let mut rng = DetRng::new(0x7A5C);
+    for _ in 0..8 {
+        let nodes = rng.next_range(2, 7) as usize;
         let cfg = TaskQueueConfig {
-            total_tasks: tasks,
-            capacity,
-            exec_time: SimDur::from_us(exec_us),
+            total_tasks: rng.next_range(8, 59) as u32,
+            capacity: rng.next_range(2, 31) as u32,
+            exec_time: SimDur::from_us(rng.next_range(50, 399)),
             ..TaskQueueConfig::default()
         };
         // Conservation is asserted inside run_task_queue.
         let gwc = run_task_queue(nodes, ModelChoice::Gwc, cfg);
-        prop_assert!(gwc.speedup <= nodes as f64 + 1e-9);
+        assert!(gwc.speedup <= nodes as f64 + 1e-9);
         let entry = run_task_queue(nodes, ModelChoice::Entry, cfg);
-        prop_assert!(entry.speedup <= nodes as f64 + 1e-9);
+        assert!(entry.speedup <= nodes as f64 + 1e-9);
     }
+}
 
-    /// Torus routing invariants: path length equals hop count, hops are
-    /// symmetric, and the spanning tree reaches everything at shortest
-    /// depth from any root.
-    #[test]
-    fn torus_routing_invariants(nodes in 2usize..40, a in 0u32..40, b in 0u32..40, r in 0u32..40) {
+/// Torus routing invariants: path length equals hop count, hops are
+/// symmetric, and the spanning tree reaches everything at shortest
+/// depth from any root.
+#[test]
+fn torus_routing_invariants() {
+    let mut rng = DetRng::new(0x7040);
+    for _ in 0..32 {
+        let nodes = rng.next_range(2, 39) as usize;
         let topo = MeshTorus2d::with_nodes(nodes);
-        let a = n(a % nodes as u32);
-        let b = n(b % nodes as u32);
-        prop_assert_eq!(topo.route(a, b).len() as u32, topo.hops(a, b));
-        prop_assert_eq!(topo.hops(a, b), topo.hops(b, a));
-        let root = n(r % nodes as u32);
+        let a = n(rng.next_below(nodes as u64) as u32);
+        let b = n(rng.next_below(nodes as u64) as u32);
+        assert_eq!(topo.route(a, b).len() as u32, topo.hops(a, b));
+        assert_eq!(topo.hops(a, b), topo.hops(b, a));
+        let root = n(rng.next_below(nodes as u64) as u32);
         let tree = sesame_net::SpanningTree::build(&topo, root);
         for m in 0..nodes as u32 {
-            prop_assert_eq!(tree.depth(n(m)), topo.hops(root, n(m)));
+            assert_eq!(tree.depth(n(m)), topo.hops(root, n(m)));
         }
     }
+}
 
-    /// Ring and torus agree with each other's invariants on the shared
-    /// Topology contract (route validity end to end).
-    #[test]
-    fn ring_routes_are_valid(nodes in 2usize..30, a in 0u32..30, b in 0u32..30) {
+/// Ring routes are valid end to end and never longer than half the ring.
+#[test]
+fn ring_routes_are_valid() {
+    let mut rng = DetRng::new(0x0416);
+    for _ in 0..32 {
+        let nodes = rng.next_range(2, 29) as usize;
         let topo = Ring::new(nodes);
-        let a = n(a % nodes as u32);
-        let b = n(b % nodes as u32);
+        let a = n(rng.next_below(nodes as u64) as u32);
+        let b = n(rng.next_below(nodes as u64) as u32);
         let links = topo.route(a, b);
         let mut at = a;
         for l in &links {
-            prop_assert_eq!(l.from_node(), at);
+            assert_eq!(l.from_node(), at);
             at = l.to_node();
         }
-        prop_assert_eq!(at, b);
-        prop_assert!(links.len() as u32 <= nodes as u32 / 2);
+        assert_eq!(at, b);
+        assert!(links.len() as u32 <= nodes as u32 / 2);
     }
 }
 
 /// Determinism meta-property: any fixed contention configuration produces
-/// identical outcomes across repeated runs (non-proptest because one pair
-/// suffices per configuration, exercised with three seeds).
+/// identical outcomes across repeated runs (one pair suffices per
+/// configuration, exercised with three seeds).
 #[test]
 fn contention_runs_are_deterministic_across_seeds() {
     for seed in [1u64, 99, 12345] {
