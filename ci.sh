@@ -16,4 +16,19 @@ cargo test -q --workspace
 echo "==> cargo test --features verify (online verification)"
 cargo test -q -p sesame-dsm -p sesame-core --features verify
 
+echo "==> cargo doc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "==> telemetry smoke (run -> snapshot -> report)"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+cargo run -q --release -p sesame-cli -- run --scenario contention \
+    --metrics-out "$tmpdir/m.json" --timeline-out "$tmpdir/t.trace.json" \
+    >/dev/null
+grep -q '"schema":"sesame-telemetry/v1"' "$tmpdir/m.json"
+grep -q '"traceEvents"' "$tmpdir/t.trace.json"
+# report --metrics-in round-trips through the Snapshot::from_json validator.
+cargo run -q --release -p sesame-cli -- report --metrics-in "$tmpdir/m.json" \
+    | grep -q "optimism"
+
 echo "CI green."

@@ -1,14 +1,27 @@
 //! Regenerates the paper's Figure 8: network power of mutual exclusion
 //! methods on the linear pipeline, 2..128 CPUs, plus the §4.1 headline
-//! speedup ratios.
+//! speedup ratios and the optimism telemetry of the optimistic line.
 //!
-//! Usage: `repro-fig8 [--quick]` (`--quick` runs 2..32 with 256 visits).
+//! Usage: `repro-fig8 [--quick] [--metrics-out <file.json>]`
+//! (`--quick` runs 2..32 with 256 visits; `--metrics-out` writes the
+//! largest size's telemetry snapshot as JSON).
 
-use sesame_workloads::experiments::{figure8, figure8_sizes, render_series};
-use sesame_workloads::pipeline::PipelineConfig;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use sesame_sim::TraceObserver;
+use sesame_telemetry::Telemetry;
+use sesame_workloads::experiments::{figure8, figure8_optimism, figure8_sizes, render_series};
+use sesame_workloads::pipeline::{run_pipeline_observed, MutexMethod, PipelineConfig};
+use sesame_workloads::telemetry::absorb_run;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let metrics_out = args
+        .iter()
+        .position(|a| a == "--metrics-out")
+        .map(|i| args.get(i + 1).expect("--metrics-out needs a path").clone());
     let (sizes, cfg) = if quick {
         (
             vec![2, 4, 8, 16, 32],
@@ -53,4 +66,36 @@ fn main() {
         "#   non-optimistic / entry:          {:.2}",
         r.regular_over_entry
     );
+
+    // The optimism columns, sourced from the telemetry registry: what
+    // fraction of mutex entries the optimistic engine won outright.
+    let points = figure8_optimism(cfg, &sizes);
+    println!("\n# optimism telemetry (optimistic GWC line)");
+    println!("# cpus   attempts   wins   rollbacks   hit-rate   overlapped");
+    for p in &points {
+        println!(
+            "{:>6} {:>10} {:>6} {:>11} {:>9.1}% {:>12}",
+            p.nodes,
+            p.attempts,
+            p.wins,
+            p.rollbacks,
+            100.0 * p.hit_rate(),
+            p.overlapped
+        );
+    }
+
+    if let Some(path) = metrics_out {
+        let &n = sizes.last().expect("non-empty sizes");
+        let shared = Telemetry::new("figure8", 0).shared();
+        let observer: Rc<RefCell<dyn TraceObserver>> = shared.clone();
+        let run = run_pipeline_observed(n, MutexMethod::OptimisticGwc, cfg, Some(observer));
+        {
+            let mut t = shared.borrow_mut();
+            absorb_run(&mut t, &run.result);
+        }
+        drop(run);
+        let snapshot = Telemetry::unwrap_shared(shared).snapshot();
+        std::fs::write(&path, snapshot.to_json()).expect("write metrics snapshot");
+        eprintln!("wrote {n}-CPU telemetry snapshot to {path}");
+    }
 }

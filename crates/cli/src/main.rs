@@ -9,6 +9,8 @@
 //! sesame fig7
 //! sesame fig8 [--sizes 2,4,8] [--visits N] [--local-us N]
 //! sesame contention [--contenders N] [--rounds N] [--think-us N]
+//! sesame run --scenario contention --metrics-out m.json --timeline-out t.trace.json
+//! sesame report --metrics-in m.json
 //! ```
 
 mod args;
@@ -18,12 +20,14 @@ use std::process::ExitCode;
 use args::Args;
 use sesame_core::OptimisticConfig;
 use sesame_sim::SimDur;
+use sesame_telemetry::{render_report, Snapshot};
 use sesame_workloads::contention::{run_contention, ContentionConfig};
 use sesame_workloads::experiments::{
     figure1, figure2, figure2_sizes, figure8, figure8_sizes, render_series,
 };
 use sesame_workloads::pipeline::PipelineConfig;
 use sesame_workloads::task_queue::TaskQueueConfig;
+use sesame_workloads::telemetry::{run_with_telemetry, Scenario, ScenarioOptions};
 use sesame_workloads::three_cpu::Figure1Config;
 use sesame_workloads::timeline::render_figure1_timeline;
 
@@ -48,8 +52,17 @@ COMMANDS:
                     --format <table|csv>
     contention    optimistic vs regular locking across think times
                     --contenders <N=6>  --rounds <N=50>  --think-us <N=50>
+    run           run one scenario with telemetry and export metrics
+                    --scenario <three-cpu|contention|task-queue>  (default contention)
+                    --contenders <N=4>  --rounds <N=25>  --tasks <N=48>
+                    --nodes <N=5>  --seed <N=7>
+                    --metrics-out <file.json>   JSON metrics snapshot
+                    --csv-out <file.csv>        CSV metrics export
+                    --timeline-out <file.json>  Chrome trace-event timeline
+    report        render a human-readable report from a metrics snapshot
+                    --metrics-in <file.json>  (or --scenario to run fresh)
     verify        replay scenarios under the sesame-verify checkers
-                    --scenario <all|three-cpu|contention|task-queue>
+                    --scenario <all|three-cpu|contention|task-queue|planted-bad>
                     --contenders <N=4>  --rounds <N=30>
     help          print this message
 ";
@@ -215,11 +228,86 @@ fn cmd_contention(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses the scenario options shared by `run` and `report`.
+fn scenario_options(args: &Args) -> Result<(Scenario, ScenarioOptions), String> {
+    let name = args.get_str("--scenario").unwrap_or("contention");
+    let scenario = Scenario::parse(name).ok_or_else(|| {
+        format!("unknown --scenario {name:?} (use three-cpu, contention or task-queue)")
+    })?;
+    let defaults = ScenarioOptions::default();
+    let opts = ScenarioOptions {
+        contenders: args
+            .get_or("--contenders", defaults.contenders, "integer")
+            .map_err(|e| e.to_string())?,
+        rounds: args
+            .get_or("--rounds", defaults.rounds, "integer")
+            .map_err(|e| e.to_string())?,
+        tasks: args
+            .get_or("--tasks", defaults.tasks, "integer")
+            .map_err(|e| e.to_string())?,
+        nodes: args
+            .get_or("--nodes", defaults.nodes, "integer")
+            .map_err(|e| e.to_string())?,
+        seed: args
+            .get_or("--seed", defaults.seed, "integer")
+            .map_err(|e| e.to_string())?,
+        timeline: args.get_str("--timeline-out").is_some(),
+    };
+    Ok((scenario, opts))
+}
+
+fn write_file(path: &str, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// Runs one scenario with the telemetry collector attached and exports
+/// the requested snapshot/timeline files.
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let (scenario, opts) = scenario_options(args)?;
+    let telemetry = run_with_telemetry(scenario, &opts);
+    let snapshot = telemetry.snapshot();
+    if let Some(path) = args.get_str("--metrics-out") {
+        write_file(path, &snapshot.to_json())?;
+        println!("wrote metrics snapshot to {path}");
+    }
+    if let Some(path) = args.get_str("--csv-out") {
+        write_file(path, &snapshot.to_csv())?;
+        println!("wrote metrics CSV to {path}");
+    }
+    if let Some(path) = args.get_str("--timeline-out") {
+        write_file(path, &telemetry.chrome_trace())?;
+        println!(
+            "wrote Chrome trace ({} events) to {path} — open in chrome://tracing or ui.perfetto.dev",
+            telemetry.timeline().len()
+        );
+    }
+    print!("{}", render_report(&snapshot));
+    Ok(())
+}
+
+/// Renders a report from a saved metrics snapshot (validating the schema),
+/// or from a fresh run when `--metrics-in` is absent.
+fn cmd_report(args: &Args) -> Result<(), String> {
+    let snapshot = match args.get_str("--metrics-in") {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            Snapshot::from_json(&text).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => {
+            let (scenario, opts) = scenario_options(args)?;
+            run_with_telemetry(scenario, &opts).snapshot()
+        }
+    };
+    print!("{}", render_report(&snapshot));
+    Ok(())
+}
+
 /// Replays the seed scenarios with tracing on, runs every `sesame-verify`
 /// checker over each trace, and fails if any diagnostic is produced.
 fn cmd_verify(args: &Args) -> Result<(), String> {
     use sesame_core::builder::ModelChoice;
-    use sesame_verify::{check_recorder, Violation};
+    use sesame_verify::{check_recorder, check_trace, Violation};
     use sesame_workloads::task_queue::run_task_queue;
     use sesame_workloads::three_cpu::run_figure1;
 
@@ -270,9 +358,35 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
         );
         check("task-queue/gwc".to_string(), &run.result.trace);
     }
+    if scenario == "planted-bad" {
+        // A deliberately corrupt trace — the root grants the same lock to
+        // two holders with no intervening release — so the failure path
+        // (diagnostics printed, nonzero exit) can be exercised end to end.
+        use sesame_sim::{SimTime, TraceEntry};
+        let entries = vec![
+            TraceEntry {
+                time: SimTime::from_nanos(10),
+                actor: 0,
+                kind: "root-grant",
+                detail: "g=0 v=0 holder=1".into(),
+            },
+            TraceEntry {
+                time: SimTime::from_nanos(20),
+                actor: 0,
+                kind: "root-grant",
+                detail: "g=0 v=0 holder=2".into(),
+            },
+        ];
+        checked.push((
+            "planted-bad/double-grant".to_string(),
+            entries.len(),
+            check_trace(&entries),
+        ));
+    }
     if checked.is_empty() {
         return Err(format!(
-            "unknown --scenario {scenario:?} (use all, three-cpu, contention or task-queue)"
+            "unknown --scenario {scenario:?} \
+             (use all, three-cpu, contention, task-queue or planted-bad)"
         ));
     }
 
@@ -314,6 +428,32 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
         "fig7" => (&[], cmd_fig7),
         "fig8" => (&["--sizes", "--visits", "--local-us", "--format"], cmd_fig8),
         "contention" => (&["--contenders", "--rounds", "--think-us"], cmd_contention),
+        "run" => (
+            &[
+                "--scenario",
+                "--contenders",
+                "--rounds",
+                "--tasks",
+                "--nodes",
+                "--seed",
+                "--metrics-out",
+                "--csv-out",
+                "--timeline-out",
+            ],
+            cmd_run,
+        ),
+        "report" => (
+            &[
+                "--metrics-in",
+                "--scenario",
+                "--contenders",
+                "--rounds",
+                "--tasks",
+                "--nodes",
+                "--seed",
+            ],
+            cmd_report,
+        ),
         "verify" => (&["--scenario", "--contenders", "--rounds"], cmd_verify),
         _ => return Err(format!("unknown command {cmd:?}\n\n{USAGE}")),
     };

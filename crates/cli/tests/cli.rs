@@ -1,0 +1,152 @@
+//! End-to-end tests of the `sesame` binary: exit codes, metric exports,
+//! and the report round trip.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn sesame(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sesame"))
+        .args(args)
+        .output()
+        .expect("spawn sesame")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sesame-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let out = sesame(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("--metrics-out"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = sesame(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn verify_clean_scenario_exits_zero() {
+    let out = sesame(&["verify", "--scenario", "three-cpu"]);
+    assert!(
+        out.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("0 violations"));
+}
+
+#[test]
+fn verify_planted_bad_exits_nonzero_with_diagnostic() {
+    let out = sesame(&["verify", "--scenario", "planted-bad"]);
+    assert!(!out.status.success(), "planted violation must fail the run");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FAIL planted-bad/double-grant"));
+    assert!(stdout.contains("mutual-exclusion"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("protocol violations detected"));
+}
+
+#[test]
+fn run_exports_validate_and_report_round_trips() {
+    let metrics = tmp("m.json");
+    let csv = tmp("m.csv");
+    let timeline = tmp("t.trace.json");
+    let out = sesame(&[
+        "run",
+        "--scenario",
+        "contention",
+        "--rounds",
+        "10",
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+        "--csv-out",
+        csv.to_str().unwrap(),
+        "--timeline-out",
+        timeline.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("optimism:"));
+
+    // The snapshot parses back under the schema validator.
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    let snap = sesame_telemetry::Snapshot::from_json(&text).expect("valid snapshot");
+    assert_eq!(snap.scenario, "contention");
+    assert_eq!(snap.counter("run/sections"), 40);
+
+    // CSV has the header and one row per exported field.
+    let csv_text = std::fs::read_to_string(&csv).unwrap();
+    assert!(csv_text.starts_with("key,kind,field,value\n"));
+    assert!(csv_text.lines().count() > 10);
+
+    // The Chrome trace is valid JSON with lock sections, optimistic
+    // sections, and rollback instants.
+    let trace = std::fs::read_to_string(&timeline).unwrap();
+    sesame_telemetry::json::parse(&trace).expect("valid trace JSON");
+    assert!(trace.contains("\"traceEvents\""));
+    assert!(trace.contains("hold v0"));
+    assert!(trace.contains("optimistic v0"));
+    assert!(trace.contains("rollback v0") || snap.sum_counters("node/", "/opt/rollbacks") == 0);
+
+    // `report --metrics-in` renders the same snapshot.
+    let rep = sesame(&["report", "--metrics-in", metrics.to_str().unwrap()]);
+    assert!(rep.status.success());
+    let rep_text = String::from_utf8_lossy(&rep.stdout);
+    assert!(rep_text.contains("scenario: contention"));
+    assert!(rep_text.contains("optimism:"));
+
+    for p in [metrics, csv, timeline] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn report_rejects_malformed_snapshots() {
+    let path = tmp("bad.json");
+    std::fs::write(&path, "{\"schema\":\"wrong/v0\",\"metrics\":{}}").unwrap();
+    let out = sesame(&["report", "--metrics-in", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn same_seed_runs_export_identical_bytes() {
+    let a = tmp("det-a.json");
+    let b = tmp("det-b.json");
+    for p in [&a, &b] {
+        let out = sesame(&[
+            "run",
+            "--scenario",
+            "contention",
+            "--rounds",
+            "5",
+            "--seed",
+            "42",
+            "--metrics-out",
+            p.to_str().unwrap(),
+        ]);
+        assert!(out.status.success());
+    }
+    let bytes_a = std::fs::read(&a).unwrap();
+    let bytes_b = std::fs::read(&b).unwrap();
+    assert_eq!(
+        bytes_a, bytes_b,
+        "same-seed snapshots must be byte-identical"
+    );
+    for p in [a, b] {
+        let _ = std::fs::remove_file(p);
+    }
+}

@@ -317,6 +317,12 @@ impl EntryModel {
         }
         if l.held || l.transfer.is_some() || !l.queue.is_empty() {
             l.queue.push_back(requester);
+            if mx.tracing() {
+                // Canonical owner-queue-depth event (telemetry's
+                // ec-queue-depth time-weighted signal).
+                let qlen = self.locks[&lock].queue.len();
+                mx.trace(node, "ec-queue", format!("v={} q={qlen}", lock.get()));
+            }
             return;
         }
         self.begin_transfer(lock, requester, mx);
@@ -384,6 +390,10 @@ impl Model for EntryModel {
                     .get_mut(&lock)
                     .expect("invariant: every entry-consistency lock is registered at build");
                 if let Some(next) = l.queue.pop_front() {
+                    if mx.tracing() {
+                        let qlen = self.locks[&lock].queue.len();
+                        mx.trace(node, "ec-queue", format!("v={} q={qlen}", lock.get()));
+                    }
                     self.begin_transfer(lock, next, mx);
                 }
             }

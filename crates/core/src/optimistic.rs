@@ -234,7 +234,9 @@ impl OptimisticMutex {
 
         // Canonical entry event for trace-level checkers, before the
         // request write so they learn the lock variable first.
-        api.trace("mutex-enter", format!("v={}", self.lock.get()));
+        if api.tracing() {
+            api.trace("mutex-enter", format!("v={}", self.lock.get()));
+        }
 
         // Lines 03–04: atomically exchange the request value into the local
         // lock copy, keeping the previous value.
@@ -257,13 +259,17 @@ impl OptimisticMutex {
                 path: Path::Regular,
                 rollbacks: 0,
             };
-            api.trace("mutex-regular", format!("lock {}", self.lock));
+            if api.tracing() {
+                api.trace("mutex-regular", format!("v={}", self.lock.get()));
+            }
             return Ok(Path::Regular);
         }
 
         // Line 06: watch for any lock change, atomically coupled with
         // insharing suspension when it fires.
-        api.trace("opt-enter", format!("v={}", self.lock.get()));
+        if api.tracing() {
+            api.trace("opt-enter", format!("v={}", self.lock.get()));
+        }
         api.arm_lock_interrupt(self.lock);
 
         // Lines 14–16: save the variables the section will change.
@@ -272,8 +278,10 @@ impl OptimisticMutex {
             .iter()
             .map(|&var| (var, api.read(var)))
             .collect();
-        for &(var, val) in &self.saved {
-            api.trace("opt-save", format!("v={} val={val}", var.get()));
+        if api.tracing() {
+            for &(var, val) in &self.saved {
+                api.trace("opt-save", format!("v={} val={val}", var.get()));
+            }
         }
 
         // Line 17 onward: compute immediately, overlapping the lock
@@ -286,7 +294,9 @@ impl OptimisticMutex {
             rollbacks: 0,
         };
         self.start_compute(api);
-        api.trace("mutex-optimistic", format!("lock {}", self.lock));
+        if api.tracing() {
+            api.trace("mutex-optimistic", format!("v={}", self.lock.get()));
+        }
         Ok(Path::Optimistic)
     }
 
@@ -344,7 +354,9 @@ impl OptimisticMutex {
                 let (path, rollbacks) = (*path, *rollbacks);
                 if value == lockval::grant(api.id()) {
                     // Line 10: the wait is over; execute the section.
-                    api.trace("mutex-granted", format!("v={}", self.lock.get()));
+                    if api.tracing() {
+                        api.trace("mutex-granted", format!("v={}", self.lock.get()));
+                    }
                     self.state = State::PostGrantCompute { path, rollbacks };
                     self.start_compute(api);
                 } else if lockval::as_grant(value).is_some() {
@@ -358,6 +370,25 @@ impl OptimisticMutex {
                 let done = *done;
                 self.state = State::Idle;
                 self.stats.completions += 1;
+                // Canonical completion event: which path won, how many
+                // rollbacks it took, and whether communication was fully
+                // overlapped — the per-entry record telemetry aggregates
+                // into optimism win/hit-rate counters.
+                if api.tracing() {
+                    api.trace(
+                        "mutex-complete",
+                        format!(
+                            "v={} path={} rb={} ov={}",
+                            self.lock.get(),
+                            match done.path {
+                                Path::Optimistic => "o",
+                                Path::Regular => "r",
+                            },
+                            done.rollbacks,
+                            u32::from(done.fully_overlapped)
+                        ),
+                    );
+                }
                 Some(MutexSignal::Completed(done))
             }
 
@@ -384,7 +415,9 @@ impl OptimisticMutex {
         if value == lockval::grant(api.id()) {
             // P2: permission for the local CPU. Resume insharing and either
             // release (body already ran) or keep computing.
-            api.trace("mutex-granted", format!("v={}", self.lock.get()));
+            if api.tracing() {
+                api.trace("mutex-granted", format!("v={}", self.lock.get()));
+            }
             api.resume_insharing();
             if body_ran {
                 return self.release(api, Path::Optimistic, rollbacks, true);
@@ -413,7 +446,9 @@ impl OptimisticMutex {
         self.stats.rollbacks += 1;
         // Canonical rollback event, before the restores so the checkers
         // see the `acc-write-local` restorations as part of the rollback.
-        api.trace("opt-rollback", format!("v={}", self.lock.get()));
+        if api.tracing() {
+            api.trace("opt-rollback", format!("v={}", self.lock.get()));
+        }
         if computing {
             api.cancel_compute();
             self.epoch += 1; // invalidate the in-flight completion
@@ -425,7 +460,9 @@ impl OptimisticMutex {
         }
         self.saved.clear(); // line 24: variables_saved = NO
         api.resume_insharing(); // line 25
-        api.trace("mutex-rollback", format!("lock {}", self.lock));
+        if api.tracing() {
+            api.trace("mutex-rollback", format!("v={}", self.lock.get()));
+        }
         self.state = State::Waiting {
             path: Path::Optimistic,
             rollbacks: rollbacks + 1,

@@ -408,6 +408,21 @@ impl GwcModel {
             }
         };
         let root = mx.groups().group(group).root();
+        if mx.tracing() {
+            // Canonical queue-depth event after every root lock operation;
+            // telemetry turns it into a time-weighted root-queue-depth
+            // signal per lock.
+            let qlen = self
+                .roots
+                .get(&group)
+                .expect("known group")
+                .lock
+                .as_ref()
+                .expect("mutex group")
+                .queue
+                .len();
+            mx.trace(root, "root-queue", format!("v={} q={qlen}", var.get()));
+        }
         match outcome {
             Outcome::Grant(holder) => {
                 self.stats.grants += 1;

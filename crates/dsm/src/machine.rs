@@ -131,6 +131,23 @@ impl Mx<'_, '_> {
         let at = self
             .fabric
             .unicast(self.now + extra, self.topo, pkt.from, pkt.to, pkt.bytes);
+        if self.ctx.tracing() {
+            // Canonical message-in-flight event (telemetry builds per-node
+            // packet/hop counters and flight spans from it): `at` is the
+            // fabric-computed arrival time in nanoseconds.
+            let hops = self.topo.hops(pkt.from, pkt.to);
+            self.ctx.trace_for(
+                pkt.from.index(),
+                "pkt-send",
+                format!(
+                    "from={} to={} bytes={} hops={hops} at={}",
+                    pkt.from.get(),
+                    pkt.to.get(),
+                    pkt.bytes,
+                    at.as_nanos()
+                ),
+            );
+        }
         let target = self.ctx.self_id();
         self.ctx
             .send_at(target, at, (pkt.to, DsmEvent::Packet(pkt)));
@@ -145,6 +162,21 @@ impl Mx<'_, '_> {
         let arrivals = self.fabric.multicast(self.now, tree, bytes, g.members());
         let target = self.ctx.self_id();
         let root = g.root();
+        if self.ctx.tracing() {
+            // Canonical multicast event: `last` is the latest member
+            // arrival, the end of the whole fan-out interval.
+            let last = arrivals.iter().map(|&(_, at)| at).max().unwrap_or(self.now);
+            self.ctx.trace_for(
+                root.index(),
+                "pkt-mcast",
+                format!(
+                    "g={} bytes={bytes} n={} last={}",
+                    group.get(),
+                    arrivals.len(),
+                    last.as_nanos()
+                ),
+            );
+        }
         for (member, at) in arrivals {
             // Per-member loss (the root's own echo is a local operation and
             // never lost); members recover via nack-triggered retransmission.
@@ -532,6 +564,19 @@ impl<M: Model> Machine<M> {
                         let at =
                             self.fabric
                                 .unicast(ctx.now(), self.topo.as_ref(), node, to, bytes);
+                        if ctx.tracing() {
+                            let hops = self.topo.hops(node, to);
+                            ctx.trace_for(
+                                node.index(),
+                                "pkt-send",
+                                format!(
+                                    "from={} to={} bytes={bytes} hops={hops} at={}",
+                                    node.get(),
+                                    to.get(),
+                                    at.as_nanos()
+                                ),
+                            );
+                        }
                         let target = ctx.self_id();
                         ctx.send_at(target, at, (to, DsmEvent::Packet(pkt)));
                     }
@@ -630,7 +675,8 @@ pub fn run<M: Model>(machine: Machine<M>, opts: RunOptions) -> RunResult<M> {
     run_observed(machine, opts, None)
 }
 
-/// Like [`run`], but with an optional online [`TraceObserver`] that sees
+/// Like [`run`], but with an optional online [`sesame_sim::TraceObserver`]
+/// that sees
 /// every trace record as it is made (e.g. the `sesame-verify` checkers).
 /// The observer receives records even when `opts.tracing` is false, in
 /// which case no in-memory trace is retained.

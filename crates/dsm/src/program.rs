@@ -249,7 +249,9 @@ impl<'a> NodeApi<'a> {
     /// event so trace-level checkers (`sesame-verify`) can include reads in
     /// happens-before analysis.
     pub fn read(&mut self, var: VarId) -> Word {
-        self.trace("acc-read", format!("v={}", var.get()));
+        if self.tracing {
+            self.trace("acc-read", format!("v={}", var.get()));
+        }
         self.mem.read(var)
     }
 

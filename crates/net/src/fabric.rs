@@ -50,6 +50,11 @@ pub struct FabricStats {
     pub link_traversals: u64,
     /// Packets dropped by the loss model.
     pub losses: u64,
+    /// Total link occupancy: serialization time summed over every link
+    /// traversal, in nanoseconds. Divided by the run length this yields the
+    /// mean number of busy links — the link-utilization figure telemetry
+    /// reports.
+    pub ser_ns: u64,
 }
 
 /// Computes packet delivery times over a topology.
@@ -117,6 +122,7 @@ impl Fabric {
 
     fn traverse_links(&mut self, now: SimTime, links: &[LinkId], bytes: u32) -> SimTime {
         self.stats.link_traversals += links.len() as u64;
+        self.stats.ser_ns += links.len() as u64 * self.timing.serialization(bytes).as_nanos();
         match self.contention {
             ContentionModel::None => now + self.timing.transfer(links.len() as u32, bytes),
             ContentionModel::StoreAndForward => {
@@ -212,6 +218,7 @@ impl Fabric {
             let t_here = arrival[pos.index()];
             for &child in tree.children(pos) {
                 self.stats.link_traversals += 1;
+                self.stats.ser_ns += ser.as_nanos();
                 arrival[child.index()] = match self.contention {
                     // Cut-through: the root clocks the packet out once, then
                     // the wavefront advances one hop latency per tree edge.
@@ -384,5 +391,9 @@ mod tests {
         assert_eq!(s.packets, 2);
         assert_eq!(s.bytes, 150);
         assert_eq!(s.link_traversals, 3);
+        // Each traversal occupies a link for one serialization time.
+        let expect =
+            2 * f.timing().serialization(100).as_nanos() + f.timing().serialization(50).as_nanos();
+        assert_eq!(s.ser_ns, expect);
     }
 }

@@ -471,6 +471,67 @@ mod tests {
     }
 
     #[test]
+    fn histogram_empty_quantiles_are_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.0), SimDur::ZERO);
+        assert_eq!(h.quantile(0.99), SimDur::ZERO);
+        assert_eq!(h.mean(), SimDur::ZERO);
+        assert_eq!(h.max(), SimDur::ZERO);
+    }
+
+    #[test]
+    fn histogram_zero_duration_lands_in_bucket_zero() {
+        let mut h = Histogram::new();
+        h.record(SimDur::ZERO);
+        h.record(SimDur::from_nanos(1));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(0.0), SimDur::ZERO);
+        assert_eq!(h.mean(), SimDur::ZERO); // (0 + 1) / 2 truncates
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0,1]")]
+    fn histogram_out_of_range_quantile_panics() {
+        Histogram::new().quantile(1.5);
+    }
+
+    #[test]
+    fn meanvar_single_sample_has_zero_variance() {
+        let mut m = MeanVar::new();
+        m.record(3.5);
+        assert_eq!(m.variance(), 0.0);
+        assert_eq!(m.std_dev(), 0.0);
+        assert_eq!(m.mean(), 3.5);
+        assert_eq!(m.min(), m.max());
+    }
+
+    #[test]
+    fn meanvar_merge_handles_empty_sides() {
+        let mut a = MeanVar::new();
+        let mut b = MeanVar::new();
+        b.record(1.0);
+        b.record(3.0);
+        a.merge(&b); // empty <- nonempty copies
+        assert_eq!(a.count(), 2);
+        assert!((a.mean() - 2.0).abs() < 1e-12);
+        a.merge(&MeanVar::new()); // nonempty <- empty is a no-op
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(1.0));
+    }
+
+    #[test]
+    fn time_weighted_nonzero_start_excludes_pre_start_time() {
+        let mut tw = TimeWeighted::new(SimTime::from_nanos(100), 1.0);
+        tw.set(SimTime::from_nanos(150), 0.0);
+        let avg = tw.average(SimTime::from_nanos(200));
+        assert!((avg - 0.5).abs() < 1e-12, "avg={avg}");
+        // Zero elapsed time at a non-zero start still returns the
+        // current value rather than dividing by zero.
+        let fresh = TimeWeighted::new(SimTime::from_nanos(100), 0.3);
+        assert_eq!(fresh.average(SimTime::from_nanos(100)), 0.3);
+    }
+
+    #[test]
     fn series_csv_round_trips_values() {
         let mut s = Series::new("opt");
         s.push(2.0, 1.68);

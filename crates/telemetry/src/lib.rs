@@ -1,0 +1,155 @@
+//! # sesame-telemetry — metrics, spans, and timeline export
+//!
+//! The observability layer of the `sesame-rs` reproduction. It turns the
+//! canonical `k=v` protocol trace stream (see `sesame-verify` for the
+//! event taxonomy) plus post-run machine statistics into:
+//!
+//! * a hierarchical [`MetricRegistry`] (`node/<n>/lock/<l>/...` keys over
+//!   the `sesame-sim` measurement primitives);
+//! * simulated-time spans on a [`Timeline`] (lock sections, optimistic
+//!   sections, rollback instants, message-in-flight and root-sequencing
+//!   intervals);
+//! * deterministic exporters: a stable JSON [`Snapshot`] schema, CSV, and
+//!   Chrome trace-event / Perfetto JSON.
+//!
+//! [`Telemetry`] is the façade: it implements
+//! [`TraceObserver`](sesame_sim::TraceObserver), so a run wired through
+//! `sesame_dsm::run_observed` feeds it online with zero cost when no
+//! observer is attached (trace call sites skip even the detail-string
+//! formatting). Everything is deterministic — two runs with the same seed
+//! produce byte-identical exports.
+//!
+//! ```
+//! use sesame_sim::{SimTime, TraceEntry};
+//! use sesame_telemetry::Telemetry;
+//!
+//! let mut t = Telemetry::new("demo", 7).with_timeline(true);
+//! for (ns, kind) in [(10, "lock-acquire"), (40, "ev-acquired"), (90, "ev-released")] {
+//!     t.observe(&TraceEntry {
+//!         time: SimTime::from_nanos(ns),
+//!         actor: 0,
+//!         kind,
+//!         detail: "v=0".into(),
+//!     });
+//! }
+//! t.finish(SimTime::from_nanos(100));
+//! let snapshot = t.snapshot();
+//! assert_eq!(snapshot.metrics.len(), 2); // wait + hold histograms
+//! assert!(t.chrome_trace().contains("hold v0"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+mod observer;
+mod registry;
+mod report;
+mod snapshot;
+mod timeline;
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use sesame_sim::SimTime;
+
+pub use registry::{Metric, MetricRegistry};
+pub use report::render_report;
+pub use snapshot::{Snapshot, SnapshotValue, SCHEMA};
+pub use timeline::{cat, Timeline};
+
+/// The observability façade: registry + timeline + the trace-observer
+/// state that builds spans from the event stream.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    scenario: String,
+    seed: u64,
+    registry: MetricRegistry,
+    timeline: Timeline,
+    timeline_enabled: bool,
+    end: SimTime,
+    state: observer::SpanState,
+}
+
+impl Telemetry {
+    /// Creates telemetry for one run of `scenario` with workload `seed`.
+    /// Timeline collection starts disabled; see [`Telemetry::with_timeline`].
+    pub fn new(scenario: &str, seed: u64) -> Self {
+        Telemetry {
+            scenario: scenario.to_string(),
+            seed,
+            registry: MetricRegistry::new(),
+            timeline: Timeline::new(),
+            timeline_enabled: false,
+            end: SimTime::ZERO,
+            state: observer::SpanState::default(),
+        }
+    }
+
+    /// Enables (or disables) timeline span collection.
+    pub fn with_timeline(mut self, enabled: bool) -> Self {
+        self.timeline_enabled = enabled;
+        self
+    }
+
+    /// Wraps this telemetry for use as a shared
+    /// [`TraceObserver`](sesame_sim::TraceObserver) (what
+    /// `sesame_dsm::run_observed` takes). Unwrap with
+    /// [`Telemetry::unwrap_shared`] after the run.
+    pub fn shared(self) -> Rc<RefCell<Telemetry>> {
+        Rc::new(RefCell::new(self))
+    }
+
+    /// Recovers the telemetry from its shared wrapper.
+    ///
+    /// # Panics
+    ///
+    /// Panics while other clones of the `Rc` are still alive — drop the
+    /// `RunResult` (whose trace recorder holds the observer) first.
+    pub fn unwrap_shared(shared: Rc<RefCell<Telemetry>>) -> Telemetry {
+        Rc::try_unwrap(shared)
+            .expect("telemetry still shared; drop the run result first")
+            .into_inner()
+    }
+
+    /// The metric registry (for direct post-run instrumentation).
+    pub fn registry_mut(&mut self) -> &mut MetricRegistry {
+        &mut self.registry
+    }
+
+    /// The metric registry, read-only.
+    pub fn registry(&self) -> &MetricRegistry {
+        &self.registry
+    }
+
+    /// The collected timeline.
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Whether timeline span collection is on.
+    pub fn timeline_enabled(&self) -> bool {
+        self.timeline_enabled
+    }
+
+    /// The scenario label given at construction.
+    pub fn scenario(&self) -> &str {
+        &self.scenario
+    }
+
+    /// The simulated end time recorded by [`Telemetry::finish`].
+    pub fn end(&self) -> SimTime {
+        self.end
+    }
+
+    /// Takes the JSON-exportable snapshot of every metric. Call after
+    /// [`Telemetry::finish`] so time-weighted averages cover the full run.
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot(&self.scenario, self.seed, self.end)
+    }
+
+    /// Renders the timeline as Chrome trace-event JSON.
+    pub fn chrome_trace(&self) -> String {
+        self.timeline.to_chrome_trace()
+    }
+}

@@ -1,0 +1,497 @@
+//! The trace-stream observer: turns the canonical `k=v` protocol trace
+//! into registry metrics and timeline spans.
+//!
+//! [`Telemetry`] implements [`TraceObserver`], so it plugs into
+//! `sesame_sim::TraceRecorder::set_observer` (via `sesame_dsm::run_observed`)
+//! and sees every record online without the run retaining its trace in
+//! memory. Span construction is a small set of per-`(node, lock)` state
+//! machines over the event stream:
+//!
+//! * **wait** — `mutex-enter` / `lock-acquire` → `ev-acquired` /
+//!   `mutex-granted`;
+//! * **hold** (the lock section) — grant → `ev-released`;
+//! * **optimistic section** — `opt-enter` → `opt-rollback` (rolled back)
+//!   or `mutex-complete` (committed), with an instant per rollback;
+//! * **message in flight** — `pkt-send` / `pkt-mcast` async intervals;
+//! * **root sequencing** — `root-seq` → last `gwc-apply` of the same
+//!   `(group, seq)`, closed when the run finishes.
+
+use std::collections::BTreeMap;
+
+use sesame_sim::{SimTime, TraceEntry, TraceObserver};
+
+use crate::timeline::cat;
+use crate::Telemetry;
+
+/// Open wait/hold/optimistic sections, keyed by `(node, lock)`.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SpanState {
+    pub(crate) wait_start: BTreeMap<(usize, u64), SimTime>,
+    pub(crate) hold_start: BTreeMap<(usize, u64), SimTime>,
+    pub(crate) opt_start: BTreeMap<(usize, u64), SimTime>,
+    pub(crate) seq_pending: BTreeMap<(u64, u64), SeqSpan>,
+}
+
+/// One root-sequenced write awaiting its member applications.
+#[derive(Debug, Clone)]
+pub(crate) struct SeqSpan {
+    pub(crate) root: usize,
+    pub(crate) start: SimTime,
+    pub(crate) last_apply: Option<SimTime>,
+}
+
+/// The value of `key` in a `k=v`-formatted detail string.
+fn field<'a>(detail: &'a str, key: &str) -> Option<&'a str> {
+    detail.split(' ').find_map(|tok| {
+        tok.strip_prefix(key)
+            .and_then(|rest| rest.strip_prefix('='))
+    })
+}
+
+/// The numeric value of `key`, if present and parseable.
+fn num(detail: &str, key: &str) -> Option<u64> {
+    field(detail, key).and_then(|v| v.parse().ok())
+}
+
+impl TraceObserver for Telemetry {
+    fn on_record(&mut self, entry: &TraceEntry) {
+        self.observe(entry);
+    }
+}
+
+impl Telemetry {
+    /// Processes one trace record (the [`TraceObserver`] entry point).
+    pub fn observe(&mut self, e: &TraceEntry) {
+        let node = e.actor;
+        let t = e.time;
+        if self.timeline_enabled {
+            self.timeline.touch_track(node);
+        }
+        match e.kind {
+            "mutex-enter" | "lock-acquire" => {
+                if let Some(v) = num(&e.detail, "v") {
+                    self.state.wait_start.insert((node, v), t);
+                }
+            }
+            "ev-acquired" | "mutex-granted" => {
+                if let Some(v) = num(&e.detail, "v") {
+                    if let Some(start) = self.state.wait_start.remove(&(node, v)) {
+                        self.registry
+                            .histogram(&format!("node/{node}/lock/{v}/wait"))
+                            .record(t.saturating_since(start));
+                        if self.timeline_enabled {
+                            self.timeline.add_complete(
+                                node,
+                                cat::LOCK,
+                                format!("wait v{v}"),
+                                start,
+                                t,
+                            );
+                        }
+                    }
+                    self.state.hold_start.insert((node, v), t);
+                }
+            }
+            "ev-released" => {
+                if let Some(v) = num(&e.detail, "v") {
+                    if let Some(start) = self.state.hold_start.remove(&(node, v)) {
+                        self.registry
+                            .histogram(&format!("node/{node}/lock/{v}/hold"))
+                            .record(t.saturating_since(start));
+                        if self.timeline_enabled {
+                            self.timeline.add_complete(
+                                node,
+                                cat::LOCK,
+                                format!("hold v{v}"),
+                                start,
+                                t,
+                            );
+                        }
+                    }
+                }
+            }
+            "mutex-regular" => {
+                if let Some(v) = num(&e.detail, "v") {
+                    self.registry
+                        .counter(&format!("node/{node}/lock/{v}/reg/attempts"))
+                        .incr();
+                }
+            }
+            "opt-enter" => {
+                if let Some(v) = num(&e.detail, "v") {
+                    self.registry
+                        .counter(&format!("node/{node}/lock/{v}/opt/attempts"))
+                        .incr();
+                    self.state.opt_start.insert((node, v), t);
+                }
+            }
+            "opt-rollback" => {
+                if let Some(v) = num(&e.detail, "v") {
+                    self.registry
+                        .counter(&format!("node/{node}/lock/{v}/opt/rollbacks"))
+                        .incr();
+                    if self.timeline_enabled {
+                        self.timeline
+                            .add_instant(node, cat::OPTIMISM, format!("rollback v{v}"), t);
+                        if let Some(start) = self.state.opt_start.remove(&(node, v)) {
+                            self.timeline.add_complete(
+                                node,
+                                cat::OPTIMISM,
+                                format!("optimistic v{v} (rolled back)"),
+                                start,
+                                t,
+                            );
+                        }
+                    } else {
+                        self.state.opt_start.remove(&(node, v));
+                    }
+                }
+            }
+            "mutex-complete" => {
+                if let Some(v) = num(&e.detail, "v") {
+                    self.registry
+                        .counter(&format!("node/{node}/lock/{v}/completions"))
+                        .incr();
+                    if field(&e.detail, "path") == Some("o") {
+                        if num(&e.detail, "rb") == Some(0) {
+                            self.registry
+                                .counter(&format!("node/{node}/lock/{v}/opt/wins"))
+                                .incr();
+                        }
+                        if num(&e.detail, "ov") == Some(1) {
+                            self.registry
+                                .counter(&format!("node/{node}/lock/{v}/opt/overlapped"))
+                                .incr();
+                        }
+                        if let Some(start) = self.state.opt_start.remove(&(node, v)) {
+                            if self.timeline_enabled {
+                                self.timeline.add_complete(
+                                    node,
+                                    cat::OPTIMISM,
+                                    format!("optimistic v{v}"),
+                                    start,
+                                    t,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            "root-queue" => {
+                if let (Some(v), Some(q)) = (num(&e.detail, "v"), num(&e.detail, "q")) {
+                    self.registry
+                        .time_weighted(&format!("node/{node}/lock/{v}/root-queue-depth"))
+                        .set(t, q as f64);
+                }
+            }
+            "ec-queue" => {
+                if let (Some(v), Some(q)) = (num(&e.detail, "v"), num(&e.detail, "q")) {
+                    self.registry
+                        .time_weighted(&format!("node/{node}/lock/{v}/ec-queue-depth"))
+                        .set(t, q as f64);
+                }
+            }
+            "root-seq" => {
+                if let (Some(g), Some(seq)) = (num(&e.detail, "g"), num(&e.detail, "seq")) {
+                    self.registry
+                        .counter(&format!("group/{g}/sequenced"))
+                        .incr();
+                    self.state.seq_pending.insert(
+                        (g, seq),
+                        SeqSpan {
+                            root: node,
+                            start: t,
+                            last_apply: None,
+                        },
+                    );
+                }
+            }
+            "root-filtered" => {
+                if let Some(g) = num(&e.detail, "g") {
+                    self.registry.counter(&format!("group/{g}/filtered")).incr();
+                }
+            }
+            "gwc-apply" => {
+                self.registry
+                    .counter(&format!("node/{node}/gwc/applies"))
+                    .incr();
+                if let (Some(g), Some(seq)) = (num(&e.detail, "g"), num(&e.detail, "seq")) {
+                    if let Some(span) = self.state.seq_pending.get_mut(&(g, seq)) {
+                        span.last_apply = Some(t);
+                        let start = span.start;
+                        self.registry
+                            .histogram(&format!("group/{g}/seq-latency"))
+                            .record(t.saturating_since(start));
+                    }
+                }
+            }
+            "hw-block-drop" => {
+                self.registry
+                    .counter(&format!("node/{node}/gwc/hw-block-drops"))
+                    .incr();
+            }
+            "acc-read" => {
+                self.registry
+                    .counter(&format!("node/{node}/mem/reads"))
+                    .incr();
+            }
+            "acc-write" => {
+                self.registry
+                    .counter(&format!("node/{node}/mem/writes"))
+                    .incr();
+            }
+            "acc-write-local" => {
+                self.registry
+                    .counter(&format!("node/{node}/mem/local-writes"))
+                    .incr();
+            }
+            "pkt-send" => {
+                let (Some(to), Some(bytes), Some(hops), Some(at)) = (
+                    num(&e.detail, "to"),
+                    num(&e.detail, "bytes"),
+                    num(&e.detail, "hops"),
+                    num(&e.detail, "at"),
+                ) else {
+                    return;
+                };
+                self.registry
+                    .counter(&format!("node/{node}/net/packets"))
+                    .incr();
+                self.registry
+                    .counter(&format!("node/{node}/net/bytes"))
+                    .add(bytes);
+                self.registry
+                    .counter(&format!("node/{node}/net/hops"))
+                    .add(hops);
+                let arrival = SimTime::from_nanos(at);
+                self.registry
+                    .histogram(&format!("node/{node}/net/flight"))
+                    .record(arrival.saturating_since(t));
+                if self.timeline_enabled {
+                    self.timeline.add_async(
+                        node,
+                        cat::NET,
+                        format!("pkt {node}->{to}"),
+                        t,
+                        arrival,
+                    );
+                }
+            }
+            "pkt-mcast" => {
+                let (Some(g), Some(bytes), Some(n), Some(last)) = (
+                    num(&e.detail, "g"),
+                    num(&e.detail, "bytes"),
+                    num(&e.detail, "n"),
+                    num(&e.detail, "last"),
+                ) else {
+                    return;
+                };
+                self.registry
+                    .counter(&format!("node/{node}/net/mcasts"))
+                    .incr();
+                self.registry
+                    .counter(&format!("node/{node}/net/mcast-bytes"))
+                    .add(bytes * n);
+                if self.timeline_enabled {
+                    self.timeline.add_async(
+                        node,
+                        cat::NET,
+                        format!("mcast g{g}"),
+                        t,
+                        SimTime::from_nanos(last),
+                    );
+                }
+            }
+            "ec-grant-arrived" => {
+                self.registry
+                    .counter(&format!("node/{node}/ec/grants"))
+                    .incr();
+            }
+            "ec-invalidated" => {
+                self.registry
+                    .counter(&format!("node/{node}/ec/invalidations"))
+                    .incr();
+            }
+            "ec-fetch-serve" => {
+                self.registry
+                    .counter(&format!("node/{node}/ec/fetch-serves"))
+                    .incr();
+            }
+            "ec-local-reacquire" => {
+                self.registry
+                    .counter(&format!("node/{node}/ec/local-reacquires"))
+                    .incr();
+            }
+            _ => {}
+        }
+    }
+
+    /// Closes cross-record state at the simulated end of the run: emits
+    /// the root-sequencing async spans and records the end time used by
+    /// [`Telemetry::snapshot`](crate::Telemetry::snapshot). Call once,
+    /// after the run.
+    pub fn finish(&mut self, end: SimTime) {
+        self.end = end;
+        let pending = std::mem::take(&mut self.state.seq_pending);
+        if self.timeline_enabled {
+            for ((g, seq), span) in pending {
+                if let Some(last) = span.last_apply {
+                    self.timeline.add_async(
+                        span.root,
+                        cat::GWC,
+                        format!("seq g{g}#{seq}"),
+                        span.start,
+                        last,
+                    );
+                }
+            }
+        }
+        // Open wait/hold/optimistic sections at end-of-run are dropped:
+        // they never completed, so they have no duration to report.
+        self.state.wait_start.clear();
+        self.state.hold_start.clear();
+        self.state.opt_start.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(ns: u64, actor: usize, kind: &'static str, detail: &str) -> TraceEntry {
+        TraceEntry {
+            time: SimTime::from_nanos(ns),
+            actor,
+            kind,
+            detail: detail.to_string(),
+        }
+    }
+
+    fn feed(t: &mut Telemetry, events: &[(u64, usize, &'static str, &str)]) {
+        for &(ns, actor, kind, detail) in events {
+            t.observe(&entry(ns, actor, kind, detail));
+        }
+    }
+
+    #[test]
+    fn wait_and_hold_histograms_from_lock_events() {
+        let mut t = Telemetry::new("t", 0).with_timeline(true);
+        feed(
+            &mut t,
+            &[
+                (100, 1, "lock-acquire", "v=0"),
+                (400, 1, "ev-acquired", "v=0"),
+                (900, 1, "ev-released", "v=0"),
+            ],
+        );
+        t.finish(SimTime::from_nanos(1000));
+        let snap = t.snapshot();
+        match &snap.metrics["node/1/lock/0/wait"] {
+            crate::SnapshotValue::Histogram { count, mean_ns, .. } => {
+                assert_eq!((*count, *mean_ns), (1, 300));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &snap.metrics["node/1/lock/0/hold"] {
+            crate::SnapshotValue::Histogram { mean_ns, .. } => assert_eq!(*mean_ns, 500),
+            other => panic!("unexpected {other:?}"),
+        }
+        let trace = t.chrome_trace();
+        assert!(trace.contains("wait v0"));
+        assert!(trace.contains("hold v0"));
+    }
+
+    #[test]
+    fn optimism_counters_wins_and_rollbacks() {
+        let mut t = Telemetry::new("t", 0).with_timeline(true);
+        // One clean optimistic completion, one rolled-back one.
+        feed(
+            &mut t,
+            &[
+                (10, 2, "mutex-enter", "v=0"),
+                (11, 2, "opt-enter", "v=0"),
+                (50, 2, "mutex-granted", "v=0"),
+                (60, 2, "ev-released", "v=0"),
+                (60, 2, "mutex-complete", "v=0 path=o rb=0 ov=1"),
+                (100, 2, "mutex-enter", "v=0"),
+                (101, 2, "opt-enter", "v=0"),
+                (150, 2, "opt-rollback", "v=0"),
+                (300, 2, "mutex-granted", "v=0"),
+                (400, 2, "ev-released", "v=0"),
+                (400, 2, "mutex-complete", "v=0 path=o rb=1 ov=0"),
+            ],
+        );
+        t.finish(SimTime::from_nanos(500));
+        let snap = t.snapshot();
+        assert_eq!(snap.counter("node/2/lock/0/opt/attempts"), 2);
+        assert_eq!(snap.counter("node/2/lock/0/opt/wins"), 1);
+        assert_eq!(snap.counter("node/2/lock/0/opt/rollbacks"), 1);
+        assert_eq!(snap.counter("node/2/lock/0/opt/overlapped"), 1);
+        assert_eq!(snap.counter("node/2/lock/0/completions"), 2);
+        let trace = t.chrome_trace();
+        assert!(trace.contains("rollback v0"));
+        assert!(trace.contains("optimistic v0 (rolled back)"));
+    }
+
+    #[test]
+    fn sequencing_latency_and_async_span() {
+        let mut t = Telemetry::new("t", 0).with_timeline(true);
+        feed(
+            &mut t,
+            &[
+                (100, 1, "root-seq", "g=0 seq=1 v=3 val=9 origin=2"),
+                (300, 0, "gwc-apply", "g=0 seq=1 v=3 val=9 origin=2 mode=a"),
+                (500, 2, "gwc-apply", "g=0 seq=1 v=3 val=9 origin=2 mode=a"),
+            ],
+        );
+        t.finish(SimTime::from_nanos(600));
+        let snap = t.snapshot();
+        assert_eq!(snap.counter("group/0/sequenced"), 1);
+        match &snap.metrics["group/0/seq-latency"] {
+            crate::SnapshotValue::Histogram { count, max_ns, .. } => {
+                assert_eq!((*count, *max_ns), (2, 400));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(t.chrome_trace().contains("seq g0#1"));
+    }
+
+    #[test]
+    fn packet_events_accumulate_per_node() {
+        let mut t = Telemetry::new("t", 0);
+        feed(
+            &mut t,
+            &[
+                (10, 0, "pkt-send", "from=0 to=1 bytes=32 hops=2 at=300"),
+                (20, 0, "pkt-send", "from=0 to=2 bytes=16 hops=1 at=100"),
+            ],
+        );
+        t.finish(SimTime::from_nanos(400));
+        let snap = t.snapshot();
+        assert_eq!(snap.counter("node/0/net/packets"), 2);
+        assert_eq!(snap.counter("node/0/net/bytes"), 48);
+        assert_eq!(snap.counter("node/0/net/hops"), 3);
+    }
+
+    #[test]
+    fn unknown_kinds_and_malformed_details_are_ignored() {
+        let mut t = Telemetry::new("t", 0);
+        feed(
+            &mut t,
+            &[
+                (10, 0, "something-new", "x=1"),
+                (20, 0, "pkt-send", "garbage"),
+                (30, 0, "ev-acquired", "no-v-here"),
+            ],
+        );
+        t.finish(SimTime::from_nanos(40));
+        assert_eq!(t.snapshot().metrics.len(), 0);
+    }
+
+    #[test]
+    fn field_parser_does_not_match_prefixes() {
+        assert_eq!(field("v=1 val=9", "v"), Some("1"));
+        assert_eq!(field("val=9", "v"), None);
+        assert_eq!(num("seq=12 g=3", "g"), Some(3));
+    }
+}

@@ -1,0 +1,140 @@
+//! Human-readable per-node / per-lock summary of a [`Snapshot`] — the
+//! output of `sesame report`.
+
+use std::collections::BTreeSet;
+
+use crate::snapshot::{Snapshot, SnapshotValue};
+
+/// Renders the snapshot as a plain-text report: a run header, a per-node /
+/// per-lock table (optimism attempts/wins/rollbacks and wait/hold means),
+/// and the global counters.
+pub fn render_report(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "scenario: {}   seed: {}   simulated end: {} ns\n",
+        snap.scenario, snap.seed, snap.end_ns
+    ));
+
+    // Collect the (node, lock) pairs that have any per-lock metric.
+    let mut pairs: BTreeSet<(u64, u64)> = BTreeSet::new();
+    for key in snap.metrics.keys() {
+        if let Some((node, lock)) = parse_node_lock(key) {
+            pairs.insert((node, lock));
+        }
+    }
+    if !pairs.is_empty() {
+        out.push_str(&format!(
+            "\n{:>5} {:>5} {:>9} {:>9} {:>6} {:>6} {:>10} {:>13} {:>13}\n",
+            "node",
+            "lock",
+            "opt-try",
+            "reg-try",
+            "wins",
+            "rolls",
+            "complete",
+            "wait-mean",
+            "hold-mean"
+        ));
+        for (node, lock) in pairs {
+            let k = |leaf: &str| format!("node/{node}/lock/{lock}/{leaf}");
+            out.push_str(&format!(
+                "{:>5} {:>5} {:>9} {:>9} {:>6} {:>6} {:>10} {:>13} {:>13}\n",
+                node,
+                lock,
+                snap.counter(&k("opt/attempts")),
+                snap.counter(&k("reg/attempts")),
+                snap.counter(&k("opt/wins")),
+                snap.counter(&k("opt/rollbacks")),
+                snap.counter(&k("completions")),
+                hist_mean(snap, &k("wait")),
+                hist_mean(snap, &k("hold")),
+            ));
+        }
+    }
+
+    let opt_attempts = snap.sum_counters("node/", "/opt/attempts");
+    if opt_attempts > 0 {
+        let wins = snap.sum_counters("node/", "/opt/wins");
+        let rolls = snap.sum_counters("node/", "/opt/rollbacks");
+        out.push_str(&format!(
+            "\noptimism: {opt_attempts} attempts, {wins} wins ({:.1}% hit rate), {rolls} rollbacks\n",
+            100.0 * wins as f64 / opt_attempts as f64
+        ));
+    }
+
+    // Global (non-node, non-group) scalars.
+    let mut wrote_header = false;
+    for (key, value) in &snap.metrics {
+        if key.starts_with("node/") || key.starts_with("group/") {
+            continue;
+        }
+        if !wrote_header {
+            out.push_str("\nglobals:\n");
+            wrote_header = true;
+        }
+        let rendered = match value {
+            SnapshotValue::Counter(v) => v.to_string(),
+            SnapshotValue::Gauge(v) => format!("{v:.4}"),
+            SnapshotValue::Histogram { count, mean_ns, .. } => {
+                format!("n={count} mean={mean_ns}ns")
+            }
+            SnapshotValue::MeanVar { count, mean, .. } => format!("n={count} mean={mean:.3}"),
+            SnapshotValue::TimeWeighted { average, .. } => format!("avg={average:.3}"),
+        };
+        out.push_str(&format!("  {key:<32} {rendered}\n"));
+    }
+    out
+}
+
+/// Extracts `(node, lock)` from a `node/<n>/lock/<l>/...` key.
+fn parse_node_lock(key: &str) -> Option<(u64, u64)> {
+    let rest = key.strip_prefix("node/")?;
+    let (node, rest) = rest.split_once('/')?;
+    let rest = rest.strip_prefix("lock/")?;
+    let (lock, _) = rest.split_once('/')?;
+    Some((node.parse().ok()?, lock.parse().ok()?))
+}
+
+/// The mean of the histogram at `key` as `"<n>ns"`, or `"-"` when absent.
+fn hist_mean(snap: &Snapshot, key: &str) -> String {
+    match snap.metrics.get(key) {
+        Some(SnapshotValue::Histogram { mean_ns, .. }) => format!("{mean_ns}ns"),
+        _ => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricRegistry;
+    use sesame_sim::{SimDur, SimTime};
+
+    #[test]
+    fn report_has_table_rows_and_totals() {
+        let mut r = MetricRegistry::new();
+        r.counter("node/0/lock/0/opt/attempts").add(4);
+        r.counter("node/0/lock/0/opt/wins").add(3);
+        r.counter("node/0/lock/0/opt/rollbacks").add(1);
+        r.counter("node/0/lock/0/completions").add(4);
+        r.counter("node/3/lock/0/reg/attempts").add(2);
+        r.histogram("node/0/lock/0/wait")
+            .record(SimDur::from_nanos(200));
+        r.counter("net/packets").add(17);
+        let snap = r.snapshot("contention", 9, SimTime::from_nanos(5000));
+        let report = render_report(&snap);
+        assert!(report.contains("scenario: contention"));
+        assert!(report.contains("200ns"), "{report}");
+        assert!(report.contains("75.0% hit rate"), "{report}");
+        assert!(report.contains("net/packets"), "{report}");
+        // Two table rows: (0,0) and (3,0).
+        assert!(report.contains("\n    0     0"), "{report}");
+        assert!(report.contains("\n    3     0"), "{report}");
+    }
+
+    #[test]
+    fn node_lock_key_parsing() {
+        assert_eq!(parse_node_lock("node/3/lock/0/wait"), Some((3, 0)));
+        assert_eq!(parse_node_lock("node/3/net/packets"), None);
+        assert_eq!(parse_node_lock("gwc/grants"), None);
+    }
+}

@@ -1,0 +1,416 @@
+//! Point-in-time export of a [`MetricRegistry`](crate::MetricRegistry).
+//!
+//! The JSON schema (`sesame-telemetry/v1`) is stable: bench trajectories and
+//! CI smoke checks parse it back with [`Snapshot::from_json`]. Top level:
+//!
+//! ```json
+//! {
+//!   "schema": "sesame-telemetry/v1",
+//!   "scenario": "contention",
+//!   "seed": 42,
+//!   "end_ns": 123456,
+//!   "metrics": { "<key>": { "kind": "...", ... }, ... }
+//! }
+//! ```
+//!
+//! Per-kind metric members:
+//! * `counter` — `value`
+//! * `gauge` — `value`
+//! * `histogram` — `count`, `mean_ns`, `p50_ns`, `p90_ns`, `p99_ns`, `max_ns`
+//! * `meanvar` — `count`, `mean`, `std_dev`, `min`, `max`
+//! * `timeweighted` — `average`, `current`
+
+use std::collections::BTreeMap;
+
+use sesame_sim::SimTime;
+
+use crate::json::{self, fmt_num, Json};
+use crate::registry::{Metric, MetricRegistry};
+
+/// Schema identifier written into (and required from) every snapshot.
+pub const SCHEMA: &str = "sesame-telemetry/v1";
+
+/// Exported value of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram summary (nanosecond durations).
+    Histogram {
+        /// Number of samples.
+        count: u64,
+        /// Mean sample.
+        mean_ns: u64,
+        /// Approximate median.
+        p50_ns: u64,
+        /// Approximate 90th percentile.
+        p90_ns: u64,
+        /// Approximate 99th percentile.
+        p99_ns: u64,
+        /// Largest sample.
+        max_ns: u64,
+    },
+    /// Mean/variance summary of unitless samples.
+    MeanVar {
+        /// Number of samples.
+        count: u64,
+        /// Sample mean.
+        mean: f64,
+        /// Population standard deviation.
+        std_dev: f64,
+        /// Smallest sample (0 when empty).
+        min: f64,
+        /// Largest sample (0 when empty).
+        max: f64,
+    },
+    /// Time-weighted signal summary.
+    TimeWeighted {
+        /// Average over the run.
+        average: f64,
+        /// Final value.
+        current: f64,
+    },
+}
+
+/// A parsed or freshly taken metrics snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Scenario label (e.g. `"contention"`).
+    pub scenario: String,
+    /// Workload seed the run used.
+    pub seed: u64,
+    /// Simulated end time of the run, in nanoseconds.
+    pub end_ns: u64,
+    /// Metric values, key-sorted.
+    pub metrics: BTreeMap<String, SnapshotValue>,
+}
+
+impl MetricRegistry {
+    /// Takes a snapshot of every registered metric at simulated time `end`.
+    pub fn snapshot(&self, scenario: &str, seed: u64, end: SimTime) -> Snapshot {
+        let mut metrics = BTreeMap::new();
+        for (key, metric) in self.iter() {
+            let value = match metric {
+                Metric::Counter(c) => SnapshotValue::Counter(c.value()),
+                Metric::Gauge(g) => SnapshotValue::Gauge(*g),
+                Metric::Histogram(h) => SnapshotValue::Histogram {
+                    count: h.count(),
+                    mean_ns: h.mean().as_nanos(),
+                    p50_ns: h.quantile(0.5).as_nanos(),
+                    p90_ns: h.quantile(0.9).as_nanos(),
+                    p99_ns: h.quantile(0.99).as_nanos(),
+                    max_ns: h.max().as_nanos(),
+                },
+                Metric::MeanVar(m) => SnapshotValue::MeanVar {
+                    count: m.count(),
+                    mean: m.mean(),
+                    std_dev: m.std_dev(),
+                    min: m.min().unwrap_or(0.0),
+                    max: m.max().unwrap_or(0.0),
+                },
+                Metric::TimeWeighted(tw) => SnapshotValue::TimeWeighted {
+                    average: tw.average(end),
+                    current: tw.current(),
+                },
+            };
+            metrics.insert(key.to_string(), value);
+        }
+        Snapshot {
+            scenario: scenario.to_string(),
+            seed,
+            end_ns: end.as_nanos(),
+            metrics,
+        }
+    }
+}
+
+impl Snapshot {
+    /// Renders the snapshot as schema-`v1` JSON text (one trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut metrics = Vec::with_capacity(self.metrics.len());
+        for (key, value) in &self.metrics {
+            let members = match value {
+                SnapshotValue::Counter(v) => vec![
+                    ("kind".into(), Json::Str("counter".into())),
+                    ("value".into(), Json::Num(*v as f64)),
+                ],
+                SnapshotValue::Gauge(v) => vec![
+                    ("kind".into(), Json::Str("gauge".into())),
+                    ("value".into(), Json::Num(*v)),
+                ],
+                SnapshotValue::Histogram {
+                    count,
+                    mean_ns,
+                    p50_ns,
+                    p90_ns,
+                    p99_ns,
+                    max_ns,
+                } => vec![
+                    ("kind".into(), Json::Str("histogram".into())),
+                    ("count".into(), Json::Num(*count as f64)),
+                    ("mean_ns".into(), Json::Num(*mean_ns as f64)),
+                    ("p50_ns".into(), Json::Num(*p50_ns as f64)),
+                    ("p90_ns".into(), Json::Num(*p90_ns as f64)),
+                    ("p99_ns".into(), Json::Num(*p99_ns as f64)),
+                    ("max_ns".into(), Json::Num(*max_ns as f64)),
+                ],
+                SnapshotValue::MeanVar {
+                    count,
+                    mean,
+                    std_dev,
+                    min,
+                    max,
+                } => vec![
+                    ("kind".into(), Json::Str("meanvar".into())),
+                    ("count".into(), Json::Num(*count as f64)),
+                    ("mean".into(), Json::Num(*mean)),
+                    ("std_dev".into(), Json::Num(*std_dev)),
+                    ("min".into(), Json::Num(*min)),
+                    ("max".into(), Json::Num(*max)),
+                ],
+                SnapshotValue::TimeWeighted { average, current } => vec![
+                    ("kind".into(), Json::Str("timeweighted".into())),
+                    ("average".into(), Json::Num(*average)),
+                    ("current".into(), Json::Num(*current)),
+                ],
+            };
+            metrics.push((key.clone(), Json::Obj(members)));
+        }
+        let root = Json::Obj(vec![
+            ("schema".into(), Json::Str(SCHEMA.into())),
+            ("scenario".into(), Json::Str(self.scenario.clone())),
+            ("seed".into(), Json::Num(self.seed as f64)),
+            ("end_ns".into(), Json::Num(self.end_ns as f64)),
+            ("metrics".into(), Json::Obj(metrics)),
+        ]);
+        let mut text = root.render();
+        text.push('\n');
+        text
+    }
+
+    /// Renders the snapshot as CSV rows `key,kind,field,value`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("key,kind,field,value\n");
+        let mut row = |key: &str, kind: &str, field: &str, value: String| {
+            out.push_str(key);
+            out.push(',');
+            out.push_str(kind);
+            out.push(',');
+            out.push_str(field);
+            out.push(',');
+            out.push_str(&value);
+            out.push('\n');
+        };
+        for (key, value) in &self.metrics {
+            match value {
+                SnapshotValue::Counter(v) => row(key, "counter", "value", v.to_string()),
+                SnapshotValue::Gauge(v) => row(key, "gauge", "value", fmt_num(*v)),
+                SnapshotValue::Histogram {
+                    count,
+                    mean_ns,
+                    p50_ns,
+                    p90_ns,
+                    p99_ns,
+                    max_ns,
+                } => {
+                    row(key, "histogram", "count", count.to_string());
+                    row(key, "histogram", "mean_ns", mean_ns.to_string());
+                    row(key, "histogram", "p50_ns", p50_ns.to_string());
+                    row(key, "histogram", "p90_ns", p90_ns.to_string());
+                    row(key, "histogram", "p99_ns", p99_ns.to_string());
+                    row(key, "histogram", "max_ns", max_ns.to_string());
+                }
+                SnapshotValue::MeanVar {
+                    count,
+                    mean,
+                    std_dev,
+                    min,
+                    max,
+                } => {
+                    row(key, "meanvar", "count", count.to_string());
+                    row(key, "meanvar", "mean", fmt_num(*mean));
+                    row(key, "meanvar", "std_dev", fmt_num(*std_dev));
+                    row(key, "meanvar", "min", fmt_num(*min));
+                    row(key, "meanvar", "max", fmt_num(*max));
+                }
+                SnapshotValue::TimeWeighted { average, current } => {
+                    row(key, "timeweighted", "average", fmt_num(*average));
+                    row(key, "timeweighted", "current", fmt_num(*current));
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses and validates schema-`v1` JSON text back into a snapshot.
+    ///
+    /// Rejects a wrong/missing schema tag, missing top-level members, and
+    /// metric objects whose members don't match their declared kind — this
+    /// doubles as the snapshot validator used by CI.
+    pub fn from_json(text: &str) -> Result<Snapshot, String> {
+        let root = json::parse(text)?;
+        let schema = root
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing 'schema'")?;
+        if schema != SCHEMA {
+            return Err(format!("unsupported schema '{schema}' (want '{SCHEMA}')"));
+        }
+        let scenario = root
+            .get("scenario")
+            .and_then(Json::as_str)
+            .ok_or("missing 'scenario'")?
+            .to_string();
+        let seed = root
+            .get("seed")
+            .and_then(Json::as_u64)
+            .ok_or("missing 'seed'")?;
+        let end_ns = root
+            .get("end_ns")
+            .and_then(Json::as_u64)
+            .ok_or("missing 'end_ns'")?;
+        let members = root
+            .get("metrics")
+            .and_then(Json::members)
+            .ok_or("missing 'metrics' object")?;
+        let mut metrics = BTreeMap::new();
+        for (key, obj) in members {
+            let kind = obj
+                .get("kind")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("metric '{key}': missing 'kind'"))?;
+            let u64_of = |field: &str| {
+                obj.get(field)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("metric '{key}': missing {kind} field '{field}'"))
+            };
+            let f64_of = |field: &str| {
+                obj.get(field)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("metric '{key}': missing {kind} field '{field}'"))
+            };
+            let value = match kind {
+                "counter" => SnapshotValue::Counter(u64_of("value")?),
+                "gauge" => SnapshotValue::Gauge(f64_of("value")?),
+                "histogram" => SnapshotValue::Histogram {
+                    count: u64_of("count")?,
+                    mean_ns: u64_of("mean_ns")?,
+                    p50_ns: u64_of("p50_ns")?,
+                    p90_ns: u64_of("p90_ns")?,
+                    p99_ns: u64_of("p99_ns")?,
+                    max_ns: u64_of("max_ns")?,
+                },
+                "meanvar" => SnapshotValue::MeanVar {
+                    count: u64_of("count")?,
+                    mean: f64_of("mean")?,
+                    std_dev: f64_of("std_dev")?,
+                    min: f64_of("min")?,
+                    max: f64_of("max")?,
+                },
+                "timeweighted" => SnapshotValue::TimeWeighted {
+                    average: f64_of("average")?,
+                    current: f64_of("current")?,
+                },
+                other => return Err(format!("metric '{key}': unknown kind '{other}'")),
+            };
+            metrics.insert(key.clone(), value);
+        }
+        Ok(Snapshot {
+            scenario,
+            seed,
+            end_ns,
+            metrics,
+        })
+    }
+
+    /// The counter value at `key`, or 0 when absent or not a counter.
+    pub fn counter(&self, key: &str) -> u64 {
+        match self.metrics.get(key) {
+            Some(SnapshotValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Keys matching a `prefix/…/suffix` pattern, e.g.
+    /// (`"node"`, `"opt/attempts"`).
+    pub fn keys_matching<'a>(
+        &'a self,
+        prefix: &'a str,
+        suffix: &'a str,
+    ) -> impl Iterator<Item = &'a str> {
+        self.metrics
+            .keys()
+            .map(String::as_str)
+            .filter(move |k| k.starts_with(prefix) && k.ends_with(suffix))
+    }
+
+    /// Sums counters whose keys start with `prefix` and end with `suffix`.
+    pub fn sum_counters(&self, prefix: &str, suffix: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix) && k.ends_with(suffix))
+            .map(|(_, v)| match v {
+                SnapshotValue::Counter(c) => *c,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sesame_sim::SimDur;
+
+    fn sample_registry() -> MetricRegistry {
+        let mut r = MetricRegistry::new();
+        r.counter("node/0/lock/0/opt/attempts").add(4);
+        r.counter("node/1/lock/0/opt/attempts").add(6);
+        *r.gauge("node/0/cpu/efficiency") = 0.875;
+        r.histogram("node/0/lock/0/wait")
+            .record(SimDur::from_nanos(300));
+        r.mean_var("x").record(2.0);
+        r.time_weighted("q").set(SimTime::from_nanos(50), 1.0);
+        r
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let snap = sample_registry().snapshot("contention", 42, SimTime::from_nanos(100));
+        let text = snap.to_json();
+        let back = Snapshot::from_json(&text).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn validation_rejects_bad_schema_and_shape() {
+        assert!(Snapshot::from_json("{}").is_err());
+        assert!(Snapshot::from_json(r#"{"schema":"other/v9"}"#).is_err());
+        let missing_field = format!(
+            r#"{{"schema":"{SCHEMA}","scenario":"s","seed":1,"end_ns":2,"metrics":{{"k":{{"kind":"histogram","count":1}}}}}}"#
+        );
+        let err = Snapshot::from_json(&missing_field).unwrap_err();
+        assert!(err.contains("mean_ns"), "err: {err}");
+    }
+
+    #[test]
+    fn counter_helpers_aggregate() {
+        let snap = sample_registry().snapshot("s", 1, SimTime::ZERO);
+        assert_eq!(snap.counter("node/0/lock/0/opt/attempts"), 4);
+        assert_eq!(snap.sum_counters("node/", "opt/attempts"), 10);
+        assert_eq!(snap.keys_matching("node/", "opt/attempts").count(), 2);
+    }
+
+    #[test]
+    fn csv_lists_every_field() {
+        let snap = sample_registry().snapshot("s", 1, SimTime::from_nanos(100));
+        let csv = snap.to_csv();
+        assert!(csv.starts_with("key,kind,field,value\n"));
+        assert!(csv.contains("node/0/lock/0/wait,histogram,p99_ns,"));
+        assert!(csv.contains("node/0/cpu/efficiency,gauge,value,0.875\n"));
+        assert!(csv.contains("q,timeweighted,average,"));
+    }
+}

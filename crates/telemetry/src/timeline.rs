@@ -1,0 +1,278 @@
+//! Simulated-time span timeline with Chrome trace-event export.
+//!
+//! Spans and instants are collected in emission order (simulation-time
+//! order for begins) and exported as Chrome trace-event JSON — the format
+//! both `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) open
+//! directly. Each node gets its own track (`tid`); durations use complete
+//! (`"X"`) events, rollbacks and other point events use instants (`"i"`),
+//! and cross-node intervals (message in flight, root sequencing) use async
+//! begin/end (`"b"`/`"e"`) pairs.
+//!
+//! Timestamps are simulated nanoseconds rendered as microseconds with
+//! fixed three-digit precision, so exports are byte-identical for
+//! identical runs.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use sesame_sim::{SimDur, SimTime};
+
+/// Span/instant category tags used by the built-in instrumentation.
+pub mod cat {
+    /// Lock wait + hold sections.
+    pub const LOCK: &str = "lock";
+    /// Optimistic sections and rollbacks.
+    pub const OPTIMISM: &str = "optimism";
+    /// Message-in-flight intervals.
+    pub const NET: &str = "net";
+    /// Root write-sequencing intervals.
+    pub const GWC: &str = "gwc";
+}
+
+#[derive(Debug, Clone)]
+enum Ev {
+    Complete {
+        tid: usize,
+        cat: &'static str,
+        name: String,
+        start: SimTime,
+        dur: SimDur,
+    },
+    Instant {
+        tid: usize,
+        cat: &'static str,
+        name: String,
+        ts: SimTime,
+    },
+    Async {
+        tid: usize,
+        cat: &'static str,
+        name: String,
+        id: u64,
+        start: SimTime,
+        end: SimTime,
+    },
+}
+
+/// An ordered collection of timeline events.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    events: Vec<Ev>,
+    tracks: BTreeSet<usize>,
+    next_async_id: u64,
+}
+
+impl Timeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures node `tid` gets a named track even if it emits no spans.
+    pub fn touch_track(&mut self, tid: usize) {
+        self.tracks.insert(tid);
+    }
+
+    /// Adds a duration span `[start, end]` on node `tid`'s track.
+    pub fn add_complete(
+        &mut self,
+        tid: usize,
+        cat: &'static str,
+        name: String,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        self.tracks.insert(tid);
+        self.events.push(Ev::Complete {
+            tid,
+            cat,
+            name,
+            start,
+            dur: end.saturating_since(start),
+        });
+    }
+
+    /// Adds a zero-duration instant on node `tid`'s track.
+    pub fn add_instant(&mut self, tid: usize, cat: &'static str, name: String, ts: SimTime) {
+        self.tracks.insert(tid);
+        self.events.push(Ev::Instant { tid, cat, name, ts });
+    }
+
+    /// Adds an async interval (rendered as its own arrow/track in viewers),
+    /// anchored to node `tid`.
+    pub fn add_async(
+        &mut self,
+        tid: usize,
+        cat: &'static str,
+        name: String,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        self.tracks.insert(tid);
+        let id = self.next_async_id;
+        self.next_async_id += 1;
+        self.events.push(Ev::Async {
+            tid,
+            cat,
+            name,
+            id,
+            start,
+            end,
+        });
+    }
+
+    /// Number of collected events (async intervals count once).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were collected.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the timeline as Chrome trace-event JSON (one trailing
+    /// newline). All events share `pid` 0; `tid` is the node id, with a
+    /// thread-name metadata record per track.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        let sep = |out: &mut String, first: &mut bool| {
+            if *first {
+                *first = false;
+            } else {
+                out.push(',');
+            }
+            out.push_str("\n  ");
+        };
+        for &tid in &self.tracks {
+            sep(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"node {tid}\"}}}}"
+            );
+        }
+        for ev in &self.events {
+            match ev {
+                Ev::Complete {
+                    tid,
+                    cat,
+                    name,
+                    start,
+                    dur,
+                } => {
+                    sep(&mut out, &mut first);
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"ts\":{},\"dur\":{},\
+                         \"cat\":\"{cat}\",\"name\":\"{}\"}}",
+                        us(start.as_nanos()),
+                        us(dur.as_nanos()),
+                        escape(name),
+                    );
+                }
+                Ev::Instant { tid, cat, name, ts } => {
+                    sep(&mut out, &mut first);
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"i\",\"pid\":0,\"tid\":{tid},\"ts\":{},\"s\":\"t\",\
+                         \"cat\":\"{cat}\",\"name\":\"{}\"}}",
+                        us(ts.as_nanos()),
+                        escape(name),
+                    );
+                }
+                Ev::Async {
+                    tid,
+                    cat,
+                    name,
+                    id,
+                    start,
+                    end,
+                } => {
+                    let name = escape(name);
+                    sep(&mut out, &mut first);
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"b\",\"pid\":0,\"tid\":{tid},\"ts\":{},\"id\":\"{id:#x}\",\
+                         \"cat\":\"{cat}\",\"name\":\"{name}\"}}",
+                        us(start.as_nanos()),
+                    );
+                    sep(&mut out, &mut first);
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"e\",\"pid\":0,\"tid\":{tid},\"ts\":{},\"id\":\"{id:#x}\",\
+                         \"cat\":\"{cat}\",\"name\":\"{name}\"}}",
+                        us(end.as_nanos()),
+                    );
+                }
+            }
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+        out
+    }
+}
+
+/// Nanoseconds → microseconds with fixed 3-digit precision (deterministic).
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn export_is_valid_json_with_expected_phases() {
+        let mut tl = Timeline::new();
+        tl.add_complete(0, cat::LOCK, "hold v0".into(), t(100), t(1600));
+        tl.add_instant(1, cat::OPTIMISM, "rollback v0".into(), t(900));
+        tl.add_async(0, cat::NET, "pkt 0->1".into(), t(100), t(400));
+        let text = tl.to_chrome_trace();
+        let root = json::parse(&text).expect("valid JSON");
+        let events = root.get("traceEvents").unwrap().elements().unwrap();
+        // 2 thread-name metadata + X + i + b + e.
+        assert_eq!(events.len(), 6);
+        let phases: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(phases, vec!["M", "M", "X", "i", "b", "e"]);
+    }
+
+    #[test]
+    fn timestamps_are_microseconds_with_ns_precision() {
+        let mut tl = Timeline::new();
+        tl.add_complete(2, cat::LOCK, "wait".into(), t(1500), t(4250));
+        let text = tl.to_chrome_trace();
+        assert!(text.contains("\"ts\":1.500"), "{text}");
+        assert!(text.contains("\"dur\":2.750"), "{text}");
+    }
+
+    #[test]
+    fn async_ids_are_unique_and_paired() {
+        let mut tl = Timeline::new();
+        tl.add_async(0, cat::GWC, "seq".into(), t(1), t(2));
+        tl.add_async(0, cat::GWC, "seq".into(), t(3), t(4));
+        let text = tl.to_chrome_trace();
+        assert_eq!(text.matches("\"id\":\"0x0\"").count(), 2);
+        assert_eq!(text.matches("\"id\":\"0x1\"").count(), 2);
+    }
+
+    #[test]
+    fn touched_tracks_appear_without_events() {
+        let mut tl = Timeline::new();
+        tl.touch_track(5);
+        assert!(tl.is_empty());
+        assert!(tl.to_chrome_trace().contains("node 5"));
+    }
+}

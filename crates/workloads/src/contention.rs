@@ -16,10 +16,10 @@ use std::rc::Rc;
 use sesame_core::builder::{ModelChoice, ModelInstance, SystemBuilder, TopologyChoice};
 use sesame_core::{MutexSignal, OptimisticConfig, OptimisticMutex, OptimisticStats};
 use sesame_dsm::{
-    run, AppEvent, MachineConfig, NodeApi, Program, RunOptions, RunResult, VarId, Word,
+    run_observed, AppEvent, MachineConfig, NodeApi, Program, RunOptions, RunResult, VarId, Word,
 };
 use sesame_net::{LinkTiming, NodeId};
-use sesame_sim::{DetRng, SimDur, SimTime};
+use sesame_sim::{DetRng, SimDur, SimTime, TraceObserver};
 
 /// Parameters of one contention-sweep point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -158,6 +158,17 @@ impl Program for Hammer {
 /// Panics if mutual exclusion was violated (the shared counter missed
 /// increments).
 pub fn run_contention(cfg: ContentionConfig) -> ContentionRun {
+    run_contention_observed(cfg, None)
+}
+
+/// Like [`run_contention`], but with an optional online trace observer
+/// (e.g. the `sesame-telemetry` collector or the `sesame-verify`
+/// checkers). The observer sees every trace record even when
+/// `cfg.tracing` is false.
+pub fn run_contention_observed(
+    cfg: ContentionConfig,
+    observer: Option<Rc<RefCell<dyn TraceObserver>>>,
+) -> ContentionRun {
     let nodes = cfg.contenders as usize + 1; // node 0 is the root/manager
     let stats_out = Rc::new(RefCell::new(vec![
         (OptimisticStats::default(), Vec::new());
@@ -186,12 +197,13 @@ pub fn run_contention(cfg: ContentionConfig) -> ContentionRun {
         );
     }
     let machine = builder.build().expect("valid contention system");
-    let result = run(
+    let result = run_observed(
         machine,
         RunOptions {
             tracing: cfg.tracing,
             ..RunOptions::default()
         },
+        observer,
     );
 
     let mut stats = OptimisticStats::default();

@@ -5,11 +5,15 @@
 //! `sesame-bench` call these and print the tables recorded in
 //! EXPERIMENTS.md.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use sesame_core::builder::ModelChoice;
 use sesame_net::LinkTiming;
-use sesame_sim::Series;
+use sesame_sim::{Series, TraceObserver};
+use sesame_telemetry::Telemetry;
 
-use crate::pipeline::{run_pipeline, MutexMethod, PipelineConfig};
+use crate::pipeline::{run_pipeline, run_pipeline_observed, MutexMethod, PipelineConfig};
 use crate::task_queue::{run_task_queue, TaskQueueConfig};
 use crate::three_cpu::{run_figure1_all, Figure1Config, Figure1Run};
 
@@ -133,6 +137,61 @@ pub fn figure8(cfg: PipelineConfig, sizes: &[usize]) -> Figure8Data {
     }
 }
 
+/// One network size of the Figure 8 optimistic line with its optimism
+/// telemetry, sourced from the metric registry (per-node
+/// `node/<i>/lock/0/opt/*` counters summed over the ring).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptimismPoint {
+    /// Network size.
+    pub nodes: usize,
+    /// Mutex entries that tried the optimistic path.
+    pub attempts: u64,
+    /// Optimistic completions with no rollback.
+    pub wins: u64,
+    /// Rollbacks taken.
+    pub rollbacks: u64,
+    /// Completions whose grant round trip was fully overlapped.
+    pub overlapped: u64,
+}
+
+impl OptimismPoint {
+    /// Fraction of optimistic attempts that committed without rollback.
+    pub fn hit_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.wins as f64 / self.attempts as f64
+        }
+    }
+}
+
+/// Sweeps the Figure 8 optimistic line with telemetry attached, returning
+/// the per-size optimism counters the `repro-fig8` table prints alongside
+/// network power.
+pub fn figure8_optimism(cfg: PipelineConfig, sizes: &[usize]) -> Vec<OptimismPoint> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let shared = Telemetry::new("figure8", 0).shared();
+            let observer: Rc<RefCell<dyn TraceObserver>> = shared.clone();
+            let run = run_pipeline_observed(n, MutexMethod::OptimisticGwc, cfg, Some(observer));
+            {
+                let mut t = shared.borrow_mut();
+                crate::telemetry::absorb_run(&mut t, &run.result);
+            }
+            drop(run);
+            let snap = Telemetry::unwrap_shared(shared).snapshot();
+            OptimismPoint {
+                nodes: n,
+                attempts: snap.sum_counters("node/", "/opt/attempts"),
+                wins: snap.sum_counters("node/", "/opt/wins"),
+                rollbacks: snap.sum_counters("node/", "/opt/rollbacks"),
+                overlapped: snap.sum_counters("node/", "/opt/overlapped"),
+            }
+        })
+        .collect()
+}
+
 /// Runs the Figure 1 scenario under all models and renders the comparison
 /// table (completion and per-CPU lock waits).
 pub fn figure1(cfg: Figure1Config) -> (Vec<Figure1Run>, String) {
@@ -190,6 +249,23 @@ mod tests {
         assert!((r.optimistic_over_regular - 1.68 / 1.53).abs() < 1e-12);
         assert!((r.optimistic_over_entry - 1.68 / 0.81).abs() < 1e-12);
         assert!((r.regular_over_entry - 1.53 / 0.81).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure8_optimism_is_rollback_free_with_full_hit_rate() {
+        let cfg = PipelineConfig {
+            total_visits: 32,
+            ..PipelineConfig::default()
+        };
+        let points = figure8_optimism(cfg, &[2, 4]);
+        assert_eq!(points.len(), 2);
+        for p in points {
+            // The pipeline is contention-free: every attempt wins.
+            assert!(p.attempts > 0, "{p:?}");
+            assert_eq!(p.rollbacks, 0, "{p:?}");
+            assert_eq!(p.wins, p.attempts, "{p:?}");
+            assert!((p.hit_rate() - 1.0).abs() < 1e-12);
+        }
     }
 
     #[test]

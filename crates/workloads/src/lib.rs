@@ -12,7 +12,9 @@
 //!   GWC, non-optimistic GWC, and entry consistency;
 //! * [`contention`] — rollback / contention sweeps (the Figure 7 regime at
 //!   scale) used by the ablation benches;
-//! * [`experiments`] — sweep runners that produce the figures' series.
+//! * [`experiments`] — sweep runners that produce the figures' series;
+//! * [`telemetry`] — scenario drivers wired to the `sesame-telemetry`
+//!   collector (metrics snapshots and Chrome-trace timelines).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,5 +23,6 @@ pub mod contention;
 pub mod experiments;
 pub mod pipeline;
 pub mod task_queue;
+pub mod telemetry;
 pub mod three_cpu;
 pub mod timeline;

@@ -28,7 +28,9 @@ use std::rc::Rc;
 
 use sesame_core::builder::{ModelChoice, ModelInstance, SystemBuilder, TopologyChoice};
 use sesame_core::{MutexSignal, OptimisticConfig, OptimisticMutex};
-use sesame_dsm::{run, AppEvent, GroupSpec, NodeApi, Program, RunOptions, RunResult, VarId, Word};
+use sesame_dsm::{
+    run_observed, AppEvent, GroupSpec, NodeApi, Program, RunOptions, RunResult, VarId, Word,
+};
 use sesame_net::{LinkTiming, NodeId};
 use sesame_sim::SimDur;
 
@@ -354,6 +356,18 @@ const TAG_SECTION: u64 = 5;
 /// Panics if the pipeline deadlocks (not all visits complete) or a
 /// rollback occurs (the workload is contention-free).
 pub fn run_pipeline(nodes: usize, method: MutexMethod, cfg: PipelineConfig) -> PipelineRun {
+    run_pipeline_observed(nodes, method, cfg, None)
+}
+
+/// Like [`run_pipeline`], but with an optional online trace observer
+/// (e.g. the `sesame-telemetry` collector). The observer sees every
+/// trace record the run makes.
+pub fn run_pipeline_observed(
+    nodes: usize,
+    method: MutexMethod,
+    cfg: PipelineConfig,
+    observer: Option<Rc<RefCell<dyn sesame_sim::TraceObserver>>>,
+) -> PipelineRun {
     let stats_out = Rc::new(RefCell::new((0u64, 0u64)));
     let sh_vars: Vec<VarId> = std::iter::once(LOCK)
         .chain((0..cfg.shared_words).map(|w| VarId::new(SH_BASE + w)))
@@ -407,7 +421,7 @@ pub fn run_pipeline(nodes: usize, method: MutexMethod, cfg: PipelineConfig) -> P
         );
     }
     let machine = builder.build().expect("valid figure-8 system");
-    let result = run(machine, RunOptions::default());
+    let result = run_observed(machine, RunOptions::default(), observer);
     assert_eq!(
         result.outcome,
         sesame_sim::RunOutcome::Stopped,

@@ -27,9 +27,7 @@
 
 use sesame_core::builder::ModelInstance;
 use sesame_core::builder::{ModelChoice, SystemBuilder, TopologyChoice};
-use sesame_dsm::{
-    run, AppEvent, Machine, Model, NodeApi, Program, RunOptions, RunResult, VarId, Word,
-};
+use sesame_dsm::{AppEvent, Machine, Model, NodeApi, Program, RunOptions, RunResult, VarId, Word};
 use sesame_net::{LinkTiming, NodeId};
 use sesame_sim::SimDur;
 
@@ -433,13 +431,26 @@ pub fn build_task_queue(
 ///
 /// Panics if tasks were lost (executed counts must sum to the total).
 pub fn run_task_queue(nodes: usize, model: ModelChoice, cfg: TaskQueueConfig) -> TaskQueueRun {
+    run_task_queue_observed(nodes, model, cfg, None)
+}
+
+/// Like [`run_task_queue`], but with an optional online trace observer
+/// (e.g. the `sesame-telemetry` collector). The observer sees every
+/// trace record even when `cfg.tracing` is false.
+pub fn run_task_queue_observed(
+    nodes: usize,
+    model: ModelChoice,
+    cfg: TaskQueueConfig,
+    observer: Option<std::rc::Rc<std::cell::RefCell<dyn sesame_sim::TraceObserver>>>,
+) -> TaskQueueRun {
     let (machine, executed_out) = build_task_queue(nodes, model, cfg);
-    let result = run(
+    let result = sesame_dsm::run_observed(
         machine,
         RunOptions {
             tracing: cfg.tracing,
             ..RunOptions::default()
         },
+        observer,
     );
     let executed = executed_out.borrow().clone();
     let done: u32 = executed.iter().sum();

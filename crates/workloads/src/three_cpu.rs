@@ -20,8 +20,8 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use sesame_core::builder::{ModelChoice, SystemBuilder, TopologyChoice};
-use sesame_dsm::{run, AppEvent, NodeApi, Program, RunOptions, VarId, Word};
+use sesame_core::builder::{ModelChoice, ModelInstance, SystemBuilder, TopologyChoice};
+use sesame_dsm::{AppEvent, NodeApi, Program, RunOptions, RunResult, VarId, Word};
 use sesame_net::{LinkTiming, NodeId};
 use sesame_sim::{SimDur, SimTime, TraceRecorder};
 
@@ -156,6 +156,17 @@ impl Program for ScenarioCpu {
 ///
 /// Panics if the scenario does not complete (a protocol bug).
 pub fn run_figure1(model: ModelChoice, cfg: Figure1Config) -> Figure1Run {
+    run_figure1_observed(model, cfg, None).0
+}
+
+/// Like [`run_figure1`], but with an optional online trace observer
+/// (e.g. the `sesame-telemetry` collector), and also returning the raw
+/// machine-run result so callers can harvest post-run statistics.
+pub fn run_figure1_observed(
+    model: ModelChoice,
+    cfg: Figure1Config,
+    observer: Option<Rc<RefCell<dyn sesame_sim::TraceObserver>>>,
+) -> (Figure1Run, RunResult<ModelInstance>) {
     let log: MarkLog = Rc::new(RefCell::new(Vec::new()));
     let mk = |request_offset: SimDur, warmup_writer: bool| ScenarioCpu {
         request_offset,
@@ -184,12 +195,13 @@ pub fn run_figure1(model: ModelChoice, cfg: Figure1Config) -> Figure1Run {
         use sesame_dsm::Model;
         machine.model().name()
     };
-    let result = run(
+    let result = sesame_dsm::run_observed(
         machine,
         RunOptions {
             tracing: true,
             ..RunOptions::default()
         },
+        observer,
     );
 
     let log = log.borrow();
@@ -201,13 +213,15 @@ pub fn run_figure1(model: ModelChoice, cfg: Figure1Config) -> Figure1Run {
             .2
     };
     let wait_of = |cpu: u32| time_of(cpu, "granted") - time_of(cpu, "request");
-    Figure1Run {
+    let fig = Figure1Run {
         model: name,
         completion: time_of(1, "released").saturating_since(start),
         lock_waits: [wait_of(0), wait_of(2), wait_of(1)],
         marks: log.clone(),
-        trace: result.trace,
-    }
+        trace: result.trace.clone(),
+    };
+    drop(log);
+    (fig, result)
 }
 
 /// Runs the scenario under all three models, in the paper's order.

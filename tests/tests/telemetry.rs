@@ -1,0 +1,95 @@
+//! Determinism and non-interference tests for the telemetry layer.
+//!
+//! Two runs with the same seed must export byte-identical JSON snapshots,
+//! CSV files, and Chrome traces; attaching the collector must not change
+//! the simulation timeline.
+
+use sesame_workloads::contention::{run_contention, ContentionConfig};
+use sesame_workloads::telemetry::{run_with_telemetry, Scenario, ScenarioOptions};
+
+fn opts(_scenario: Scenario) -> ScenarioOptions {
+    ScenarioOptions {
+        rounds: 15,
+        tasks: 32,
+        seed: 11,
+        timeline: true,
+        ..ScenarioOptions::default()
+    }
+}
+
+#[test]
+fn same_seed_exports_are_byte_identical() {
+    for scenario in Scenario::ALL {
+        let a = run_with_telemetry(scenario, &opts(scenario));
+        let b = run_with_telemetry(scenario, &opts(scenario));
+        assert_eq!(
+            a.snapshot().to_json(),
+            b.snapshot().to_json(),
+            "snapshot JSON differs for {}",
+            scenario.name()
+        );
+        assert_eq!(
+            a.snapshot().to_csv(),
+            b.snapshot().to_csv(),
+            "snapshot CSV differs for {}",
+            scenario.name()
+        );
+        assert_eq!(
+            a.chrome_trace(),
+            b.chrome_trace(),
+            "Chrome trace differs for {}",
+            scenario.name()
+        );
+        assert!(!a.timeline().is_empty(), "{} timeline", scenario.name());
+    }
+}
+
+#[test]
+fn snapshot_json_round_trips_exactly() {
+    let t = run_with_telemetry(Scenario::Contention, &opts(Scenario::Contention));
+    let json = t.snapshot().to_json();
+    let parsed = sesame_telemetry::Snapshot::from_json(&json).expect("valid snapshot");
+    assert_eq!(parsed.to_json(), json);
+    assert_eq!(parsed.scenario, "contention");
+    assert_eq!(parsed.seed, 11);
+}
+
+#[test]
+fn telemetry_observer_does_not_perturb_the_simulation() {
+    // The acceptance bar: disabling telemetry changes no simulation
+    // timeline. Compare an observed run against a bare run of the same
+    // configuration.
+    let cfg = ContentionConfig {
+        contenders: 4,
+        rounds: 15,
+        seed: 11,
+        ..ContentionConfig::default()
+    };
+    let bare = run_contention(cfg);
+    let observed = run_with_telemetry(Scenario::Contention, &opts(Scenario::Contention));
+    assert_eq!(observed.end(), bare.result.end, "simulated end drifted");
+    assert_eq!(
+        observed.snapshot().counter("run/events"),
+        bare.result.events,
+        "event count drifted"
+    );
+    assert_eq!(
+        observed.snapshot().counter("run/sections"),
+        bare.sections,
+        "section count drifted"
+    );
+}
+
+#[test]
+fn chrome_trace_contains_all_span_families() {
+    let t = run_with_telemetry(Scenario::Contention, &opts(Scenario::Contention));
+    let trace = t.chrome_trace();
+    // Lock sections, optimistic sections, and network flights all appear.
+    assert!(trace.contains("\"wait v0\""), "lock wait spans");
+    assert!(trace.contains("\"hold v0\""), "lock hold spans");
+    assert!(trace.contains("optimistic v0"), "optimistic sections");
+    assert!(trace.contains("\"cat\":\"net\""), "message-in-flight spans");
+    assert!(trace.contains("\"cat\":\"gwc\""), "root sequencing spans");
+    // Valid JSON end to end.
+    sesame_telemetry::json::parse(&trace).expect("trace parses");
+}
