@@ -31,4 +31,17 @@ grep -q '"traceEvents"' "$tmpdir/t.trace.json"
 cargo run -q --release -p sesame-cli -- report --metrics-in "$tmpdir/m.json" \
     | grep -q "optimism"
 
+echo "==> sweep determinism smoke (fig8 reduced scale, --jobs 2 vs --jobs 1)"
+cargo run -q --release -p sesame-cli -- fig8 --sizes 2,4,8 --visits 128 --jobs 1 \
+    > "$tmpdir/fig8-serial.txt"
+cargo run -q --release -p sesame-cli -- fig8 --sizes 2,4,8 --visits 128 --jobs 2 \
+    > "$tmpdir/fig8-parallel.txt"
+diff -u "$tmpdir/fig8-serial.txt" "$tmpdir/fig8-parallel.txt"
+
+echo "==> bench smoke (queue micro-bench, JSON line output)"
+cargo bench -q -p sesame-bench --bench queue -- --bench-out "$tmpdir/bench.json" \
+    >/dev/null
+grep -q '"group":"queue"' "$tmpdir/bench.json"
+grep -q '"events_per_sec"' "$tmpdir/bench.json"
+
 echo "CI green."

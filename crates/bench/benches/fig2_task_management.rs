@@ -17,10 +17,10 @@ fn main() {
     let group = Harness::group("fig2_task_management").sample_size(10);
     for nodes in [9usize, 17] {
         for (name, model) in [("gwc", ModelChoice::Gwc), ("entry", ModelChoice::Entry)] {
-            group.bench(&format!("{name}/{nodes}"), || {
+            group.bench_events(&format!("{name}/{nodes}"), || {
                 let run = run_task_queue(nodes, model, small_cfg());
                 assert_eq!(run.executed.iter().sum::<u32>(), 128);
-                run.speedup
+                (run.speedup, run.result.events)
             });
         }
     }

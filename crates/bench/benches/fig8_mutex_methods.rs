@@ -31,8 +31,9 @@ fn main() {
             MutexMethod::RegularGwc,
             MutexMethod::Entry,
         ] {
-            group.bench(&format!("{}/{nodes}", method.label()), || {
-                run_pipeline(nodes, method, small_cfg()).power
+            group.bench_events(&format!("{}/{nodes}", method.label()), || {
+                let run = run_pipeline(nodes, method, small_cfg());
+                (run.power, run.result.events)
             });
         }
     }

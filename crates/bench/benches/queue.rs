@@ -1,0 +1,50 @@
+//! Micro-bench of the simulator's event queue: steady-state push/pop
+//! churn at 1k and 100k pending events — the engine's hot path. The
+//! backlog size controls the heap depth, so this tracks how `EventQueue`
+//! scales from small three-CPU scenarios to 128-CPU sweeps.
+
+use sesame_bench::Harness;
+use sesame_sim::{EventQueue, SimTime};
+
+/// Pre-fills a queue with `pending` events, then pops and re-pushes
+/// `ops` times (each re-push lands `pending` ns ahead, keeping the
+/// backlog constant). Returns the queue's own pop counter so the harness
+/// derives events/sec from the same counter the engine exposes.
+fn churn(pending: u64, ops: u64) -> u64 {
+    let mut q: EventQueue<u64> = EventQueue::with_capacity(pending as usize);
+    for i in 0..pending {
+        q.push(SimTime::from_nanos(i), i);
+    }
+    for _ in 0..ops {
+        let (t, payload) = q.pop().expect("backlog never drains");
+        q.push(SimTime::from_nanos(t.as_nanos() + pending), payload);
+    }
+    assert_eq!(q.len() as u64, pending);
+    q.total_popped()
+}
+
+fn main() {
+    let group = Harness::group("queue").sample_size(20);
+    for pending in [1_000u64, 100_000] {
+        let ops = 200_000u64;
+        group.bench_events(&format!("churn/{pending}-pending"), move || {
+            let popped = churn(pending, ops);
+            (popped, popped)
+        });
+    }
+    // Cold fill + full drain: measures push-heavy and pop-heavy phases
+    // (the shape of a sweep point's start and finish).
+    for pending in [1_000u64, 100_000] {
+        group.bench_events(&format!("fill-drain/{pending}"), move || {
+            let mut q: EventQueue<u64> = EventQueue::with_capacity(pending as usize);
+            for i in 0..pending {
+                q.push(SimTime::from_nanos(i % 64), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, p)) = q.pop() {
+                sum = sum.wrapping_add(p);
+            }
+            (sum, q.total_popped())
+        });
+    }
+}

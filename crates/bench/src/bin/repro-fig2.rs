@@ -3,13 +3,26 @@
 //! sizes 3..129 (2^k + 1), under zero-delay / GWC-eagersharing / entry
 //! consistency.
 //!
-//! Usage: `repro-fig2 [--quick]` (`--quick` runs 3..33 with 256 tasks).
+//! Usage: `repro-fig2 [--quick] [--jobs N]` (`--quick` runs 3..33 with
+//! 256 tasks; `--jobs N` runs the sweep points on N worker threads, 0 =
+//! all cores — output is byte-identical for every N).
 
-use sesame_workloads::experiments::{figure2, figure2_sizes, render_series};
+use sesame_workloads::experiments::{figure2_jobs, figure2_sizes, render_series};
 use sesame_workloads::task_queue::TaskQueueConfig;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let jobs: usize = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .map(|i| {
+            args.get(i + 1)
+                .expect("--jobs needs a count")
+                .parse()
+                .expect("--jobs needs an integer")
+        })
+        .unwrap_or(1);
     let (sizes, cfg) = if quick {
         (
             vec![3, 5, 9, 17, 33],
@@ -25,7 +38,13 @@ fn main() {
         "figure 2: {} tasks, exec {}, produce ratio {:.5}, queue capacity {}",
         cfg.total_tasks, cfg.exec_time, cfg.produce_ratio, cfg.capacity
     );
-    let data = figure2(cfg, &sizes);
+    let sweep_start = std::time::Instant::now();
+    let data = figure2_jobs(cfg, &sizes, jobs);
+    eprintln!(
+        "sweep: {} points, jobs {jobs}, {:.2?}",
+        sizes.len() * 3,
+        sweep_start.elapsed()
+    );
     println!("# Figure 2 — Speedup for Task Management (paper: GWC peak ~84.1 @129, entry peak ~22.5 @33)");
     println!("{}", render_series(&[&data.ideal, &data.gwc, &data.entry]));
     let gwc_peak = data.gwc.y_max().unwrap_or(0.0);

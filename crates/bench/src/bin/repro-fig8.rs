@@ -2,16 +2,20 @@
 //! methods on the linear pipeline, 2..128 CPUs, plus the §4.1 headline
 //! speedup ratios and the optimism telemetry of the optimistic line.
 //!
-//! Usage: `repro-fig8 [--quick] [--metrics-out <file.json>]`
+//! Usage: `repro-fig8 [--quick] [--metrics-out <file.json>] [--jobs N]`
 //! (`--quick` runs 2..32 with 256 visits; `--metrics-out` writes the
-//! largest size's telemetry snapshot as JSON).
+//! largest size's telemetry snapshot as JSON; `--jobs N` runs the sweep
+//! points on N worker threads, 0 = all cores — output is byte-identical
+//! for every N).
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
 use sesame_sim::TraceObserver;
 use sesame_telemetry::Telemetry;
-use sesame_workloads::experiments::{figure8, figure8_optimism, figure8_sizes, render_series};
+use sesame_workloads::experiments::{
+    figure8_jobs, figure8_optimism_jobs, figure8_sizes, render_series,
+};
 use sesame_workloads::pipeline::{run_pipeline_observed, MutexMethod, PipelineConfig};
 use sesame_workloads::telemetry::absorb_run;
 
@@ -22,6 +26,16 @@ fn main() {
         .iter()
         .position(|a| a == "--metrics-out")
         .map(|i| args.get(i + 1).expect("--metrics-out needs a path").clone());
+    let jobs: usize = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .map(|i| {
+            args.get(i + 1)
+                .expect("--jobs needs a count")
+                .parse()
+                .expect("--jobs needs an integer")
+        })
+        .unwrap_or(1);
     let (sizes, cfg) = if quick {
         (
             vec![2, 4, 8, 16, 32],
@@ -40,7 +54,13 @@ fn main() {
         cfg.section(),
         cfg.token_words
     );
-    let data = figure8(cfg, &sizes);
+    let sweep_start = std::time::Instant::now();
+    let data = figure8_jobs(cfg, &sizes, jobs);
+    eprintln!(
+        "sweep: {} points, jobs {jobs}, {:.2?}",
+        sizes.len() * 4,
+        sweep_start.elapsed()
+    );
     println!("# Figure 8 — Mutex Methods, Network Power in CPUs");
     println!(
         "# paper: bound 1.89; optimistic 1.68->1.15; non-optimistic 1.53->1.03; entry 0.81->0.64"
@@ -69,7 +89,7 @@ fn main() {
 
     // The optimism columns, sourced from the telemetry registry: what
     // fraction of mutex entries the optimistic engine won outright.
-    let points = figure8_optimism(cfg, &sizes);
+    let points = figure8_optimism_jobs(cfg, &sizes, jobs);
     println!("\n# optimism telemetry (optimistic GWC line)");
     println!("# cpus   attempts   wins   rollbacks   hit-rate   overlapped");
     for p in &points {

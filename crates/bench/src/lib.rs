@@ -13,32 +13,71 @@
 //!   paper's headline speedup ratios.
 //!
 //! The benches (`fig1_locking`, `fig2_task_management`,
-//! `fig8_mutex_methods`, `ablations`) measure the same experiments at
-//! reduced scale so regressions in protocol cost show up as timing
-//! regressions. They use the dependency-free [`Harness`] below instead of
-//! an external benchmarking crate so the workspace builds offline.
+//! `fig8_mutex_methods`, `ablations`, `queue`) measure the same
+//! experiments at reduced scale so regressions in protocol cost show up
+//! as timing regressions. They use the dependency-free [`Harness`] below
+//! instead of an external benchmarking crate so the workspace builds
+//! offline.
+//!
+//! ## Machine-readable output
+//!
+//! Pass `--bench-out <file>` to any bench binary (with `cargo bench`,
+//! after a `--`: `cargo bench --bench fig8_mutex_methods --
+//! --bench-out BENCH_sweep.json`) and the harness appends one JSON line
+//! per case:
+//!
+//! ```json
+//! {"group":"fig8_mutex_methods","case":"optimistic/8","samples":20,
+//!  "median_ns":1234567,"min_ns":1200000,"max_ns":1300000,
+//!  "events":24160,"events_per_sec":19567000.0}
+//! ```
+//!
+//! `events` / `events_per_sec` come from [`Harness::bench_events`], whose
+//! closures report the simulator's event count
+//! (`EventQueue::total_popped`, surfaced as `RunResult::events`); plain
+//! [`Harness::bench`] cases write `null` for both.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::hint::black_box;
-use std::time::Instant;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 /// A minimal wall-clock benchmarking harness: runs each case for a warmup
-/// pass plus `samples` timed iterations and prints the median and spread.
+/// pass plus `samples` timed iterations, prints the median and spread,
+/// and (with `--bench-out`) appends a JSON line per case.
 #[derive(Debug)]
 pub struct Harness {
     group: String,
     samples: u32,
+    out: Option<PathBuf>,
+}
+
+/// The timing summary of one case, in the order the samples sorted.
+#[derive(Debug, Clone, Copy)]
+struct Timing {
+    median: Duration,
+    min: Duration,
+    max: Duration,
 }
 
 impl Harness {
     /// Creates a harness for one named bench group with a default of 20
-    /// timed samples per case.
+    /// timed samples per case. Reads `--bench-out <file>` from the
+    /// process arguments; when present, every case appends one JSON line
+    /// to that file.
     pub fn group(name: &str) -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let out = args
+            .iter()
+            .position(|a| a == "--bench-out")
+            .map(|i| PathBuf::from(args.get(i + 1).expect("--bench-out needs a path")));
         Harness {
             group: name.to_string(),
             samples: 20,
+            out,
         }
     }
 
@@ -48,12 +87,37 @@ impl Harness {
         self
     }
 
+    /// Overrides (or disables) the JSON output file picked up from
+    /// `--bench-out`.
+    pub fn bench_out(mut self, path: Option<PathBuf>) -> Self {
+        self.out = path;
+        self
+    }
+
     /// Times `f` and prints `group/case: median (min .. max)`.
     ///
     /// The closure's return value is passed through [`black_box`] so the
     /// optimizer cannot elide the measured work.
     pub fn bench<T>(&self, case: &str, mut f: impl FnMut() -> T) {
         black_box(f()); // warmup, also pre-faults lazily allocated state
+        let timing = self.sample(&mut f);
+        self.report(case, timing, None);
+    }
+
+    /// Times `f`, which also reports how many simulation events each
+    /// iteration processed (`RunResult::events`, i.e. the engine queue's
+    /// `total_popped`), and derives an events/sec throughput from the
+    /// median sample.
+    ///
+    /// The sweeps are deterministic, so the event count is the same every
+    /// iteration; the count from the warmup pass is used.
+    pub fn bench_events<T>(&self, case: &str, mut f: impl FnMut() -> (T, u64)) {
+        let (_, events) = black_box(f()); // warmup
+        let timing = self.sample(&mut || f().0);
+        self.report(case, timing, Some(events));
+    }
+
+    fn sample<T>(&self, f: &mut impl FnMut() -> T) -> Timing {
         let mut times = Vec::with_capacity(self.samples as usize);
         for _ in 0..self.samples {
             let start = Instant::now();
@@ -61,14 +125,123 @@ impl Harness {
             times.push(start.elapsed());
         }
         times.sort_unstable();
-        let median = times[times.len() / 2];
-        println!(
-            "{}/{case}: {:?} (min {:?} .. max {:?}, n={})",
-            self.group,
-            median,
-            times[0],
-            times[times.len() - 1],
-            self.samples
+        Timing {
+            median: times[times.len() / 2],
+            min: times[0],
+            max: times[times.len() - 1],
+        }
+    }
+
+    fn report(&self, case: &str, t: Timing, events: Option<u64>) {
+        let throughput = events.map(|ev| ev as f64 / t.median.as_secs_f64());
+        match (events, throughput) {
+            (Some(ev), Some(eps)) => println!(
+                "{}/{case}: {:?} (min {:?} .. max {:?}, n={}) | {ev} events, {eps:.0} events/s",
+                self.group, t.median, t.min, t.max, self.samples
+            ),
+            _ => println!(
+                "{}/{case}: {:?} (min {:?} .. max {:?}, n={})",
+                self.group, t.median, t.min, t.max, self.samples
+            ),
+        }
+        if let Some(path) = &self.out {
+            let line = json_line(&self.group, case, self.samples, t, events, throughput);
+            let mut file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .expect("open --bench-out file");
+            writeln!(file, "{line}").expect("append bench JSON line");
+        }
+    }
+}
+
+/// One case as a JSON object on a single line (hand-rolled: the workspace
+/// builds offline, without serde).
+fn json_line(
+    group: &str,
+    case: &str,
+    samples: u32,
+    t: Timing,
+    events: Option<u64>,
+    throughput: Option<f64>,
+) -> String {
+    let events = events.map_or("null".to_string(), |e| e.to_string());
+    let eps = throughput.map_or("null".to_string(), |e| format!("{e:.1}"));
+    format!(
+        "{{\"group\":{},\"case\":{},\"samples\":{samples},\
+         \"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\
+         \"events\":{events},\"events_per_sec\":{eps}}}",
+        json_str(group),
+        json_str(case),
+        t.median.as_nanos(),
+        t.min.as_nanos(),
+        t.max.as_nanos(),
+    )
+}
+
+/// Minimal JSON string quoting (group/case names are ASCII identifiers,
+/// but stay correct for anything).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_lines_are_well_formed() {
+        let t = Timing {
+            median: Duration::from_nanos(1500),
+            min: Duration::from_nanos(1000),
+            max: Duration::from_nanos(2000),
+        };
+        let with = json_line("g", "c/8", 20, t, Some(3000), Some(2.0e9));
+        assert_eq!(
+            with,
+            "{\"group\":\"g\",\"case\":\"c/8\",\"samples\":20,\
+             \"median_ns\":1500,\"min_ns\":1000,\"max_ns\":2000,\
+             \"events\":3000,\"events_per_sec\":2000000000.0}"
         );
+        let without = json_line("g", "c", 3, t, None, None);
+        assert!(without.ends_with("\"events\":null,\"events_per_sec\":null}"));
+    }
+
+    #[test]
+    fn json_str_escapes_quotes_and_controls() {
+        assert_eq!(json_str("plain"), "\"plain\"");
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("x\ny"), "\"x\\u000ay\"");
+    }
+
+    #[test]
+    fn bench_events_appends_one_line_per_case() {
+        let dir = std::env::temp_dir().join("sesame-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("out-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let h = Harness::group("t")
+            .sample_size(3)
+            .bench_out(Some(path.clone()));
+        h.bench_events("a", || ((), 10));
+        h.bench("b", || 1 + 1);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"case\":\"a\"") && lines[0].contains("\"events\":10"));
+        assert!(lines[1].contains("\"case\":\"b\"") && lines[1].contains("\"events\":null"));
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -5,9 +5,9 @@
 //!
 //! ```text
 //! sesame fig1 [--section-us N] [--words N]
-//! sesame fig2 [--sizes 3,5,9] [--tasks N] [--exec-us N] [--ratio F]
+//! sesame fig2 [--sizes 3,5,9] [--tasks N] [--exec-us N] [--ratio F] [--jobs N]
 //! sesame fig7
-//! sesame fig8 [--sizes 2,4,8] [--visits N] [--local-us N]
+//! sesame fig8 [--sizes 2,4,8] [--visits N] [--local-us N] [--jobs N]
 //! sesame contention [--contenders N] [--rounds N] [--think-us N]
 //! sesame run --scenario contention --metrics-out m.json --timeline-out t.trace.json
 //! sesame report --metrics-in m.json
@@ -23,7 +23,7 @@ use sesame_sim::SimDur;
 use sesame_telemetry::{render_report, Snapshot};
 use sesame_workloads::contention::{run_contention, ContentionConfig};
 use sesame_workloads::experiments::{
-    figure1, figure2, figure2_sizes, figure8, figure8_sizes, render_series,
+    figure1, figure2_jobs, figure2_sizes, figure8_jobs, figure8_sizes, render_series,
 };
 use sesame_workloads::pipeline::PipelineConfig;
 use sesame_workloads::task_queue::TaskQueueConfig;
@@ -45,11 +45,15 @@ COMMANDS:
                     --sizes <list=3,5,9,17,33,65,129>
                     --tasks <N=1024>  --exec-us <N=1000>  --ratio <F=0.0078125>
                     --format <table|csv>
+                    --jobs <N=1>      sweep worker threads (0 = all cores);
+                                      output is identical for every N
     fig7          optimistic rollback under contention, with protocol stats
     fig8          mutex-method network power sweep
                     --sizes <list=2,4,8,16,32,64,128>
                     --visits <N=1024>  --local-us <N=5>
                     --format <table|csv>
+                    --jobs <N=1>      sweep worker threads (0 = all cores);
+                                      output is identical for every N
     contention    optimistic vs regular locking across think times
                     --contenders <N=6>  --rounds <N=50>  --think-us <N=50>
     run           run one scenario with telemetry and export metrics
@@ -59,6 +63,8 @@ COMMANDS:
                     --metrics-out <file.json>   JSON metrics snapshot
                     --csv-out <file.csv>        CSV metrics export
                     --timeline-out <file.json>  Chrome trace-event timeline
+                    --jobs <N=1>      run N redundant copies concurrently and
+                                      assert their exports are byte-identical
     report        render a human-readable report from a metrics snapshot
                     --metrics-in <file.json>  (or --scenario to run fresh)
     verify        replay scenarios under the sesame-verify checkers
@@ -78,6 +84,12 @@ fn render(args: &Args, series: &[&sesame_sim::Series]) -> Result<String, String>
             .join("\n")),
         Some(other) => Err(format!("unknown --format {other:?} (use table or csv)")),
     }
+}
+
+/// Parses the shared `--jobs` flag (sweep worker threads; 0 = all cores).
+fn parse_jobs(args: &Args) -> Result<usize, String> {
+    args.get_or("--jobs", 1usize, "integer")
+        .map_err(|e| e.to_string())
 }
 
 fn parse_sizes(spec: &str) -> Result<Vec<usize>, String> {
@@ -128,7 +140,7 @@ fn cmd_fig2(args: &Args) -> Result<(), String> {
             .map_err(|e| e.to_string())?,
         ..TaskQueueConfig::default()
     };
-    let data = figure2(cfg, &sizes);
+    let data = figure2_jobs(cfg, &sizes, parse_jobs(args)?);
     println!("{}", render(args, &[&data.ideal, &data.gwc, &data.entry])?);
     Ok(())
 }
@@ -173,7 +185,7 @@ fn cmd_fig8(args: &Args) -> Result<(), String> {
         ),
         ..PipelineConfig::default()
     };
-    let data = figure8(cfg, &sizes);
+    let data = figure8_jobs(cfg, &sizes, parse_jobs(args)?);
     println!(
         "{}",
         render(
@@ -262,8 +274,28 @@ fn write_file(path: &str, contents: &str) -> Result<(), String> {
 
 /// Runs one scenario with the telemetry collector attached and exports
 /// the requested snapshot/timeline files.
+///
+/// With `--jobs N` (N > 1) the scenario is executed N times concurrently
+/// and every export is asserted byte-identical across the copies before
+/// the first one is used — a built-in determinism check: simulated time
+/// is fully decoupled from host scheduling.
 fn cmd_run(args: &Args) -> Result<(), String> {
     let (scenario, opts) = scenario_options(args)?;
+    let jobs = parse_jobs(args)?.max(1);
+    if jobs > 1 {
+        let exports = sesame_sweep::run_sweep(jobs, jobs, |_| {
+            let t = run_with_telemetry(scenario, &opts);
+            (t.snapshot().to_json(), t.chrome_trace())
+        });
+        for (i, copy) in exports.iter().enumerate().skip(1) {
+            if copy != &exports[0] {
+                return Err(format!(
+                    "nondeterminism: concurrent run {i} diverged from run 0"
+                ));
+            }
+        }
+        println!("{jobs} concurrent runs produced byte-identical exports");
+    }
     let telemetry = run_with_telemetry(scenario, &opts);
     let snapshot = telemetry.snapshot();
     if let Some(path) = args.get_str("--metrics-out") {
@@ -362,19 +394,27 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
         // A deliberately corrupt trace — the root grants the same lock to
         // two holders with no intervening release — so the failure path
         // (diagnostics printed, nonzero exit) can be exercised end to end.
-        use sesame_sim::{SimTime, TraceEntry};
+        use sesame_sim::{SimTime, TraceDetail, TraceEntry};
         let entries = vec![
             TraceEntry {
                 time: SimTime::from_nanos(10),
                 actor: 0,
                 kind: "root-grant",
-                detail: "g=0 v=0 holder=1".into(),
+                detail: TraceDetail::Grant {
+                    group: 0,
+                    var: 0,
+                    holder: 1,
+                },
             },
             TraceEntry {
                 time: SimTime::from_nanos(20),
                 actor: 0,
                 kind: "root-grant",
-                detail: "g=0 v=0 holder=2".into(),
+                detail: TraceDetail::Grant {
+                    group: 0,
+                    var: 0,
+                    holder: 2,
+                },
             },
         ];
         checked.push((
@@ -422,11 +462,21 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
     let (allowed, f): (&[&'static str], Command) = match cmd {
         "fig1" => (&["--section-us", "--words"], cmd_fig1),
         "fig2" => (
-            &["--sizes", "--tasks", "--exec-us", "--ratio", "--format"],
+            &[
+                "--sizes",
+                "--tasks",
+                "--exec-us",
+                "--ratio",
+                "--format",
+                "--jobs",
+            ],
             cmd_fig2,
         ),
         "fig7" => (&[], cmd_fig7),
-        "fig8" => (&["--sizes", "--visits", "--local-us", "--format"], cmd_fig8),
+        "fig8" => (
+            &["--sizes", "--visits", "--local-us", "--format", "--jobs"],
+            cmd_fig8,
+        ),
         "contention" => (&["--contenders", "--rounds", "--think-us"], cmd_contention),
         "run" => (
             &[
@@ -439,6 +489,7 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
                 "--metrics-out",
                 "--csv-out",
                 "--timeline-out",
+                "--jobs",
             ],
             cmd_run,
         ),

@@ -23,7 +23,9 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use sesame_dsm::{sizes, AppEvent, GroupTable, Model, ModelAction, Mx, Packet, PacketKind, VarId};
+use sesame_dsm::{
+    sizes, AppEvent, GroupTable, Model, ModelAction, Mx, Packet, PacketKind, TraceDetail, VarId,
+};
 use sesame_net::NodeId;
 
 /// Counters exposed for tests and the experiment harness.
@@ -178,7 +180,7 @@ impl EntryModel {
             mx.trace(
                 from,
                 "ec-begin-transfer",
-                format!("{lock} to {to} invalidating {targets:?}"),
+                TraceDetail::text(format!("{lock} to {to} invalidating {targets:?}")),
             );
         }
         self.stats.invalidations += targets.len() as u64;
@@ -232,7 +234,11 @@ impl EntryModel {
     /// The token (with its data) reached `node`.
     fn grant_arrived(&mut self, lock: VarId, node: NodeId, mx: &mut Mx<'_, '_>) {
         if mx.tracing() {
-            mx.trace(node, "ec-grant-arrived", format!("{lock}"));
+            mx.trace(
+                node,
+                "ec-grant-arrived",
+                TraceDetail::text(lock.to_string()),
+            );
         }
         let guarded = Self::guarded_vars(mx.groups(), lock);
         let l = self.locks.get_mut(&lock).expect("known lock");
@@ -270,7 +276,11 @@ impl EntryModel {
                 l.held = true;
                 self.stats.local_reacquires += 1;
                 if mx.tracing() {
-                    mx.trace(node, "ec-local-reacquire", format!("{lock}"));
+                    mx.trace(
+                        node,
+                        "ec-local-reacquire",
+                        TraceDetail::text(lock.to_string()),
+                    );
                 }
                 mx.deliver(node, AppEvent::Acquired { lock });
             } else {
@@ -321,7 +331,14 @@ impl EntryModel {
                 // Canonical owner-queue-depth event (telemetry's
                 // ec-queue-depth time-weighted signal).
                 let qlen = self.locks[&lock].queue.len();
-                mx.trace(node, "ec-queue", format!("v={} q={qlen}", lock.get()));
+                mx.trace(
+                    node,
+                    "ec-queue",
+                    TraceDetail::QueueDepth {
+                        var: lock.get(),
+                        depth: qlen as u32,
+                    },
+                );
             }
             return;
         }
@@ -392,7 +409,14 @@ impl Model for EntryModel {
                 if let Some(next) = l.queue.pop_front() {
                     if mx.tracing() {
                         let qlen = self.locks[&lock].queue.len();
-                        mx.trace(node, "ec-queue", format!("v={} q={qlen}", lock.get()));
+                        mx.trace(
+                            node,
+                            "ec-queue",
+                            TraceDetail::QueueDepth {
+                                var: lock.get(),
+                                depth: qlen as u32,
+                            },
+                        );
                     }
                     self.begin_transfer(lock, next, mx);
                 }
@@ -449,7 +473,7 @@ impl Model for EntryModel {
             }
             PacketKind::EcInvalidate { lock } => {
                 if mx.tracing() {
-                    mx.trace(node, "ec-invalidated", format!("{lock}"));
+                    mx.trace(node, "ec-invalidated", TraceDetail::text(lock.to_string()));
                 }
                 for v in Self::guarded_vars(mx.groups(), lock) {
                     let st = &mut self.nodes[node.index()];
@@ -482,7 +506,11 @@ impl Model for EntryModel {
             PacketKind::EcGrant { lock } => self.grant_arrived(lock, node, mx),
             PacketKind::EcFetch { var, requester } => {
                 if mx.tracing() {
-                    mx.trace(node, "ec-fetch-serve", format!("{var} for {requester}"));
+                    mx.trace(
+                        node,
+                        "ec-fetch-serve",
+                        TraceDetail::text(format!("{var} for {requester}")),
+                    );
                 }
                 let g = mx.groups().group_of(var).expect("known var");
                 // If the token moved, chase it.

@@ -29,7 +29,7 @@ use std::error::Error;
 use std::fmt;
 
 use sesame_dsm::{lockval, AppEvent, NodeApi, VarId, Word};
-use sesame_sim::SimDur;
+use sesame_sim::{SimDur, TraceDetail};
 
 use crate::UsageHistory;
 
@@ -235,7 +235,12 @@ impl OptimisticMutex {
         // Canonical entry event for trace-level checkers, before the
         // request write so they learn the lock variable first.
         if api.tracing() {
-            api.trace("mutex-enter", format!("v={}", self.lock.get()));
+            api.trace(
+                "mutex-enter",
+                TraceDetail::Var {
+                    var: self.lock.get(),
+                },
+            );
         }
 
         // Lines 03–04: atomically exchange the request value into the local
@@ -260,7 +265,12 @@ impl OptimisticMutex {
                 rollbacks: 0,
             };
             if api.tracing() {
-                api.trace("mutex-regular", format!("v={}", self.lock.get()));
+                api.trace(
+                    "mutex-regular",
+                    TraceDetail::Var {
+                        var: self.lock.get(),
+                    },
+                );
             }
             return Ok(Path::Regular);
         }
@@ -268,7 +278,12 @@ impl OptimisticMutex {
         // Line 06: watch for any lock change, atomically coupled with
         // insharing suspension when it fires.
         if api.tracing() {
-            api.trace("opt-enter", format!("v={}", self.lock.get()));
+            api.trace(
+                "opt-enter",
+                TraceDetail::Var {
+                    var: self.lock.get(),
+                },
+            );
         }
         api.arm_lock_interrupt(self.lock);
 
@@ -280,7 +295,13 @@ impl OptimisticMutex {
             .collect();
         if api.tracing() {
             for &(var, val) in &self.saved {
-                api.trace("opt-save", format!("v={} val={val}", var.get()));
+                api.trace(
+                    "opt-save",
+                    TraceDetail::VarVal {
+                        var: var.get(),
+                        val,
+                    },
+                );
             }
         }
 
@@ -295,7 +316,12 @@ impl OptimisticMutex {
         };
         self.start_compute(api);
         if api.tracing() {
-            api.trace("mutex-optimistic", format!("v={}", self.lock.get()));
+            api.trace(
+                "mutex-optimistic",
+                TraceDetail::Var {
+                    var: self.lock.get(),
+                },
+            );
         }
         Ok(Path::Optimistic)
     }
@@ -355,7 +381,12 @@ impl OptimisticMutex {
                 if value == lockval::grant(api.id()) {
                     // Line 10: the wait is over; execute the section.
                     if api.tracing() {
-                        api.trace("mutex-granted", format!("v={}", self.lock.get()));
+                        api.trace(
+                            "mutex-granted",
+                            TraceDetail::Var {
+                                var: self.lock.get(),
+                            },
+                        );
                     }
                     self.state = State::PostGrantCompute { path, rollbacks };
                     self.start_compute(api);
@@ -377,16 +408,12 @@ impl OptimisticMutex {
                 if api.tracing() {
                     api.trace(
                         "mutex-complete",
-                        format!(
-                            "v={} path={} rb={} ov={}",
-                            self.lock.get(),
-                            match done.path {
-                                Path::Optimistic => "o",
-                                Path::Regular => "r",
-                            },
-                            done.rollbacks,
-                            u32::from(done.fully_overlapped)
-                        ),
+                        TraceDetail::Complete {
+                            var: self.lock.get(),
+                            optimistic: done.path == Path::Optimistic,
+                            rollbacks: done.rollbacks,
+                            overlapped: done.fully_overlapped,
+                        },
                     );
                 }
                 Some(MutexSignal::Completed(done))
@@ -416,7 +443,12 @@ impl OptimisticMutex {
             // P2: permission for the local CPU. Resume insharing and either
             // release (body already ran) or keep computing.
             if api.tracing() {
-                api.trace("mutex-granted", format!("v={}", self.lock.get()));
+                api.trace(
+                    "mutex-granted",
+                    TraceDetail::Var {
+                        var: self.lock.get(),
+                    },
+                );
             }
             api.resume_insharing();
             if body_ran {
@@ -447,7 +479,12 @@ impl OptimisticMutex {
         // Canonical rollback event, before the restores so the checkers
         // see the `acc-write-local` restorations as part of the rollback.
         if api.tracing() {
-            api.trace("opt-rollback", format!("v={}", self.lock.get()));
+            api.trace(
+                "opt-rollback",
+                TraceDetail::Var {
+                    var: self.lock.get(),
+                },
+            );
         }
         if computing {
             api.cancel_compute();
@@ -461,7 +498,12 @@ impl OptimisticMutex {
         self.saved.clear(); // line 24: variables_saved = NO
         api.resume_insharing(); // line 25
         if api.tracing() {
-            api.trace("mutex-rollback", format!("v={}", self.lock.get()));
+            api.trace(
+                "mutex-rollback",
+                TraceDetail::Var {
+                    var: self.lock.get(),
+                },
+            );
         }
         self.state = State::Waiting {
             path: Path::Optimistic,

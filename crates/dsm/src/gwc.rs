@@ -37,7 +37,8 @@ use sesame_net::NodeId;
 use crate::addr::lockval;
 use crate::protocol::sizes;
 use crate::{
-    AppEvent, GroupId, GroupTable, Model, ModelAction, Mx, Packet, PacketKind, VarId, Word,
+    AppEvent, ApplyMode, GroupId, GroupTable, Model, ModelAction, Mx, Packet, PacketKind,
+    TraceDetail, VarId, Word,
 };
 
 /// Encodes a grant watchdog timer tag: group id in the low 16 bits, the
@@ -261,12 +262,13 @@ impl GwcModel {
             mx.trace(
                 root,
                 "root-seq",
-                format!(
-                    "g={} seq={seq} v={} val={value} origin={}",
-                    group.get(),
-                    var.get(),
-                    origin.get()
-                ),
+                TraceDetail::Seq {
+                    group: group.get(),
+                    seq,
+                    var: var.get(),
+                    val: value,
+                    origin: origin.get(),
+                },
             );
         }
         let rg = self.roots.get_mut(&group).expect("known group");
@@ -330,19 +332,23 @@ impl GwcModel {
             if holder != Some(origin) {
                 self.stats.root_drops += 1;
                 if mx.tracing() {
-                    mx.trace(node, "root-drop", format!("{var}={value} from {origin}"));
+                    mx.trace(
+                        node,
+                        "root-drop",
+                        TraceDetail::text(format!("{var}={value} from {origin}")),
+                    );
                     // Canonical twin of "root-drop" for the checkers: the
                     // write was consumed at the root without a sequence
                     // number (failed optimistic update).
                     mx.trace(
                         node,
                         "root-filtered",
-                        format!(
-                            "g={} v={} val={value} origin={}",
-                            group.get(),
-                            var.get(),
-                            origin.get()
-                        ),
+                        TraceDetail::Filtered {
+                            group: group.get(),
+                            var: var.get(),
+                            val: value,
+                            origin: origin.get(),
+                        },
                     );
                 }
                 return;
@@ -370,7 +376,11 @@ impl GwcModel {
             mx.trace(
                 root,
                 "root-release",
-                format!("g={} v={} from={}", group.get(), var.get(), origin.get()),
+                TraceDetail::Release {
+                    group: group.get(),
+                    var: var.get(),
+                    from: origin.get(),
+                },
             );
         }
         let outcome = {
@@ -421,17 +431,32 @@ impl GwcModel {
                 .expect("mutex group")
                 .queue
                 .len();
-            mx.trace(root, "root-queue", format!("v={} q={qlen}", var.get()));
+            mx.trace(
+                root,
+                "root-queue",
+                TraceDetail::QueueDepth {
+                    var: var.get(),
+                    depth: qlen as u32,
+                },
+            );
         }
         match outcome {
             Outcome::Grant(holder) => {
                 self.stats.grants += 1;
                 if mx.tracing() {
-                    mx.trace(root, "lock-grant", format!("{var} -> {holder}"));
+                    mx.trace(
+                        root,
+                        "lock-grant",
+                        TraceDetail::text(format!("{var} -> {holder}")),
+                    );
                     mx.trace(
                         root,
                         "root-grant",
-                        format!("g={} v={} holder={}", group.get(), var.get(), holder.get()),
+                        TraceDetail::Grant {
+                            group: group.get(),
+                            var: var.get(),
+                            holder: holder.get(),
+                        },
                     );
                 }
                 self.sequence_and_multicast(group, var, lockval::grant(holder), root, mx);
@@ -444,7 +469,7 @@ impl GwcModel {
             }
             Outcome::Free => {
                 if mx.tracing() {
-                    mx.trace(root, "lock-free", format!("{var}"));
+                    mx.trace(root, "lock-free", TraceDetail::text(var.to_string()));
                 }
                 self.roots.get_mut(&group).expect("known group").watchdog = None;
                 self.sequence_and_multicast(group, var, lockval::FREE, root, mx);
@@ -452,7 +477,11 @@ impl GwcModel {
             Outcome::Queued => {
                 self.stats.queued_requests += 1;
                 if mx.tracing() {
-                    mx.trace(root, "lock-queued", format!("{var} <- {origin}"));
+                    mx.trace(
+                        root,
+                        "lock-queued",
+                        TraceDetail::text(format!("{var} <- {origin}")),
+                    );
                 }
             }
         }
@@ -483,20 +512,20 @@ impl GwcModel {
         let g = mx.groups().group(item.group);
         let is_lock_var = g.mutex_lock() == Some(item.var);
         // Canonical in-order receipt event for the checkers; `mode` says
-        // what happened to the payload: `a` applied, `h` hardware-blocked
-        // (Figure 6 own-echo drop), `i` applied via armed lock interrupt.
-        let gwc_apply = |mx: &mut Mx<'_, '_>, mode: &str| {
+        // what happened to the payload: applied, hardware-blocked (Figure 6
+        // own-echo drop), or applied via armed lock interrupt.
+        let gwc_apply = |mx: &mut Mx<'_, '_>, mode: ApplyMode| {
             mx.trace(
                 node,
                 "gwc-apply",
-                format!(
-                    "g={} seq={} v={} val={} origin={} mode={mode}",
-                    item.group.get(),
-                    item.seq,
-                    item.var.get(),
-                    item.value,
-                    item.origin.get()
-                ),
+                TraceDetail::Apply {
+                    group: item.group.get(),
+                    seq: item.seq,
+                    var: item.var.get(),
+                    val: item.value,
+                    origin: item.origin.get(),
+                    mode,
+                },
             );
         };
 
@@ -507,9 +536,9 @@ impl GwcModel {
                 mx.trace(
                     node,
                     "hw-block-drop",
-                    format!("{}={}", item.var, item.value),
+                    TraceDetail::text(format!("{}={}", item.var, item.value)),
                 );
-                gwc_apply(mx, "h");
+                gwc_apply(mx, ApplyMode::HwBlocked);
             }
             return;
         }
@@ -522,7 +551,7 @@ impl GwcModel {
                 st.suspended = true;
             }
             if mx.tracing() {
-                gwc_apply(mx, "i");
+                gwc_apply(mx, ApplyMode::Interrupt);
             }
             mx.mem(node).write(item.var, item.value);
             mx.deliver(
@@ -536,7 +565,7 @@ impl GwcModel {
         }
 
         if mx.tracing() {
-            gwc_apply(mx, "a");
+            gwc_apply(mx, ApplyMode::Applied);
         }
         mx.mem(node).write(item.var, item.value);
         if st.pending_acquire.contains(&item.var) && item.value == lockval::grant(node) {
@@ -743,7 +772,7 @@ impl Model for GwcModel {
             mx.trace(
                 node,
                 "grant-retransmit",
-                format!("{var} seq {seq} -> {}", w.holder),
+                TraceDetail::text(format!("{var} seq {seq} -> {}", w.holder)),
             );
         }
         mx.send(Packet {

@@ -81,3 +81,4 @@ pub use machine::{
 pub use memory::LocalMemory;
 pub use program::{Action, AppEvent, IdleProgram, ModelAction, NodeApi, Program};
 pub use protocol::{sizes, Packet, PacketKind};
+pub use sesame_sim::{ApplyMode, TraceDetail};

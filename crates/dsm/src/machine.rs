@@ -18,7 +18,8 @@ use std::collections::{HashMap, VecDeque};
 
 use sesame_net::{Fabric, LinkTiming, NodeId, SpanningTree, Topology};
 use sesame_sim::{
-    Actor, ActorId, Context, RunOutcome, SimDur, SimTime, Simulation, TimeWeighted, TraceRecorder,
+    Actor, ActorId, Context, RunOutcome, SimDur, SimTime, Simulation, TimeWeighted, TraceDetail,
+    TraceRecorder,
 };
 
 use crate::protocol::sizes;
@@ -133,19 +134,19 @@ impl Mx<'_, '_> {
             .unicast(self.now + extra, self.topo, pkt.from, pkt.to, pkt.bytes);
         if self.ctx.tracing() {
             // Canonical message-in-flight event (telemetry builds per-node
-            // packet/hop counters and flight spans from it): `at` is the
-            // fabric-computed arrival time in nanoseconds.
+            // packet/hop counters and flight spans from it): `arrival_ns` is
+            // the fabric-computed arrival time in nanoseconds.
             let hops = self.topo.hops(pkt.from, pkt.to);
             self.ctx.trace_for(
                 pkt.from.index(),
                 "pkt-send",
-                format!(
-                    "from={} to={} bytes={} hops={hops} at={}",
-                    pkt.from.get(),
-                    pkt.to.get(),
-                    pkt.bytes,
-                    at.as_nanos()
-                ),
+                TraceDetail::Packet {
+                    from: pkt.from.get(),
+                    to: pkt.to.get(),
+                    bytes: pkt.bytes,
+                    hops,
+                    arrival_ns: at.as_nanos(),
+                },
             );
         }
         let target = self.ctx.self_id();
@@ -163,18 +164,18 @@ impl Mx<'_, '_> {
         let target = self.ctx.self_id();
         let root = g.root();
         if self.ctx.tracing() {
-            // Canonical multicast event: `last` is the latest member
+            // Canonical multicast event: `last_ns` is the latest member
             // arrival, the end of the whole fan-out interval.
             let last = arrivals.iter().map(|&(_, at)| at).max().unwrap_or(self.now);
             self.ctx.trace_for(
                 root.index(),
                 "pkt-mcast",
-                format!(
-                    "g={} bytes={bytes} n={} last={}",
-                    group.get(),
-                    arrivals.len(),
-                    last.as_nanos()
-                ),
+                TraceDetail::Multicast {
+                    group: group.get(),
+                    bytes,
+                    members: arrivals.len() as u32,
+                    last_ns: last.as_nanos(),
+                },
             );
         }
         for (member, at) in arrivals {
@@ -212,7 +213,7 @@ impl Mx<'_, '_> {
     }
 
     /// Records a trace entry attributed to `node`.
-    pub fn trace(&mut self, node: NodeId, kind: &'static str, detail: String) {
+    pub fn trace(&mut self, node: NodeId, kind: &'static str, detail: TraceDetail) {
         self.ctx.trace_for(node.index(), kind, detail);
     }
 
@@ -492,10 +493,18 @@ impl<M: Model> Machine<M> {
                 // given up the lock.
                 match &event {
                     AppEvent::Acquired { lock } => {
-                        ctx.trace_for(node.index(), "ev-acquired", format!("v={}", lock.get()));
+                        ctx.trace_for(
+                            node.index(),
+                            "ev-acquired",
+                            TraceDetail::Var { var: lock.get() },
+                        );
                     }
                     AppEvent::Released { lock } => {
-                        ctx.trace_for(node.index(), "ev-released", format!("v={}", lock.get()));
+                        ctx.trace_for(
+                            node.index(),
+                            "ev-released",
+                            TraceDetail::Var { var: lock.get() },
+                        );
                     }
                     _ => {}
                 }
@@ -517,22 +526,28 @@ impl<M: Model> Machine<M> {
                                 ModelAction::Write { var, value } => ctx.trace_for(
                                     node.index(),
                                     "acc-write",
-                                    format!("v={} val={}", var.get(), value),
+                                    TraceDetail::VarVal {
+                                        var: var.get(),
+                                        val: *value,
+                                    },
                                 ),
                                 ModelAction::WriteLocal { var, value } => ctx.trace_for(
                                     node.index(),
                                     "acc-write-local",
-                                    format!("v={} val={}", var.get(), value),
+                                    TraceDetail::VarVal {
+                                        var: var.get(),
+                                        val: *value,
+                                    },
                                 ),
                                 ModelAction::Acquire { lock } => ctx.trace_for(
                                     node.index(),
                                     "lock-acquire",
-                                    format!("v={}", lock.get()),
+                                    TraceDetail::Var { var: lock.get() },
                                 ),
                                 ModelAction::Release { lock } => ctx.trace_for(
                                     node.index(),
                                     "lock-release",
-                                    format!("v={}", lock.get()),
+                                    TraceDetail::Var { var: lock.get() },
                                 ),
                                 _ => {}
                             }
@@ -569,12 +584,13 @@ impl<M: Model> Machine<M> {
                             ctx.trace_for(
                                 node.index(),
                                 "pkt-send",
-                                format!(
-                                    "from={} to={} bytes={bytes} hops={hops} at={}",
-                                    node.get(),
-                                    to.get(),
-                                    at.as_nanos()
-                                ),
+                                TraceDetail::Packet {
+                                    from: node.get(),
+                                    to: to.get(),
+                                    bytes,
+                                    hops,
+                                    arrival_ns: at.as_nanos(),
+                                },
                             );
                         }
                         let target = ctx.self_id();

@@ -11,7 +11,7 @@
 //! compares models on identical workloads, exactly as the paper does.
 
 use sesame_net::NodeId;
-use sesame_sim::{SimDur, SimTime};
+use sesame_sim::{SimDur, SimTime, TraceDetail};
 
 use crate::addr::lockval;
 use crate::{LocalMemory, VarId, Word};
@@ -193,8 +193,8 @@ pub enum Action {
     Trace {
         /// Machine-readable kind.
         kind: &'static str,
-        /// Human-readable detail.
-        detail: String,
+        /// Structured payload.
+        detail: TraceDetail,
     },
 }
 
@@ -250,7 +250,7 @@ impl<'a> NodeApi<'a> {
     /// happens-before analysis.
     pub fn read(&mut self, var: VarId) -> Word {
         if self.tracing {
-            self.trace("acc-read", format!("v={}", var.get()));
+            self.trace("acc-read", TraceDetail::Var { var: var.get() });
         }
         self.mem.read(var)
     }
@@ -355,13 +355,14 @@ impl<'a> NodeApi<'a> {
         self.actions.push(Action::Stop);
     }
 
-    /// Whether tracing is on (lets callers skip building detail strings).
+    /// Whether tracing is on (lets callers skip building
+    /// [`TraceDetail::Text`] payloads; the typed variants are free).
     pub fn tracing(&self) -> bool {
         self.tracing
     }
 
     /// Records a trace entry attributed to this node.
-    pub fn trace(&mut self, kind: &'static str, detail: String) {
+    pub fn trace(&mut self, kind: &'static str, detail: TraceDetail) {
         if self.tracing {
             self.actions.push(Action::Trace { kind, detail });
         }
@@ -430,11 +431,11 @@ mod tests {
         let mem = LocalMemory::new();
         let mut actions = Vec::new();
         let mut api = NodeApi::new(NodeId::new(0), SimTime::ZERO, &mem, &mut actions, false);
-        api.trace("x", "ignored".into());
+        api.trace("x", TraceDetail::text("ignored"));
         assert!(actions.is_empty());
         let mut actions2 = Vec::new();
         let mut api2 = NodeApi::new(NodeId::new(0), SimTime::ZERO, &mem, &mut actions2, true);
-        api2.trace("x", "kept".into());
+        api2.trace("x", TraceDetail::text("kept"));
         assert_eq!(actions2.len(), 1);
     }
 

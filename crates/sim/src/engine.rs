@@ -32,7 +32,7 @@
 
 use std::fmt;
 
-use crate::{DetRng, EventQueue, SimDur, SimTime, TraceRecorder};
+use crate::{DetRng, EventQueue, SimDur, SimTime, TraceDetail, TraceRecorder};
 
 /// Identifies an actor within one [`Simulation`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -116,19 +116,19 @@ impl<M> Context<'_, M> {
     }
 
     /// Records a trace entry attributed to the current actor.
-    pub fn trace(&mut self, kind: &'static str, detail: String) {
+    pub fn trace(&mut self, kind: &'static str, detail: TraceDetail) {
         self.trace
             .record(self.now, self.self_id.index(), kind, detail);
     }
 
     /// Records a trace entry attributed to another actor (useful when one
     /// actor simulates hardware belonging to several nodes).
-    pub fn trace_for(&mut self, actor: usize, kind: &'static str, detail: String) {
+    pub fn trace_for(&mut self, actor: usize, kind: &'static str, detail: TraceDetail) {
         self.trace.record(self.now, actor, kind, detail);
     }
 
-    /// Whether tracing is enabled (lets callers skip building detail
-    /// strings).
+    /// Whether tracing is enabled (lets callers skip building
+    /// [`TraceDetail::Text`] payloads).
     pub fn tracing(&self) -> bool {
         self.trace.is_enabled()
     }
@@ -185,9 +185,12 @@ impl<A: Actor> Simulation<A> {
 
     /// Creates a simulation over `actors`, seeding the deterministic RNG.
     pub fn new(actors: Vec<A>, seed: u64) -> Self {
+        // Seed the heap with room proportional to the system size so the
+        // first rounds of protocol traffic don't reallocate.
+        let capacity = actors.len().saturating_mul(4).max(16);
         Simulation {
             actors,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_capacity(capacity),
             now: SimTime::ZERO,
             rng: DetRng::new(seed),
             trace: TraceRecorder::new(false),
@@ -272,11 +275,9 @@ impl<A: Actor> Simulation<A> {
         self.queue.push(at, (to, msg));
     }
 
-    /// Processes a single event. Returns `false` when no event was pending.
-    pub fn step(&mut self) -> bool {
-        let Some((time, (target, msg))) = self.queue.pop() else {
-            return false;
-        };
+    /// Delivers one already-popped event to its target actor and enqueues
+    /// everything the handler sent.
+    fn dispatch(&mut self, time: SimTime, target: ActorId, msg: A::Msg) {
         debug_assert!(time >= self.now, "event queue returned stale event");
         self.now = time;
         self.events_processed += 1;
@@ -292,6 +293,14 @@ impl<A: Actor> Simulation<A> {
         for (at, to, m) in self.outbox.drain(..) {
             self.queue.push(at, (to, m));
         }
+    }
+
+    /// Processes a single event. Returns `false` when no event was pending.
+    pub fn step(&mut self) -> bool {
+        let Some((time, (target, msg))) = self.queue.pop() else {
+            return false;
+        };
+        self.dispatch(time, target, msg);
         true
     }
 
@@ -311,14 +320,15 @@ impl<A: Actor> Simulation<A> {
             if self.events_processed >= self.event_limit {
                 return RunOutcome::EventLimitExceeded;
             }
-            match self.queue.peek_time() {
-                None => return RunOutcome::Drained,
-                Some(t) if t >= limit => {
+            // One heap inspection per event instead of a peek + pop pair.
+            match self.queue.pop_if_before(limit) {
+                Some((time, (target, msg))) => self.dispatch(time, target, msg),
+                None => {
+                    if self.queue.is_empty() {
+                        return RunOutcome::Drained;
+                    }
                     self.now = self.now.max(limit);
                     return RunOutcome::ReachedTimeLimit;
-                }
-                Some(_) => {
-                    self.step();
                 }
             }
         }
@@ -444,7 +454,7 @@ mod tests {
             type Msg = ();
             fn handle(&mut self, _: (), ctx: &mut Context<'_, ()>) {
                 assert!(ctx.tracing());
-                ctx.trace("tick", format!("at {}", ctx.now()));
+                ctx.trace("tick", TraceDetail::text(format!("at {}", ctx.now())));
             }
         }
         let mut sim = Simulation::new(vec![Tracer], 0);

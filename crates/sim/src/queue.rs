@@ -85,6 +85,22 @@ impl<T> EventQueue<T> {
         }
     }
 
+    /// Creates an empty queue with room for `capacity` pending events
+    /// before the backing heap reallocates.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+            pushed: 0,
+            popped: 0,
+        }
+    }
+
+    /// Reserves room for at least `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
     /// Schedules `payload` for `time`.
     pub fn push(&mut self, time: SimTime, payload: T) {
         let seq = self.next_seq;
@@ -98,6 +114,16 @@ impl<T> EventQueue<T> {
         let p = self.heap.pop()?;
         self.popped += 1;
         Some((p.time, p.payload))
+    }
+
+    /// Removes and returns the earliest event if it is due strictly before
+    /// `limit`. One heap inspection replaces the `peek_time` + `pop` pair
+    /// on the engine's hot loop.
+    pub fn pop_if_before(&mut self, limit: SimTime) -> Option<(SimTime, T)> {
+        if self.heap.peek()?.time >= limit {
+            return None;
+        }
+        self.pop()
     }
 
     /// The due time of the earliest pending event, if any.
@@ -180,6 +206,30 @@ mod tests {
         q.push(t(9), ());
         q.push(t(4), ());
         assert_eq!(q.peek_time(), Some(t(4)));
+    }
+
+    #[test]
+    fn pop_if_before_respects_the_strict_bound() {
+        let mut q = EventQueue::new();
+        q.push(t(10), "a");
+        q.push(t(20), "b");
+        assert_eq!(q.pop_if_before(t(10)), None, "bound is strict");
+        assert_eq!(q.pop_if_before(t(11)), Some((t(10), "a")));
+        assert_eq!(q.pop_if_before(t(11)), None);
+        assert_eq!(q.pop_if_before(t(100)), Some((t(20), "b")));
+        assert_eq!(q.pop_if_before(t(100)), None, "empty queue yields None");
+        assert_eq!(q.total_popped(), 2);
+    }
+
+    #[test]
+    fn with_capacity_and_reserve_preallocate() {
+        let mut q = EventQueue::with_capacity(64);
+        for i in 0..64 {
+            q.push(t(i), i);
+        }
+        q.reserve(64);
+        assert_eq!(q.len(), 64);
+        assert_eq!(q.pop(), Some((t(0), 0)));
     }
 
     #[test]

@@ -6,6 +6,14 @@
 //! ("lock-request", "rollback", …) and the harness prints them as a per-CPU
 //! timeline.
 //!
+//! Details are structured: a [`TraceDetail`] carries the typed fields of the
+//! canonical protocol events (sequence numbers, variable ids, values,
+//! origins, holders) in mostly-`Copy` enum variants, so recording a
+//! protocol event never formats text and — when tracing is off — never
+//! allocates. Consumers such as `sesame-verify` and `sesame-telemetry`
+//! destructure the variants directly; the `k=v` text form exists only in
+//! the [`fmt::Display`] impls used for human-readable rendering.
+//!
 //! Recording is disabled by default and costs a single branch when off.
 
 use std::cell::RefCell;
@@ -13,6 +21,248 @@ use std::fmt;
 use std::rc::Rc;
 
 use crate::SimTime;
+
+/// How a group-wide-consistent update was handled at a member interface
+/// (the `mode` field of `gwc-apply` records).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyMode {
+    /// Written straight to local memory.
+    Applied,
+    /// Discarded by the Figure 6 hardware blocking (own echo).
+    HwBlocked,
+    /// Applied with a lock-change interrupt armed (insharing suspension).
+    Interrupt,
+}
+
+impl ApplyMode {
+    /// The single-letter wire code used in rendered traces
+    /// (`a` / `h` / `i`).
+    pub fn code(self) -> &'static str {
+        match self {
+            ApplyMode::Applied => "a",
+            ApplyMode::HwBlocked => "h",
+            ApplyMode::Interrupt => "i",
+        }
+    }
+}
+
+impl fmt::Display for ApplyMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// The structured payload of a [`TraceEntry`].
+///
+/// Every canonical protocol event maps to one typed variant; all variants
+/// except [`TraceDetail::Text`] are plain `Copy` data, so constructing
+/// them is free and recording them allocates nothing beyond the trace
+/// vector itself. `Text` carries free-form human-readable annotations
+/// (timeline marks, diagnostic one-offs) that no checker consumes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum TraceDetail {
+    /// No payload.
+    #[default]
+    None,
+    /// A single lock/variable id (`v=<var>`): lock and mutex lifecycle
+    /// events, reads.
+    Var {
+        /// The lock or shared variable.
+        var: u32,
+    },
+    /// A variable and the value involved (`v=<var> val=<val>`): writes,
+    /// restores, speculative saves.
+    VarVal {
+        /// The shared variable.
+        var: u32,
+        /// The value written or saved.
+        val: i64,
+    },
+    /// A lock queue observation (`v=<var> q=<depth>`).
+    QueueDepth {
+        /// The lock variable.
+        var: u32,
+        /// Waiters queued after this event.
+        depth: u32,
+    },
+    /// A root sequencing decision
+    /// (`g=<group> seq=<seq> v=<var> val=<val> origin=<origin>`).
+    Seq {
+        /// The sharing group.
+        group: u32,
+        /// The global sequence number assigned.
+        seq: u64,
+        /// The shared variable.
+        var: u32,
+        /// The sequenced value.
+        val: i64,
+        /// The node whose write was sequenced.
+        origin: u32,
+    },
+    /// A root-filtered (discarded losing optimistic) write
+    /// (`g=<group> v=<var> val=<val> origin=<origin>`).
+    Filtered {
+        /// The sharing group.
+        group: u32,
+        /// The shared variable.
+        var: u32,
+        /// The discarded value.
+        val: i64,
+        /// The losing writer.
+        origin: u32,
+    },
+    /// A sequenced update arriving at a member interface
+    /// (`g=… seq=… v=… val=… origin=… mode=<a|h|i>`).
+    Apply {
+        /// The sharing group.
+        group: u32,
+        /// The global sequence number.
+        seq: u64,
+        /// The shared variable.
+        var: u32,
+        /// The applied value.
+        val: i64,
+        /// The originating node.
+        origin: u32,
+        /// How the interface handled the update.
+        mode: ApplyMode,
+    },
+    /// The root granting a lock (`g=<group> v=<var> holder=<holder>`).
+    Grant {
+        /// The sharing group.
+        group: u32,
+        /// The lock variable.
+        var: u32,
+        /// The node granted the lock.
+        holder: u32,
+    },
+    /// A lock release reaching the root (`g=<group> v=<var> from=<from>`).
+    Release {
+        /// The sharing group.
+        group: u32,
+        /// The lock variable.
+        var: u32,
+        /// The node that released.
+        from: u32,
+    },
+    /// A mutex section completing (`v=… path=<o|r> rb=… ov=<0|1>`).
+    Complete {
+        /// The mutex variable.
+        var: u32,
+        /// Whether the optimistic path committed (`path=o`) or the
+        /// section fell back to the regular queue (`path=r`).
+        optimistic: bool,
+        /// Rollbacks taken before completing.
+        rollbacks: u32,
+        /// Whether the grant round trip was fully overlapped by the body.
+        overlapped: bool,
+    },
+    /// A unicast packet send
+    /// (`from=… to=… bytes=… hops=… at=<arrival-ns>`).
+    Packet {
+        /// Sending node.
+        from: u32,
+        /// Destination node.
+        to: u32,
+        /// Payload size on the wire.
+        bytes: u32,
+        /// Topology hop count.
+        hops: u32,
+        /// Scheduled arrival, nanoseconds.
+        arrival_ns: u64,
+    },
+    /// A group multicast (`g=… bytes=… n=<members> last=<ns>`).
+    Multicast {
+        /// The destination group.
+        group: u32,
+        /// Payload size on the wire.
+        bytes: u32,
+        /// Member interfaces reached.
+        members: u32,
+        /// Last arrival, nanoseconds.
+        last_ns: u64,
+    },
+    /// Free-form human-readable text — timeline marks and diagnostics no
+    /// checker consumes. The only allocating variant; build it behind an
+    /// [`TraceRecorder::is_enabled`] check.
+    Text(String),
+}
+
+impl TraceDetail {
+    /// Builds a [`TraceDetail::Text`] from anything string-like.
+    pub fn text(s: impl Into<String>) -> Self {
+        TraceDetail::Text(s.into())
+    }
+}
+
+impl fmt::Display for TraceDetail {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceDetail::None => Ok(()),
+            TraceDetail::Var { var } => write!(f, "v={var}"),
+            TraceDetail::VarVal { var, val } => write!(f, "v={var} val={val}"),
+            TraceDetail::QueueDepth { var, depth } => write!(f, "v={var} q={depth}"),
+            TraceDetail::Seq {
+                group,
+                seq,
+                var,
+                val,
+                origin,
+            } => write!(f, "g={group} seq={seq} v={var} val={val} origin={origin}"),
+            TraceDetail::Filtered {
+                group,
+                var,
+                val,
+                origin,
+            } => write!(f, "g={group} v={var} val={val} origin={origin}"),
+            TraceDetail::Apply {
+                group,
+                seq,
+                var,
+                val,
+                origin,
+                mode,
+            } => write!(
+                f,
+                "g={group} seq={seq} v={var} val={val} origin={origin} mode={mode}"
+            ),
+            TraceDetail::Grant { group, var, holder } => {
+                write!(f, "g={group} v={var} holder={holder}")
+            }
+            TraceDetail::Release { group, var, from } => {
+                write!(f, "g={group} v={var} from={from}")
+            }
+            TraceDetail::Complete {
+                var,
+                optimistic,
+                rollbacks,
+                overlapped,
+            } => write!(
+                f,
+                "v={var} path={} rb={rollbacks} ov={}",
+                if *optimistic { "o" } else { "r" },
+                u32::from(*overlapped)
+            ),
+            TraceDetail::Packet {
+                from,
+                to,
+                bytes,
+                hops,
+                arrival_ns,
+            } => write!(
+                f,
+                "from={from} to={to} bytes={bytes} hops={hops} at={arrival_ns}"
+            ),
+            TraceDetail::Multicast {
+                group,
+                bytes,
+                members,
+                last_ns,
+            } => write!(f, "g={group} bytes={bytes} n={members} last={last_ns}"),
+            TraceDetail::Text(s) => f.write_str(s),
+        }
+    }
+}
 
 /// One trace record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,8 +273,8 @@ pub struct TraceEntry {
     pub actor: usize,
     /// A short machine-readable kind, e.g. `"lock-grant"`.
     pub kind: &'static str,
-    /// Free-form human-readable detail.
-    pub detail: String,
+    /// The typed payload.
+    pub detail: TraceDetail,
 }
 
 impl fmt::Display for TraceEntry {
@@ -81,7 +331,8 @@ impl TraceRecorder {
 
     /// Whether records are being made, either into the in-memory trace or
     /// to an attached observer. Call sites use this to skip building
-    /// detail strings on the fast path.
+    /// [`TraceDetail::Text`] payloads on the fast path; the typed variants
+    /// are `Copy` and free to build unconditionally.
     pub fn is_enabled(&self) -> bool {
         self.enabled || self.observer.is_some()
     }
@@ -104,8 +355,10 @@ impl TraceRecorder {
     }
 
     /// Appends a record if recording is enabled, and forwards it to the
-    /// observer if one is attached.
-    pub fn record(&mut self, time: SimTime, actor: usize, kind: &'static str, detail: String) {
+    /// observer if one is attached. With recording off and no observer,
+    /// this is a branch and a drop of an (almost always `Copy`) detail —
+    /// no allocation, no formatting.
+    pub fn record(&mut self, time: SimTime, actor: usize, kind: &'static str, detail: TraceDetail) {
         if !self.is_enabled() {
             return;
         }
@@ -181,7 +434,7 @@ mod tests {
     #[test]
     fn disabled_recorder_keeps_nothing() {
         let mut tr = TraceRecorder::new(false);
-        tr.record(t(1), 0, "x", String::new());
+        tr.record(t(1), 0, "x", TraceDetail::None);
         assert!(tr.entries().is_empty());
         assert!(!tr.is_enabled());
     }
@@ -189,8 +442,8 @@ mod tests {
     #[test]
     fn enabled_recorder_keeps_everything() {
         let mut tr = TraceRecorder::new(true);
-        tr.record(t(1), 0, "lock-request", "lock 7".into());
-        tr.record(t(5), 2, "lock-grant", "lock 7".into());
+        tr.record(t(1), 0, "lock-request", TraceDetail::Var { var: 7 });
+        tr.record(t(5), 2, "lock-grant", TraceDetail::Var { var: 7 });
         assert_eq!(tr.entries().len(), 2);
         assert_eq!(tr.count_of("lock-grant"), 1);
         assert_eq!(tr.first_time_of("lock-grant"), Some(t(5)));
@@ -199,9 +452,9 @@ mod tests {
     #[test]
     fn filters_by_actor_and_kind() {
         let mut tr = TraceRecorder::new(true);
-        tr.record(t(1), 0, "a", String::new());
-        tr.record(t(2), 1, "a", String::new());
-        tr.record(t(3), 0, "b", String::new());
+        tr.record(t(1), 0, "a", TraceDetail::None);
+        tr.record(t(2), 1, "a", TraceDetail::None);
+        tr.record(t(3), 0, "b", TraceDetail::None);
         assert_eq!(tr.for_actor(0).count(), 2);
         assert_eq!(tr.of_kind("a").count(), 2);
         assert_eq!(tr.last_time_of("a"), Some(t(2)));
@@ -211,11 +464,101 @@ mod tests {
     #[test]
     fn render_contains_all_fields() {
         let mut tr = TraceRecorder::new(true);
-        tr.record(t(1500), 3, "rollback", "lock 9".into());
+        tr.record(t(1500), 3, "rollback", TraceDetail::text("lock 9"));
         let s = tr.render();
         assert!(s.contains("node3"));
         assert!(s.contains("rollback"));
         assert!(s.contains("lock 9"));
+    }
+
+    #[test]
+    fn details_render_the_canonical_kv_text() {
+        let cases: Vec<(TraceDetail, &str)> = vec![
+            (TraceDetail::None, ""),
+            (TraceDetail::Var { var: 3 }, "v=3"),
+            (TraceDetail::VarVal { var: 3, val: -7 }, "v=3 val=-7"),
+            (TraceDetail::QueueDepth { var: 1, depth: 4 }, "v=1 q=4"),
+            (
+                TraceDetail::Seq {
+                    group: 0,
+                    seq: 12,
+                    var: 5,
+                    val: 9,
+                    origin: 2,
+                },
+                "g=0 seq=12 v=5 val=9 origin=2",
+            ),
+            (
+                TraceDetail::Filtered {
+                    group: 0,
+                    var: 5,
+                    val: 9,
+                    origin: 2,
+                },
+                "g=0 v=5 val=9 origin=2",
+            ),
+            (
+                TraceDetail::Apply {
+                    group: 0,
+                    seq: 12,
+                    var: 5,
+                    val: 9,
+                    origin: 2,
+                    mode: ApplyMode::HwBlocked,
+                },
+                "g=0 seq=12 v=5 val=9 origin=2 mode=h",
+            ),
+            (
+                TraceDetail::Grant {
+                    group: 0,
+                    var: 5,
+                    holder: 2,
+                },
+                "g=0 v=5 holder=2",
+            ),
+            (
+                TraceDetail::Release {
+                    group: 0,
+                    var: 5,
+                    from: 2,
+                },
+                "g=0 v=5 from=2",
+            ),
+            (
+                TraceDetail::Complete {
+                    var: 5,
+                    optimistic: true,
+                    rollbacks: 1,
+                    overlapped: false,
+                },
+                "v=5 path=o rb=1 ov=0",
+            ),
+            (
+                TraceDetail::Packet {
+                    from: 1,
+                    to: 2,
+                    bytes: 32,
+                    hops: 3,
+                    arrival_ns: 4500,
+                },
+                "from=1 to=2 bytes=32 hops=3 at=4500",
+            ),
+            (
+                TraceDetail::Multicast {
+                    group: 0,
+                    bytes: 32,
+                    members: 7,
+                    last_ns: 9000,
+                },
+                "g=0 bytes=32 n=7 last=9000",
+            ),
+            (TraceDetail::text("free form"), "free form"),
+        ];
+        for (detail, want) in cases {
+            assert_eq!(detail.to_string(), want);
+        }
+        assert_eq!(ApplyMode::Applied.code(), "a");
+        assert_eq!(ApplyMode::Interrupt.code(), "i");
     }
 
     #[test]
@@ -230,12 +573,12 @@ mod tests {
         let mut tr = TraceRecorder::new(false);
         tr.set_observer(observer.clone());
         assert!(tr.is_enabled(), "observer forces detail generation on");
-        tr.record(t(1), 0, "a", String::new());
-        tr.record(t(2), 1, "b", String::new());
+        tr.record(t(1), 0, "a", TraceDetail::None);
+        tr.record(t(2), 1, "b", TraceDetail::None);
         assert!(tr.entries().is_empty(), "recording itself stays off");
         assert_eq!(observer.borrow().0, vec!["a", "b"]);
         tr.clear_observer();
-        tr.record(t(3), 0, "c", String::new());
+        tr.record(t(3), 0, "c", TraceDetail::None);
         assert_eq!(observer.borrow().0.len(), 2);
         assert!(!tr.is_enabled());
     }
@@ -251,7 +594,7 @@ mod tests {
         let observer = Rc::new(RefCell::new(Counter(0)));
         let mut tr = TraceRecorder::new(true);
         tr.set_observer(observer.clone());
-        tr.record(t(1), 0, "x", String::new());
+        tr.record(t(1), 0, "x", TraceDetail::None);
         assert_eq!(tr.entries().len(), 1);
         assert_eq!(observer.borrow().0, 1);
     }
@@ -260,7 +603,7 @@ mod tests {
     fn toggle_and_clear() {
         let mut tr = TraceRecorder::new(false);
         tr.set_enabled(true);
-        tr.record(t(1), 0, "x", String::new());
+        tr.record(t(1), 0, "x", TraceDetail::None);
         assert_eq!(tr.entries().len(), 1);
         tr.clear();
         assert!(tr.entries().is_empty());

@@ -1,0 +1,192 @@
+//! # sesame-sweep — deterministic parallel execution of experiment sweeps
+//!
+//! The figures of *Hermannsson & Wittie, "Optimistic Synchronization in
+//! Distributed Shared Memory" (ICDCS 1994)* are produced by sweeping a
+//! scenario over system sizes and configurations. Every sweep point is an
+//! **independent, deterministic simulation**: it shares no state with the
+//! other points and produces the same result every run. That makes the
+//! sweep embarrassingly parallel — and this crate is the one place in the
+//! workspace that exploits it.
+//!
+//! [`run_sweep`] executes `points` closures on a small work-stealing pool
+//! built on [`std::thread::scope`] (no external dependencies, no unsafe
+//! code) and reassembles the results **in point-index order**. Because
+//! each point is deterministic and the output order is fixed by index —
+//! never by completion order — a sweep run with `--jobs 8` is
+//! byte-identical to the same sweep run serially. Parallelism changes
+//! wall-clock time and nothing else.
+//!
+//! ```
+//! let squares = sesame_sweep::run_sweep(8, 4, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+//!
+//! ## Scheduling
+//!
+//! Points are dealt round-robin onto per-worker deques (worker `w` is
+//! seeded with points `w`, `w + jobs`, `w + 2·jobs`, …), which spreads a
+//! sweep whose cost grows with the point index — the common shape here,
+//! where later points simulate larger systems — evenly across workers. A
+//! worker drains its own deque from the front and, when empty, steals
+//! from the **back** of the busiest sibling, so stolen work is the work
+//! its owner would have reached last.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::sync::Mutex;
+
+/// The parallelism the host offers (`std::thread::available_parallelism`),
+/// or 1 if it cannot be determined. This is what a `--jobs 0` request
+/// resolves to.
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Resolves a user-facing `--jobs` value: `0` means "use every available
+/// core"; anything else is taken literally.
+pub fn resolve_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        available_jobs()
+    } else {
+        jobs
+    }
+}
+
+/// Runs `f(0)`, `f(1)`, …, `f(points - 1)` on up to `jobs` worker threads
+/// and returns the results **ordered by point index** — exactly the vector
+/// the serial loop `(0..points).map(f).collect()` produces.
+///
+/// `jobs == 0` resolves to [`available_jobs`]; `jobs <= 1` (or a sweep of
+/// one point) runs inline on the caller's thread with no pool at all, so
+/// the serial path stays allocation- and synchronization-free. Worker
+/// threads are scoped: they are joined before `run_sweep` returns, and a
+/// panic in any point propagates to the caller.
+///
+/// Determinism contract: if each `f(i)` depends only on `i` (true of every
+/// simulation sweep in this workspace — the simulator is single-threaded
+/// and seeded per point), the returned vector is identical for every
+/// `jobs` value.
+pub fn run_sweep<T, F>(points: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = resolve_jobs(jobs).min(points);
+    if jobs <= 1 {
+        return (0..points).map(f).collect();
+    }
+
+    // Deal the points round-robin onto per-worker deques.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..jobs)
+        .map(|w| Mutex::new((w..points).step_by(jobs).collect()))
+        .collect();
+    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(points));
+
+    std::thread::scope(|scope| {
+        for w in 0..jobs {
+            let queues = &queues;
+            let results = &results;
+            let f = &f;
+            scope.spawn(move || loop {
+                let Some(idx) = next_point(queues, w) else {
+                    return;
+                };
+                let out = f(idx);
+                results.lock().unwrap().push((idx, out));
+            });
+        }
+    });
+
+    let mut collected = results.into_inner().unwrap();
+    debug_assert_eq!(collected.len(), points);
+    // Completion order is nondeterministic; index order is the contract.
+    collected.sort_unstable_by_key(|&(idx, _)| idx);
+    collected.into_iter().map(|(_, out)| out).collect()
+}
+
+/// The next point for worker `w`: the front of its own deque, else a
+/// steal from the back of the fullest sibling deque, else `None` (all
+/// work is done or in flight).
+fn next_point(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+    if let Some(idx) = queues[w].lock().unwrap().pop_front() {
+        return Some(idx);
+    }
+    let victim = queues
+        .iter()
+        .enumerate()
+        .filter(|&(v, _)| v != w)
+        .max_by_key(|(_, q)| q.lock().unwrap().len())?;
+    victim.1.lock().unwrap().pop_back()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn serial_and_parallel_results_are_identical() {
+        let serial: Vec<usize> = (0..37).map(|i| i * i + 1).collect();
+        for jobs in [0, 1, 2, 3, 4, 8, 64] {
+            assert_eq!(run_sweep(37, jobs, |i| i * i + 1), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn every_point_runs_exactly_once() {
+        let calls: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        let out = run_sweep(100, 4, |i| {
+            calls[i].fetch_add(1, Ordering::SeqCst);
+            i
+        });
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+        assert!(calls.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn stealing_rebalances_uneven_points() {
+        // Worker 0's own points are vastly more expensive than the rest;
+        // the others must steal them or the test takes visibly longer.
+        // Correctness (not timing) is what is asserted: all results in
+        // index order despite wildly different completion order.
+        let out = run_sweep(16, 4, |i| {
+            if i % 4 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            i * 3
+        });
+        assert_eq!(out, (0..16).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_jobs_than_points_is_fine() {
+        assert_eq!(run_sweep(3, 100, |i| i), vec![0, 1, 2]);
+        assert_eq!(run_sweep(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(run_sweep(1, 4, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn zero_jobs_resolves_to_the_host_parallelism() {
+        assert!(available_jobs() >= 1);
+        assert_eq!(resolve_jobs(0), available_jobs());
+        assert_eq!(resolve_jobs(5), 5);
+    }
+
+    #[test]
+    fn panics_in_a_point_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            run_sweep(8, 2, |i| {
+                if i == 5 {
+                    panic!("point 5 exploded");
+                }
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,8 +1,9 @@
 //! # sesame-telemetry — metrics, spans, and timeline export
 //!
 //! The observability layer of the `sesame-rs` reproduction. It turns the
-//! canonical `k=v` protocol trace stream (see `sesame-verify` for the
-//! event taxonomy) plus post-run machine statistics into:
+//! canonical structured protocol trace stream (typed
+//! `sesame_sim::TraceDetail` payloads; see `sesame-verify` for the event
+//! taxonomy) plus post-run machine statistics into:
 //!
 //! * a hierarchical [`MetricRegistry`] (`node/<n>/lock/<l>/...` keys over
 //!   the `sesame-sim` measurement primitives);
@@ -15,12 +16,12 @@
 //! [`Telemetry`] is the façade: it implements
 //! [`TraceObserver`](sesame_sim::TraceObserver), so a run wired through
 //! `sesame_dsm::run_observed` feeds it online with zero cost when no
-//! observer is attached (trace call sites skip even the detail-string
-//! formatting). Everything is deterministic — two runs with the same seed
-//! produce byte-identical exports.
+//! observer is attached (trace call sites never format or allocate).
+//! Everything is deterministic — two runs with the same seed produce
+//! byte-identical exports.
 //!
 //! ```
-//! use sesame_sim::{SimTime, TraceEntry};
+//! use sesame_sim::{SimTime, TraceDetail, TraceEntry};
 //! use sesame_telemetry::Telemetry;
 //!
 //! let mut t = Telemetry::new("demo", 7).with_timeline(true);
@@ -29,7 +30,7 @@
 //!         time: SimTime::from_nanos(ns),
 //!         actor: 0,
 //!         kind,
-//!         detail: "v=0".into(),
+//!         detail: TraceDetail::Var { var: 0 },
 //!     });
 //! }
 //! t.finish(SimTime::from_nanos(100));

@@ -1,11 +1,12 @@
-//! The trace-stream observer: turns the canonical `k=v` protocol trace
-//! into registry metrics and timeline spans.
+//! The trace-stream observer: turns the canonical structured protocol
+//! trace into registry metrics and timeline spans.
 //!
 //! [`Telemetry`] implements [`TraceObserver`], so it plugs into
 //! `sesame_sim::TraceRecorder::set_observer` (via `sesame_dsm::run_observed`)
 //! and sees every record online without the run retaining its trace in
-//! memory. Span construction is a small set of per-`(node, lock)` state
-//! machines over the event stream:
+//! memory. Records carry a typed [`TraceDetail`] payload, so the observer
+//! destructures fields directly — no text parsing. Span construction is a
+//! small set of per-`(node, lock)` state machines over the event stream:
 //!
 //! * **wait** — `mutex-enter` / `lock-acquire` → `ev-acquired` /
 //!   `mutex-granted`;
@@ -18,7 +19,7 @@
 
 use std::collections::BTreeMap;
 
-use sesame_sim::{SimTime, TraceEntry, TraceObserver};
+use sesame_sim::{SimTime, TraceDetail, TraceEntry, TraceObserver};
 
 use crate::timeline::cat;
 use crate::Telemetry;
@@ -26,10 +27,10 @@ use crate::Telemetry;
 /// Open wait/hold/optimistic sections, keyed by `(node, lock)`.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct SpanState {
-    pub(crate) wait_start: BTreeMap<(usize, u64), SimTime>,
-    pub(crate) hold_start: BTreeMap<(usize, u64), SimTime>,
-    pub(crate) opt_start: BTreeMap<(usize, u64), SimTime>,
-    pub(crate) seq_pending: BTreeMap<(u64, u64), SeqSpan>,
+    pub(crate) wait_start: BTreeMap<(usize, u32), SimTime>,
+    pub(crate) hold_start: BTreeMap<(usize, u32), SimTime>,
+    pub(crate) opt_start: BTreeMap<(usize, u32), SimTime>,
+    pub(crate) seq_pending: BTreeMap<(u32, u64), SeqSpan>,
 }
 
 /// One root-sequenced write awaiting its member applications.
@@ -40,19 +41,6 @@ pub(crate) struct SeqSpan {
     pub(crate) last_apply: Option<SimTime>,
 }
 
-/// The value of `key` in a `k=v`-formatted detail string.
-fn field<'a>(detail: &'a str, key: &str) -> Option<&'a str> {
-    detail.split(' ').find_map(|tok| {
-        tok.strip_prefix(key)
-            .and_then(|rest| rest.strip_prefix('='))
-    })
-}
-
-/// The numeric value of `key`, if present and parseable.
-fn num(detail: &str, key: &str) -> Option<u64> {
-    field(detail, key).and_then(|v| v.parse().ok())
-}
-
 impl TraceObserver for Telemetry {
     fn on_record(&mut self, entry: &TraceEntry) {
         self.observe(entry);
@@ -61,209 +49,187 @@ impl TraceObserver for Telemetry {
 
 impl Telemetry {
     /// Processes one trace record (the [`TraceObserver`] entry point).
+    ///
+    /// A canonical kind paired with the wrong [`TraceDetail`] shape is
+    /// ignored, exactly like an unknown kind.
     pub fn observe(&mut self, e: &TraceEntry) {
         let node = e.actor;
         let t = e.time;
         if self.timeline_enabled {
             self.timeline.touch_track(node);
         }
-        match e.kind {
-            "mutex-enter" | "lock-acquire" => {
-                if let Some(v) = num(&e.detail, "v") {
-                    self.state.wait_start.insert((node, v), t);
-                }
+        match (e.kind, &e.detail) {
+            ("mutex-enter" | "lock-acquire", &TraceDetail::Var { var: v }) => {
+                self.state.wait_start.insert((node, v), t);
             }
-            "ev-acquired" | "mutex-granted" => {
-                if let Some(v) = num(&e.detail, "v") {
-                    if let Some(start) = self.state.wait_start.remove(&(node, v)) {
-                        self.registry
-                            .histogram(&format!("node/{node}/lock/{v}/wait"))
-                            .record(t.saturating_since(start));
-                        if self.timeline_enabled {
-                            self.timeline.add_complete(
-                                node,
-                                cat::LOCK,
-                                format!("wait v{v}"),
-                                start,
-                                t,
-                            );
-                        }
-                    }
-                    self.state.hold_start.insert((node, v), t);
-                }
-            }
-            "ev-released" => {
-                if let Some(v) = num(&e.detail, "v") {
-                    if let Some(start) = self.state.hold_start.remove(&(node, v)) {
-                        self.registry
-                            .histogram(&format!("node/{node}/lock/{v}/hold"))
-                            .record(t.saturating_since(start));
-                        if self.timeline_enabled {
-                            self.timeline.add_complete(
-                                node,
-                                cat::LOCK,
-                                format!("hold v{v}"),
-                                start,
-                                t,
-                            );
-                        }
-                    }
-                }
-            }
-            "mutex-regular" => {
-                if let Some(v) = num(&e.detail, "v") {
+            ("ev-acquired" | "mutex-granted", &TraceDetail::Var { var: v }) => {
+                if let Some(start) = self.state.wait_start.remove(&(node, v)) {
                     self.registry
-                        .counter(&format!("node/{node}/lock/{v}/reg/attempts"))
-                        .incr();
-                }
-            }
-            "opt-enter" => {
-                if let Some(v) = num(&e.detail, "v") {
-                    self.registry
-                        .counter(&format!("node/{node}/lock/{v}/opt/attempts"))
-                        .incr();
-                    self.state.opt_start.insert((node, v), t);
-                }
-            }
-            "opt-rollback" => {
-                if let Some(v) = num(&e.detail, "v") {
-                    self.registry
-                        .counter(&format!("node/{node}/lock/{v}/opt/rollbacks"))
-                        .incr();
+                        .histogram(&format!("node/{node}/lock/{v}/wait"))
+                        .record(t.saturating_since(start));
                     if self.timeline_enabled {
                         self.timeline
-                            .add_instant(node, cat::OPTIMISM, format!("rollback v{v}"), t);
-                        if let Some(start) = self.state.opt_start.remove(&(node, v)) {
+                            .add_complete(node, cat::LOCK, format!("wait v{v}"), start, t);
+                    }
+                }
+                self.state.hold_start.insert((node, v), t);
+            }
+            ("ev-released", &TraceDetail::Var { var: v }) => {
+                if let Some(start) = self.state.hold_start.remove(&(node, v)) {
+                    self.registry
+                        .histogram(&format!("node/{node}/lock/{v}/hold"))
+                        .record(t.saturating_since(start));
+                    if self.timeline_enabled {
+                        self.timeline
+                            .add_complete(node, cat::LOCK, format!("hold v{v}"), start, t);
+                    }
+                }
+            }
+            ("mutex-regular", &TraceDetail::Var { var: v }) => {
+                self.registry
+                    .counter(&format!("node/{node}/lock/{v}/reg/attempts"))
+                    .incr();
+            }
+            ("opt-enter", &TraceDetail::Var { var: v }) => {
+                self.registry
+                    .counter(&format!("node/{node}/lock/{v}/opt/attempts"))
+                    .incr();
+                self.state.opt_start.insert((node, v), t);
+            }
+            ("opt-rollback", &TraceDetail::Var { var: v }) => {
+                self.registry
+                    .counter(&format!("node/{node}/lock/{v}/opt/rollbacks"))
+                    .incr();
+                if self.timeline_enabled {
+                    self.timeline
+                        .add_instant(node, cat::OPTIMISM, format!("rollback v{v}"), t);
+                    if let Some(start) = self.state.opt_start.remove(&(node, v)) {
+                        self.timeline.add_complete(
+                            node,
+                            cat::OPTIMISM,
+                            format!("optimistic v{v} (rolled back)"),
+                            start,
+                            t,
+                        );
+                    }
+                } else {
+                    self.state.opt_start.remove(&(node, v));
+                }
+            }
+            (
+                "mutex-complete",
+                &TraceDetail::Complete {
+                    var: v,
+                    optimistic,
+                    rollbacks,
+                    overlapped,
+                },
+            ) => {
+                self.registry
+                    .counter(&format!("node/{node}/lock/{v}/completions"))
+                    .incr();
+                if optimistic {
+                    if rollbacks == 0 {
+                        self.registry
+                            .counter(&format!("node/{node}/lock/{v}/opt/wins"))
+                            .incr();
+                    }
+                    if overlapped {
+                        self.registry
+                            .counter(&format!("node/{node}/lock/{v}/opt/overlapped"))
+                            .incr();
+                    }
+                    if let Some(start) = self.state.opt_start.remove(&(node, v)) {
+                        if self.timeline_enabled {
                             self.timeline.add_complete(
                                 node,
                                 cat::OPTIMISM,
-                                format!("optimistic v{v} (rolled back)"),
+                                format!("optimistic v{v}"),
                                 start,
                                 t,
                             );
                         }
-                    } else {
-                        self.state.opt_start.remove(&(node, v));
                     }
                 }
             }
-            "mutex-complete" => {
-                if let Some(v) = num(&e.detail, "v") {
-                    self.registry
-                        .counter(&format!("node/{node}/lock/{v}/completions"))
-                        .incr();
-                    if field(&e.detail, "path") == Some("o") {
-                        if num(&e.detail, "rb") == Some(0) {
-                            self.registry
-                                .counter(&format!("node/{node}/lock/{v}/opt/wins"))
-                                .incr();
-                        }
-                        if num(&e.detail, "ov") == Some(1) {
-                            self.registry
-                                .counter(&format!("node/{node}/lock/{v}/opt/overlapped"))
-                                .incr();
-                        }
-                        if let Some(start) = self.state.opt_start.remove(&(node, v)) {
-                            if self.timeline_enabled {
-                                self.timeline.add_complete(
-                                    node,
-                                    cat::OPTIMISM,
-                                    format!("optimistic v{v}"),
-                                    start,
-                                    t,
-                                );
-                            }
-                        }
-                    }
-                }
+            ("root-queue", &TraceDetail::QueueDepth { var: v, depth }) => {
+                self.registry
+                    .time_weighted(&format!("node/{node}/lock/{v}/root-queue-depth"))
+                    .set(t, f64::from(depth));
             }
-            "root-queue" => {
-                if let (Some(v), Some(q)) = (num(&e.detail, "v"), num(&e.detail, "q")) {
-                    self.registry
-                        .time_weighted(&format!("node/{node}/lock/{v}/root-queue-depth"))
-                        .set(t, q as f64);
-                }
+            ("ec-queue", &TraceDetail::QueueDepth { var: v, depth }) => {
+                self.registry
+                    .time_weighted(&format!("node/{node}/lock/{v}/ec-queue-depth"))
+                    .set(t, f64::from(depth));
             }
-            "ec-queue" => {
-                if let (Some(v), Some(q)) = (num(&e.detail, "v"), num(&e.detail, "q")) {
-                    self.registry
-                        .time_weighted(&format!("node/{node}/lock/{v}/ec-queue-depth"))
-                        .set(t, q as f64);
-                }
+            ("root-seq", &TraceDetail::Seq { group: g, seq, .. }) => {
+                self.registry
+                    .counter(&format!("group/{g}/sequenced"))
+                    .incr();
+                self.state.seq_pending.insert(
+                    (g, seq),
+                    SeqSpan {
+                        root: node,
+                        start: t,
+                        last_apply: None,
+                    },
+                );
             }
-            "root-seq" => {
-                if let (Some(g), Some(seq)) = (num(&e.detail, "g"), num(&e.detail, "seq")) {
-                    self.registry
-                        .counter(&format!("group/{g}/sequenced"))
-                        .incr();
-                    self.state.seq_pending.insert(
-                        (g, seq),
-                        SeqSpan {
-                            root: node,
-                            start: t,
-                            last_apply: None,
-                        },
-                    );
-                }
+            ("root-filtered", &TraceDetail::Filtered { group: g, .. }) => {
+                self.registry.counter(&format!("group/{g}/filtered")).incr();
             }
-            "root-filtered" => {
-                if let Some(g) = num(&e.detail, "g") {
-                    self.registry.counter(&format!("group/{g}/filtered")).incr();
-                }
-            }
-            "gwc-apply" => {
+            ("gwc-apply", &TraceDetail::Apply { group: g, seq, .. }) => {
                 self.registry
                     .counter(&format!("node/{node}/gwc/applies"))
                     .incr();
-                if let (Some(g), Some(seq)) = (num(&e.detail, "g"), num(&e.detail, "seq")) {
-                    if let Some(span) = self.state.seq_pending.get_mut(&(g, seq)) {
-                        span.last_apply = Some(t);
-                        let start = span.start;
-                        self.registry
-                            .histogram(&format!("group/{g}/seq-latency"))
-                            .record(t.saturating_since(start));
-                    }
+                if let Some(span) = self.state.seq_pending.get_mut(&(g, seq)) {
+                    span.last_apply = Some(t);
+                    let start = span.start;
+                    self.registry
+                        .histogram(&format!("group/{g}/seq-latency"))
+                        .record(t.saturating_since(start));
                 }
             }
-            "hw-block-drop" => {
+            ("hw-block-drop", _) => {
                 self.registry
                     .counter(&format!("node/{node}/gwc/hw-block-drops"))
                     .incr();
             }
-            "acc-read" => {
+            ("acc-read", _) => {
                 self.registry
                     .counter(&format!("node/{node}/mem/reads"))
                     .incr();
             }
-            "acc-write" => {
+            ("acc-write", _) => {
                 self.registry
                     .counter(&format!("node/{node}/mem/writes"))
                     .incr();
             }
-            "acc-write-local" => {
+            ("acc-write-local", _) => {
                 self.registry
                     .counter(&format!("node/{node}/mem/local-writes"))
                     .incr();
             }
-            "pkt-send" => {
-                let (Some(to), Some(bytes), Some(hops), Some(at)) = (
-                    num(&e.detail, "to"),
-                    num(&e.detail, "bytes"),
-                    num(&e.detail, "hops"),
-                    num(&e.detail, "at"),
-                ) else {
-                    return;
-                };
+            (
+                "pkt-send",
+                &TraceDetail::Packet {
+                    to,
+                    bytes,
+                    hops,
+                    arrival_ns,
+                    ..
+                },
+            ) => {
                 self.registry
                     .counter(&format!("node/{node}/net/packets"))
                     .incr();
                 self.registry
                     .counter(&format!("node/{node}/net/bytes"))
-                    .add(bytes);
+                    .add(u64::from(bytes));
                 self.registry
                     .counter(&format!("node/{node}/net/hops"))
-                    .add(hops);
-                let arrival = SimTime::from_nanos(at);
+                    .add(u64::from(hops));
+                let arrival = SimTime::from_nanos(arrival_ns);
                 self.registry
                     .histogram(&format!("node/{node}/net/flight"))
                     .record(arrival.saturating_since(t));
@@ -277,47 +243,47 @@ impl Telemetry {
                     );
                 }
             }
-            "pkt-mcast" => {
-                let (Some(g), Some(bytes), Some(n), Some(last)) = (
-                    num(&e.detail, "g"),
-                    num(&e.detail, "bytes"),
-                    num(&e.detail, "n"),
-                    num(&e.detail, "last"),
-                ) else {
-                    return;
-                };
+            (
+                "pkt-mcast",
+                &TraceDetail::Multicast {
+                    group: g,
+                    bytes,
+                    members,
+                    last_ns,
+                },
+            ) => {
                 self.registry
                     .counter(&format!("node/{node}/net/mcasts"))
                     .incr();
                 self.registry
                     .counter(&format!("node/{node}/net/mcast-bytes"))
-                    .add(bytes * n);
+                    .add(u64::from(bytes) * u64::from(members));
                 if self.timeline_enabled {
                     self.timeline.add_async(
                         node,
                         cat::NET,
                         format!("mcast g{g}"),
                         t,
-                        SimTime::from_nanos(last),
+                        SimTime::from_nanos(last_ns),
                     );
                 }
             }
-            "ec-grant-arrived" => {
+            ("ec-grant-arrived", _) => {
                 self.registry
                     .counter(&format!("node/{node}/ec/grants"))
                     .incr();
             }
-            "ec-invalidated" => {
+            ("ec-invalidated", _) => {
                 self.registry
                     .counter(&format!("node/{node}/ec/invalidations"))
                     .incr();
             }
-            "ec-fetch-serve" => {
+            ("ec-fetch-serve", _) => {
                 self.registry
                     .counter(&format!("node/{node}/ec/fetch-serves"))
                     .incr();
             }
-            "ec-local-reacquire" => {
+            ("ec-local-reacquire", _) => {
                 self.registry
                     .counter(&format!("node/{node}/ec/local-reacquires"))
                     .incr();
@@ -357,19 +323,33 @@ impl Telemetry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sesame_sim::ApplyMode;
 
-    fn entry(ns: u64, actor: usize, kind: &'static str, detail: &str) -> TraceEntry {
+    fn entry(ns: u64, actor: usize, kind: &'static str, detail: TraceDetail) -> TraceEntry {
         TraceEntry {
             time: SimTime::from_nanos(ns),
             actor,
             kind,
-            detail: detail.to_string(),
+            detail,
         }
     }
 
-    fn feed(t: &mut Telemetry, events: &[(u64, usize, &'static str, &str)]) {
-        for &(ns, actor, kind, detail) in events {
+    fn feed(t: &mut Telemetry, events: Vec<(u64, usize, &'static str, TraceDetail)>) {
+        for (ns, actor, kind, detail) in events {
             t.observe(&entry(ns, actor, kind, detail));
+        }
+    }
+
+    fn var(var: u32) -> TraceDetail {
+        TraceDetail::Var { var }
+    }
+
+    fn complete(var: u32, optimistic: bool, rollbacks: u32, overlapped: bool) -> TraceDetail {
+        TraceDetail::Complete {
+            var,
+            optimistic,
+            rollbacks,
+            overlapped,
         }
     }
 
@@ -378,10 +358,10 @@ mod tests {
         let mut t = Telemetry::new("t", 0).with_timeline(true);
         feed(
             &mut t,
-            &[
-                (100, 1, "lock-acquire", "v=0"),
-                (400, 1, "ev-acquired", "v=0"),
-                (900, 1, "ev-released", "v=0"),
+            vec![
+                (100, 1, "lock-acquire", var(0)),
+                (400, 1, "ev-acquired", var(0)),
+                (900, 1, "ev-released", var(0)),
             ],
         );
         t.finish(SimTime::from_nanos(1000));
@@ -407,18 +387,18 @@ mod tests {
         // One clean optimistic completion, one rolled-back one.
         feed(
             &mut t,
-            &[
-                (10, 2, "mutex-enter", "v=0"),
-                (11, 2, "opt-enter", "v=0"),
-                (50, 2, "mutex-granted", "v=0"),
-                (60, 2, "ev-released", "v=0"),
-                (60, 2, "mutex-complete", "v=0 path=o rb=0 ov=1"),
-                (100, 2, "mutex-enter", "v=0"),
-                (101, 2, "opt-enter", "v=0"),
-                (150, 2, "opt-rollback", "v=0"),
-                (300, 2, "mutex-granted", "v=0"),
-                (400, 2, "ev-released", "v=0"),
-                (400, 2, "mutex-complete", "v=0 path=o rb=1 ov=0"),
+            vec![
+                (10, 2, "mutex-enter", var(0)),
+                (11, 2, "opt-enter", var(0)),
+                (50, 2, "mutex-granted", var(0)),
+                (60, 2, "ev-released", var(0)),
+                (60, 2, "mutex-complete", complete(0, true, 0, true)),
+                (100, 2, "mutex-enter", var(0)),
+                (101, 2, "opt-enter", var(0)),
+                (150, 2, "opt-rollback", var(0)),
+                (300, 2, "mutex-granted", var(0)),
+                (400, 2, "ev-released", var(0)),
+                (400, 2, "mutex-complete", complete(0, true, 1, false)),
             ],
         );
         t.finish(SimTime::from_nanos(500));
@@ -436,12 +416,27 @@ mod tests {
     #[test]
     fn sequencing_latency_and_async_span() {
         let mut t = Telemetry::new("t", 0).with_timeline(true);
+        let seq = TraceDetail::Seq {
+            group: 0,
+            seq: 1,
+            var: 3,
+            val: 9,
+            origin: 2,
+        };
+        let apply = TraceDetail::Apply {
+            group: 0,
+            seq: 1,
+            var: 3,
+            val: 9,
+            origin: 2,
+            mode: ApplyMode::Applied,
+        };
         feed(
             &mut t,
-            &[
-                (100, 1, "root-seq", "g=0 seq=1 v=3 val=9 origin=2"),
-                (300, 0, "gwc-apply", "g=0 seq=1 v=3 val=9 origin=2 mode=a"),
-                (500, 2, "gwc-apply", "g=0 seq=1 v=3 val=9 origin=2 mode=a"),
+            vec![
+                (100, 1, "root-seq", seq),
+                (300, 0, "gwc-apply", apply.clone()),
+                (500, 2, "gwc-apply", apply),
             ],
         );
         t.finish(SimTime::from_nanos(600));
@@ -459,11 +454,18 @@ mod tests {
     #[test]
     fn packet_events_accumulate_per_node() {
         let mut t = Telemetry::new("t", 0);
+        let pkt = |to, bytes, hops, arrival_ns| TraceDetail::Packet {
+            from: 0,
+            to,
+            bytes,
+            hops,
+            arrival_ns,
+        };
         feed(
             &mut t,
-            &[
-                (10, 0, "pkt-send", "from=0 to=1 bytes=32 hops=2 at=300"),
-                (20, 0, "pkt-send", "from=0 to=2 bytes=16 hops=1 at=100"),
+            vec![
+                (10, 0, "pkt-send", pkt(1, 32, 2, 300)),
+                (20, 0, "pkt-send", pkt(2, 16, 1, 100)),
             ],
         );
         t.finish(SimTime::from_nanos(400));
@@ -474,24 +476,22 @@ mod tests {
     }
 
     #[test]
-    fn unknown_kinds_and_malformed_details_are_ignored() {
+    fn unknown_kinds_and_mismatched_details_are_ignored() {
         let mut t = Telemetry::new("t", 0);
         feed(
             &mut t,
-            &[
-                (10, 0, "something-new", "x=1"),
-                (20, 0, "pkt-send", "garbage"),
-                (30, 0, "ev-acquired", "no-v-here"),
+            vec![
+                // Unknown kind: never observed.
+                (10, 0, "something-new", var(1)),
+                // Canonical kinds with the wrong detail shape: ignored
+                // rather than misread.
+                (20, 0, "pkt-send", TraceDetail::text("garbage")),
+                (30, 0, "ev-acquired", TraceDetail::text("no-v-here")),
+                (40, 0, "mutex-complete", var(0)),
+                (50, 0, "root-seq", var(0)),
             ],
         );
-        t.finish(SimTime::from_nanos(40));
+        t.finish(SimTime::from_nanos(60));
         assert_eq!(t.snapshot().metrics.len(), 0);
-    }
-
-    #[test]
-    fn field_parser_does_not_match_prefixes() {
-        assert_eq!(field("v=1 val=9", "v"), Some("1"));
-        assert_eq!(field("val=9", "v"), None);
-        assert_eq!(num("seq=12 g=3", "g"), Some(3));
     }
 }

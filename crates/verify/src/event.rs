@@ -1,28 +1,22 @@
-//! Parsing of canonical trace records into typed protocol events.
+//! Typed view of canonical trace records.
 //!
 //! The instrumented layers (`sesame-dsm`, `sesame-core`) emit records whose
-//! detail strings are machine-readable `key=value` pairs. This module is the
-//! single place that knows the schema; everything else in the crate works on
-//! the typed [`Event`].
+//! payload is already structured — a [`TraceDetail`] enum variant. This
+//! module is the single place that knows which `(kind, detail)` pairings
+//! are canonical; everything else in the crate works on the typed
+//! [`Event`]. There is no text parsing anywhere on this path: the fields
+//! are lifted straight out of the recorded variants.
 //!
-//! Unknown kinds (human-readable timeline records, workload marks) parse to
-//! `None` and are ignored by the checkers.
+//! Non-canonical records (human-readable timeline records, workload marks,
+//! or a kind paired with the wrong detail shape) convert to `None` and are
+//! ignored by the checkers.
 
-use sesame_sim::TraceEntry;
+use sesame_sim::{TraceDetail, TraceEntry};
+
+pub use sesame_sim::ApplyMode;
 
 /// A shared-variable value (mirrors `sesame_dsm::Word`).
 pub type Val = i64;
-
-/// How a sequenced write was handled at a member interface.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ApplyMode {
-    /// Applied to local memory normally.
-    Applied,
-    /// Dropped by the Figure 6 hardware blocking (own echo).
-    HwBlocked,
-    /// Applied via an armed lock-change interrupt (insharing suspended).
-    Interrupt,
-}
 
 /// Typed view of one canonical trace record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -154,116 +148,78 @@ pub enum Event {
     },
 }
 
-/// Extracts integer field `key` from a `key=value`-formatted detail string.
-fn field(detail: &str, key: &str) -> Option<i64> {
-    detail.split_whitespace().find_map(|kv| {
-        let (k, v) = kv.split_once('=')?;
-        if k == key {
-            v.parse().ok()
-        } else {
-            None
+/// Lifts one trace record into its typed view; `None` for non-canonical
+/// records (free-form text details, or a kind whose detail does not carry
+/// that kind's fields), which the checkers ignore.
+pub fn from_entry(entry: &TraceEntry) -> Option<Event> {
+    use TraceDetail as D;
+    match (entry.kind, &entry.detail) {
+        ("acc-read", &D::Var { var }) => Some(Event::Read { var }),
+        ("acc-write", &D::VarVal { var, val }) => Some(Event::Write { var, val }),
+        ("acc-write-local", &D::VarVal { var, val }) => Some(Event::WriteLocal { var, val }),
+        ("lock-acquire", &D::Var { var }) => Some(Event::LockAcquire { var }),
+        ("lock-release", &D::Var { var }) => Some(Event::LockRelease { var }),
+        ("ev-acquired", &D::Var { var }) => Some(Event::Acquired { var }),
+        ("ev-released", &D::Var { var }) => Some(Event::Released { var }),
+        ("mutex-enter", &D::Var { var }) => Some(Event::MutexEnter { var }),
+        ("mutex-granted", &D::Var { var }) => Some(Event::MutexGranted { var }),
+        ("opt-enter", &D::Var { var }) => Some(Event::OptEnter { var }),
+        ("opt-save", &D::VarVal { var, val }) => Some(Event::OptSave { var, val }),
+        ("opt-rollback", &D::Var { var }) => Some(Event::OptRollback { var }),
+        (
+            "root-seq",
+            &D::Seq {
+                group,
+                seq,
+                var,
+                val,
+                origin,
+            },
+        ) => Some(Event::RootSeq {
+            group,
+            seq,
+            var,
+            val,
+            origin,
+        }),
+        (
+            "root-filtered",
+            &D::Filtered {
+                group,
+                var,
+                val,
+                origin,
+            },
+        ) => Some(Event::RootFiltered {
+            group,
+            var,
+            val,
+            origin,
+        }),
+        (
+            "gwc-apply",
+            &D::Apply {
+                group,
+                seq,
+                var,
+                val,
+                origin,
+                mode,
+            },
+        ) => Some(Event::GwcApply {
+            group,
+            seq,
+            var,
+            val,
+            origin,
+            mode,
+        }),
+        ("root-grant", &D::Grant { group, var, holder }) => {
+            Some(Event::RootGrant { group, var, holder })
         }
-    })
-}
-
-fn field_u32(detail: &str, key: &str) -> Option<u32> {
-    field(detail, key).and_then(|x| u32::try_from(x).ok())
-}
-
-fn field_u64(detail: &str, key: &str) -> Option<u64> {
-    field(detail, key).and_then(|x| u64::try_from(x).ok())
-}
-
-fn mode(detail: &str) -> Option<ApplyMode> {
-    detail.split_whitespace().find_map(|kv| {
-        let (k, v) = kv.split_once('=')?;
-        if k != "mode" {
-            return None;
+        ("root-release", &D::Release { group, var, from }) => {
+            Some(Event::RootRelease { group, var, from })
         }
-        match v {
-            "a" => Some(ApplyMode::Applied),
-            "h" => Some(ApplyMode::HwBlocked),
-            "i" => Some(ApplyMode::Interrupt),
-            _ => None,
-        }
-    })
-}
-
-/// Parses one trace record; `None` for non-canonical (human-oriented)
-/// records, which the checkers ignore.
-pub fn parse(entry: &TraceEntry) -> Option<Event> {
-    let d = entry.detail.as_str();
-    match entry.kind {
-        "acc-read" => Some(Event::Read {
-            var: field_u32(d, "v")?,
-        }),
-        "acc-write" => Some(Event::Write {
-            var: field_u32(d, "v")?,
-            val: field(d, "val")?,
-        }),
-        "acc-write-local" => Some(Event::WriteLocal {
-            var: field_u32(d, "v")?,
-            val: field(d, "val")?,
-        }),
-        "lock-acquire" => Some(Event::LockAcquire {
-            var: field_u32(d, "v")?,
-        }),
-        "lock-release" => Some(Event::LockRelease {
-            var: field_u32(d, "v")?,
-        }),
-        "ev-acquired" => Some(Event::Acquired {
-            var: field_u32(d, "v")?,
-        }),
-        "ev-released" => Some(Event::Released {
-            var: field_u32(d, "v")?,
-        }),
-        "mutex-enter" => Some(Event::MutexEnter {
-            var: field_u32(d, "v")?,
-        }),
-        "mutex-granted" => Some(Event::MutexGranted {
-            var: field_u32(d, "v")?,
-        }),
-        "opt-enter" => Some(Event::OptEnter {
-            var: field_u32(d, "v")?,
-        }),
-        "opt-save" => Some(Event::OptSave {
-            var: field_u32(d, "v")?,
-            val: field(d, "val")?,
-        }),
-        "opt-rollback" => Some(Event::OptRollback {
-            var: field_u32(d, "v")?,
-        }),
-        "root-seq" => Some(Event::RootSeq {
-            group: field_u32(d, "g")?,
-            seq: field_u64(d, "seq")?,
-            var: field_u32(d, "v")?,
-            val: field(d, "val")?,
-            origin: field_u32(d, "origin")?,
-        }),
-        "root-filtered" => Some(Event::RootFiltered {
-            group: field_u32(d, "g")?,
-            var: field_u32(d, "v")?,
-            val: field(d, "val")?,
-            origin: field_u32(d, "origin")?,
-        }),
-        "gwc-apply" => Some(Event::GwcApply {
-            group: field_u32(d, "g")?,
-            seq: field_u64(d, "seq")?,
-            var: field_u32(d, "v")?,
-            val: field(d, "val")?,
-            origin: field_u32(d, "origin")?,
-            mode: mode(d)?,
-        }),
-        "root-grant" => Some(Event::RootGrant {
-            group: field_u32(d, "g")?,
-            var: field_u32(d, "v")?,
-            holder: field_u32(d, "holder")?,
-        }),
-        "root-release" => Some(Event::RootRelease {
-            group: field_u32(d, "g")?,
-            var: field_u32(d, "v")?,
-            from: field_u32(d, "from")?,
-        }),
         _ => None,
     }
 }
@@ -273,31 +229,43 @@ mod tests {
     use super::*;
     use sesame_sim::SimTime;
 
-    fn entry(kind: &'static str, detail: &str) -> TraceEntry {
+    fn entry(kind: &'static str, detail: TraceDetail) -> TraceEntry {
         TraceEntry {
             time: SimTime::ZERO,
             actor: 0,
             kind,
-            detail: detail.to_string(),
+            detail,
         }
     }
 
     #[test]
-    fn parses_access_events() {
+    fn lifts_access_events() {
         assert_eq!(
-            parse(&entry("acc-write", "v=3 val=-42")),
+            from_entry(&entry(
+                "acc-write",
+                TraceDetail::VarVal { var: 3, val: -42 }
+            )),
             Some(Event::Write { var: 3, val: -42 })
         );
         assert_eq!(
-            parse(&entry("acc-read", "v=7")),
+            from_entry(&entry("acc-read", TraceDetail::Var { var: 7 })),
             Some(Event::Read { var: 7 })
         );
     }
 
     #[test]
-    fn parses_gwc_events() {
+    fn lifts_gwc_events() {
         assert_eq!(
-            parse(&entry("root-seq", "g=1 seq=12 v=5 val=9 origin=2")),
+            from_entry(&entry(
+                "root-seq",
+                TraceDetail::Seq {
+                    group: 1,
+                    seq: 12,
+                    var: 5,
+                    val: 9,
+                    origin: 2
+                }
+            )),
             Some(Event::RootSeq {
                 group: 1,
                 seq: 12,
@@ -307,7 +275,17 @@ mod tests {
             })
         );
         assert_eq!(
-            parse(&entry("gwc-apply", "g=1 seq=12 v=5 val=9 origin=2 mode=h")),
+            from_entry(&entry(
+                "gwc-apply",
+                TraceDetail::Apply {
+                    group: 1,
+                    seq: 12,
+                    var: 5,
+                    val: 9,
+                    origin: 2,
+                    mode: ApplyMode::HwBlocked
+                }
+            )),
             Some(Event::GwcApply {
                 group: 1,
                 seq: 12,
@@ -320,9 +298,25 @@ mod tests {
     }
 
     #[test]
-    fn human_records_are_ignored() {
-        assert_eq!(parse(&entry("lock-grant", "v3 -> node1")), None);
-        assert_eq!(parse(&entry("request", "lock 0")), None);
-        assert_eq!(parse(&entry("acc-write", "garbage")), None);
+    fn non_canonical_records_are_ignored() {
+        // Free-form human records never lift.
+        assert_eq!(
+            from_entry(&entry("lock-grant", TraceDetail::text("v3 -> node1"))),
+            None
+        );
+        assert_eq!(
+            from_entry(&entry("request", TraceDetail::text("lock 0"))),
+            None
+        );
+        // A canonical kind paired with the wrong detail shape is rejected
+        // rather than misread.
+        assert_eq!(
+            from_entry(&entry("acc-write", TraceDetail::text("garbage"))),
+            None
+        );
+        assert_eq!(
+            from_entry(&entry("acc-write", TraceDetail::Var { var: 1 })),
+            None
+        );
     }
 }

@@ -2,11 +2,13 @@
 //! checking for the `sesame-rs` reproduction of *Hermannsson & Wittie,
 //! "Optimistic Synchronization in Distributed Shared Memory" (ICDCS 1994)*.
 //!
-//! The simulation layers emit canonical, machine-parsable trace records
-//! (`acc-write`, `root-seq`, `gwc-apply`, `opt-rollback`, …). This crate
-//! consumes that stream — **online**, as a [`sesame_sim::TraceObserver`]
-//! hooked into a running simulation, or **offline**, over a recorded
-//! [`sesame_sim::TraceRecorder`] — and reports structured [`Violation`]s.
+//! The simulation layers emit canonical trace records (`acc-write`,
+//! `root-seq`, `gwc-apply`, `opt-rollback`, …) whose payloads are typed
+//! [`sesame_sim::TraceDetail`] variants. This crate consumes that stream —
+//! **online**, as a [`sesame_sim::TraceObserver`] hooked into a running
+//! simulation, or **offline**, over a recorded
+//! [`sesame_sim::TraceRecorder`] — destructures the fields directly (no
+//! text parsing anywhere), and reports structured [`Violation`]s.
 //!
 //! Three checkers run together in a [`Verifier`]:
 //!
@@ -20,14 +22,15 @@
 //!   writes gaplessly, in the same order, with identical payloads.
 //!
 //! ```
-//! use sesame_sim::{SimTime, TraceEntry};
+//! use sesame_sim::{SimTime, TraceDetail, TraceEntry};
 //! use sesame_verify::check_trace;
 //!
 //! // A root that grants a lock twice without a release in between:
 //! let t = |ns| SimTime::from_nanos(ns);
+//! let g = |holder| TraceDetail::Grant { group: 0, var: 0, holder };
 //! let trace = vec![
-//!     TraceEntry { time: t(10), actor: 0, kind: "root-grant", detail: "g=0 v=0 holder=1".into() },
-//!     TraceEntry { time: t(20), actor: 0, kind: "root-grant", detail: "g=0 v=0 holder=2".into() },
+//!     TraceEntry { time: t(10), actor: 0, kind: "root-grant", detail: g(1) },
+//!     TraceEntry { time: t(20), actor: 0, kind: "root-grant", detail: g(2) },
 //! ];
 //! let violations = check_trace(&trace);
 //! assert_eq!(violations.len(), 1);
@@ -119,7 +122,7 @@ impl Verifier {
     /// Processes one trace record. Non-canonical records (human-readable
     /// timeline marks) are ignored.
     pub fn feed(&mut self, entry: &TraceEntry) {
-        let Some(ev) = event::parse(entry) else {
+        let Some(ev) = event::from_entry(entry) else {
             return;
         };
         let (time, node) = (entry.time, entry.actor);
@@ -185,13 +188,58 @@ pub fn check_recorder(recorder: &TraceRecorder) -> Vec<Violation> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sesame_sim::{ApplyMode, TraceDetail};
 
-    fn e(ns: u64, actor: usize, kind: &'static str, detail: &str) -> TraceEntry {
+    fn e(ns: u64, actor: usize, kind: &'static str, detail: TraceDetail) -> TraceEntry {
         TraceEntry {
             time: SimTime::from_nanos(ns),
             actor,
             kind,
-            detail: detail.to_string(),
+            detail,
+        }
+    }
+
+    fn var(var: u32) -> TraceDetail {
+        TraceDetail::Var { var }
+    }
+
+    fn vv(var: u32, val: i64) -> TraceDetail {
+        TraceDetail::VarVal { var, val }
+    }
+
+    fn grant(group: u32, var: u32, holder: u32) -> TraceDetail {
+        TraceDetail::Grant { group, var, holder }
+    }
+
+    fn rel(group: u32, var: u32, from: u32) -> TraceDetail {
+        TraceDetail::Release { group, var, from }
+    }
+
+    fn rseq(group: u32, seq: u64, var: u32, val: i64, origin: u32) -> TraceDetail {
+        TraceDetail::Seq {
+            group,
+            seq,
+            var,
+            val,
+            origin,
+        }
+    }
+
+    fn apply(
+        group: u32,
+        seq: u64,
+        var: u32,
+        val: i64,
+        origin: u32,
+        mode: ApplyMode,
+    ) -> TraceDetail {
+        TraceDetail::Apply {
+            group,
+            seq,
+            var,
+            val,
+            origin,
+            mode,
         }
     }
 
@@ -200,26 +248,31 @@ mod tests {
         // node1 takes the lock, writes, releases; node2 then takes it and
         // reads — everything ordered through the lock and the root.
         let trace = vec![
-            e(1, 1, "lock-acquire", "v=0"),
-            e(2, 0, "root-grant", "g=0 v=0 holder=1"),
-            e(3, 0, "root-seq", "g=0 seq=1 v=0 val=2 origin=0"),
-            e(4, 1, "gwc-apply", "g=0 seq=1 v=0 val=2 origin=0 mode=a"),
-            e(4, 2, "gwc-apply", "g=0 seq=1 v=0 val=2 origin=0 mode=a"),
-            e(4, 1, "ev-acquired", "v=0"),
-            e(5, 1, "acc-write", "v=5 val=42"),
-            e(6, 0, "root-seq", "g=0 seq=2 v=5 val=42 origin=1"),
-            e(7, 1, "gwc-apply", "g=0 seq=2 v=5 val=42 origin=1 mode=h"),
-            e(7, 2, "gwc-apply", "g=0 seq=2 v=5 val=42 origin=1 mode=a"),
-            e(8, 1, "lock-release", "v=0"),
-            e(9, 0, "root-release", "g=0 v=0 from=1"),
-            e(9, 0, "root-grant", "g=0 v=0 holder=2"),
-            e(10, 0, "root-seq", "g=0 seq=3 v=0 val=3 origin=0"),
-            e(11, 1, "gwc-apply", "g=0 seq=3 v=0 val=3 origin=0 mode=a"),
-            e(11, 2, "gwc-apply", "g=0 seq=3 v=0 val=3 origin=0 mode=a"),
-            e(11, 2, "ev-acquired", "v=0"),
-            e(12, 2, "acc-read", "v=5"),
-            e(13, 2, "lock-release", "v=0"),
-            e(14, 0, "root-release", "g=0 v=0 from=2"),
+            e(1, 1, "lock-acquire", var(0)),
+            e(2, 0, "root-grant", grant(0, 0, 1)),
+            e(3, 0, "root-seq", rseq(0, 1, 0, 2, 0)),
+            e(4, 1, "gwc-apply", apply(0, 1, 0, 2, 0, ApplyMode::Applied)),
+            e(4, 2, "gwc-apply", apply(0, 1, 0, 2, 0, ApplyMode::Applied)),
+            e(4, 1, "ev-acquired", var(0)),
+            e(5, 1, "acc-write", vv(5, 42)),
+            e(6, 0, "root-seq", rseq(0, 2, 5, 42, 1)),
+            e(
+                7,
+                1,
+                "gwc-apply",
+                apply(0, 2, 5, 42, 1, ApplyMode::HwBlocked),
+            ),
+            e(7, 2, "gwc-apply", apply(0, 2, 5, 42, 1, ApplyMode::Applied)),
+            e(8, 1, "lock-release", var(0)),
+            e(9, 0, "root-release", rel(0, 0, 1)),
+            e(9, 0, "root-grant", grant(0, 0, 2)),
+            e(10, 0, "root-seq", rseq(0, 3, 0, 3, 0)),
+            e(11, 1, "gwc-apply", apply(0, 3, 0, 3, 0, ApplyMode::Applied)),
+            e(11, 2, "gwc-apply", apply(0, 3, 0, 3, 0, ApplyMode::Applied)),
+            e(11, 2, "ev-acquired", var(0)),
+            e(12, 2, "acc-read", var(5)),
+            e(13, 2, "lock-release", var(0)),
+            e(14, 0, "root-release", rel(0, 0, 2)),
         ];
         let violations = check_trace(&trace);
         assert!(violations.is_empty(), "unexpected: {violations:?}");
@@ -228,8 +281,8 @@ mod tests {
     #[test]
     fn concurrent_unsynchronized_writes_race() {
         let trace = vec![
-            e(1, 1, "acc-write", "v=9 val=1"),
-            e(1, 2, "acc-write", "v=9 val=2"),
+            e(1, 1, "acc-write", vv(9, 1)),
+            e(1, 2, "acc-write", vv(9, 2)),
         ];
         let violations = check_trace(&trace);
         assert_eq!(violations.len(), 1, "got: {violations:?}");
@@ -241,10 +294,10 @@ mod tests {
         // node2 writes v9 only after applying node1's sequenced write: the
         // delivery edge orders the two writes, so no race.
         let trace = vec![
-            e(1, 1, "acc-write", "v=9 val=1"),
-            e(2, 0, "root-seq", "g=0 seq=1 v=9 val=1 origin=1"),
-            e(3, 2, "gwc-apply", "g=0 seq=1 v=9 val=1 origin=1 mode=a"),
-            e(4, 2, "acc-write", "v=9 val=2"),
+            e(1, 1, "acc-write", vv(9, 1)),
+            e(2, 0, "root-seq", rseq(0, 1, 9, 1, 1)),
+            e(3, 2, "gwc-apply", apply(0, 1, 9, 1, 1, ApplyMode::Applied)),
+            e(4, 2, "acc-write", vv(9, 2)),
         ];
         let violations = check_trace(&trace);
         assert!(violations.is_empty(), "unexpected: {violations:?}");
@@ -253,9 +306,9 @@ mod tests {
     #[test]
     fn double_grant_is_reported_once() {
         let trace = vec![
-            e(10, 0, "root-grant", "g=0 v=0 holder=1"),
-            e(20, 0, "root-grant", "g=0 v=0 holder=2"),
-            e(30, 0, "root-grant", "g=0 v=0 holder=3"),
+            e(10, 0, "root-grant", grant(0, 0, 1)),
+            e(20, 0, "root-grant", grant(0, 0, 2)),
+            e(30, 0, "root-grant", grant(0, 0, 3)),
         ];
         let violations = check_trace(&trace);
         assert_eq!(violations.len(), 1, "got: {violations:?}");
@@ -265,8 +318,8 @@ mod tests {
     #[test]
     fn release_by_non_holder_is_reported() {
         let trace = vec![
-            e(10, 0, "root-grant", "g=0 v=0 holder=1"),
-            e(20, 0, "root-release", "g=0 v=0 from=2"),
+            e(10, 0, "root-grant", grant(0, 0, 1)),
+            e(20, 0, "root-release", rel(0, 0, 2)),
         ];
         let violations = check_trace(&trace);
         assert_eq!(violations.len(), 1, "got: {violations:?}");
@@ -276,12 +329,12 @@ mod tests {
     #[test]
     fn completed_rollback_is_clean() {
         let trace = vec![
-            e(1, 1, "mutex-enter", "v=0"),
-            e(1, 1, "opt-enter", "v=0"),
-            e(1, 1, "opt-save", "v=5 val=7"),
-            e(2, 1, "acc-write", "v=5 val=42"),
-            e(3, 1, "opt-rollback", "v=0"),
-            e(3, 1, "acc-write-local", "v=5 val=7"),
+            e(1, 1, "mutex-enter", var(0)),
+            e(1, 1, "opt-enter", var(0)),
+            e(1, 1, "opt-save", vv(5, 7)),
+            e(2, 1, "acc-write", vv(5, 42)),
+            e(3, 1, "opt-rollback", var(0)),
+            e(3, 1, "acc-write-local", vv(5, 7)),
         ];
         let violations = check_trace(&trace);
         assert!(violations.is_empty(), "unexpected: {violations:?}");
@@ -290,11 +343,11 @@ mod tests {
     #[test]
     fn surviving_optimistic_write_is_reported() {
         let trace = vec![
-            e(1, 1, "mutex-enter", "v=0"),
-            e(1, 1, "opt-enter", "v=0"),
-            e(1, 1, "opt-save", "v=5 val=7"),
-            e(2, 1, "acc-write", "v=5 val=42"),
-            e(3, 1, "opt-rollback", "v=0"),
+            e(1, 1, "mutex-enter", var(0)),
+            e(1, 1, "opt-enter", var(0)),
+            e(1, 1, "opt-save", vv(5, 7)),
+            e(2, 1, "acc-write", vv(5, 42)),
+            e(3, 1, "opt-rollback", var(0)),
             // No restore of v5: the speculative write survives.
         ];
         let violations = check_trace(&trace);
@@ -306,12 +359,12 @@ mod tests {
     #[test]
     fn out_of_order_apply_is_reported_once() {
         let trace = vec![
-            e(1, 0, "root-seq", "g=0 seq=1 v=1 val=7 origin=0"),
-            e(2, 0, "root-seq", "g=0 seq=2 v=1 val=8 origin=0"),
-            e(3, 1, "gwc-apply", "g=0 seq=1 v=1 val=7 origin=0 mode=a"),
-            e(4, 1, "gwc-apply", "g=0 seq=2 v=1 val=8 origin=0 mode=a"),
-            e(5, 2, "gwc-apply", "g=0 seq=2 v=1 val=8 origin=0 mode=a"),
-            e(6, 2, "gwc-apply", "g=0 seq=1 v=1 val=7 origin=0 mode=a"),
+            e(1, 0, "root-seq", rseq(0, 1, 1, 7, 0)),
+            e(2, 0, "root-seq", rseq(0, 2, 1, 8, 0)),
+            e(3, 1, "gwc-apply", apply(0, 1, 1, 7, 0, ApplyMode::Applied)),
+            e(4, 1, "gwc-apply", apply(0, 2, 1, 8, 0, ApplyMode::Applied)),
+            e(5, 2, "gwc-apply", apply(0, 2, 1, 8, 0, ApplyMode::Applied)),
+            e(6, 2, "gwc-apply", apply(0, 1, 1, 7, 0, ApplyMode::Applied)),
         ];
         let violations = check_trace(&trace);
         assert_eq!(violations.len(), 1, "got: {violations:?}");
@@ -322,8 +375,8 @@ mod tests {
     #[test]
     fn payload_mismatch_is_reported() {
         let trace = vec![
-            e(1, 0, "root-seq", "g=0 seq=1 v=1 val=7 origin=0"),
-            e(3, 1, "gwc-apply", "g=0 seq=1 v=1 val=99 origin=0 mode=a"),
+            e(1, 0, "root-seq", rseq(0, 1, 1, 7, 0)),
+            e(3, 1, "gwc-apply", apply(0, 1, 1, 99, 0, ApplyMode::Applied)),
         ];
         let violations = check_trace(&trace);
         assert_eq!(violations.len(), 1, "got: {violations:?}");
@@ -338,18 +391,8 @@ mod tests {
         let verifier = Rc::new(RefCell::new(Verifier::new()));
         let mut recorder = TraceRecorder::new(false);
         recorder.set_observer(verifier.clone());
-        recorder.record(
-            SimTime::from_nanos(10),
-            0,
-            "root-grant",
-            "g=0 v=0 holder=1".into(),
-        );
-        recorder.record(
-            SimTime::from_nanos(20),
-            0,
-            "root-grant",
-            "g=0 v=0 holder=2".into(),
-        );
+        recorder.record(SimTime::from_nanos(10), 0, "root-grant", grant(0, 0, 1));
+        recorder.record(SimTime::from_nanos(20), 0, "root-grant", grant(0, 0, 2));
         verifier.borrow_mut().finish();
         assert_eq!(verifier.borrow().violations().len(), 1);
         assert!(
@@ -361,8 +404,8 @@ mod tests {
     #[test]
     fn report_renders_one_line_per_violation() {
         let trace = vec![
-            e(10, 0, "root-grant", "g=0 v=0 holder=1"),
-            e(20, 0, "root-grant", "g=0 v=0 holder=2"),
+            e(10, 0, "root-grant", grant(0, 0, 1)),
+            e(20, 0, "root-grant", grant(0, 0, 2)),
         ];
         let mut v = Verifier::new();
         for entry in &trace {

@@ -2,16 +2,49 @@
 //! diagnostic from the matching checker, and mutated real traces must not
 //! verify clean. This guards against the checkers passing vacuously.
 
-use sesame_sim::{SimTime, TraceEntry};
+use sesame_sim::{ApplyMode, SimTime, TraceDetail, TraceEntry};
 use sesame_verify::{check_recorder, check_trace, CheckKind};
 use sesame_workloads::contention::{run_contention, ContentionConfig};
 
-fn e(ns: u64, actor: usize, kind: &'static str, detail: &str) -> TraceEntry {
+fn e(ns: u64, actor: usize, kind: &'static str, detail: TraceDetail) -> TraceEntry {
     TraceEntry {
         time: SimTime::from_nanos(ns),
         actor,
         kind,
-        detail: detail.to_string(),
+        detail,
+    }
+}
+
+fn var(var: u32) -> TraceDetail {
+    TraceDetail::Var { var }
+}
+
+fn vv(var: u32, val: i64) -> TraceDetail {
+    TraceDetail::VarVal { var, val }
+}
+
+fn grant(group: u32, var: u32, holder: u32) -> TraceDetail {
+    TraceDetail::Grant { group, var, holder }
+}
+
+fn rseq(group: u32, seq: u64, var: u32, val: i64, origin: u32) -> TraceDetail {
+    TraceDetail::Seq {
+        group,
+        seq,
+        var,
+        val,
+        origin,
+    }
+}
+
+fn apply(group: u32, seq: u64, var: u32, val: i64, origin: u32, mode: ApplyMode) -> TraceDetail {
+    TraceDetail::Apply {
+        group,
+        seq,
+        var,
+        val,
+        origin,
+        mode,
     }
 }
 
@@ -19,8 +52,8 @@ fn e(ns: u64, actor: usize, kind: &'static str, detail: &str) -> TraceEntry {
 #[test]
 fn two_simultaneous_holders_yield_one_diagnostic() {
     let trace = vec![
-        e(10, 0, "root-grant", "g=0 v=0 holder=1"),
-        e(20, 0, "root-grant", "g=0 v=0 holder=2"),
+        e(10, 0, "root-grant", grant(0, 0, 1)),
+        e(20, 0, "root-grant", grant(0, 0, 2)),
     ];
     let violations = check_trace(&trace);
     assert_eq!(violations.len(), 1, "got: {violations:?}");
@@ -33,8 +66,8 @@ fn two_simultaneous_holders_yield_one_diagnostic() {
 #[test]
 fn two_believing_holders_yield_one_diagnostic() {
     let trace = vec![
-        e(10, 1, "ev-acquired", "v=0"),
-        e(20, 2, "ev-acquired", "v=0"),
+        e(10, 1, "ev-acquired", var(0)),
+        e(20, 2, "ev-acquired", var(0)),
     ];
     let violations = check_trace(&trace);
     assert_eq!(violations.len(), 1, "got: {violations:?}");
@@ -47,11 +80,11 @@ fn two_believing_holders_yield_one_diagnostic() {
 #[test]
 fn optimistic_write_surviving_rollback_yields_one_diagnostic() {
     let trace = vec![
-        e(1, 1, "mutex-enter", "v=0"),
-        e(1, 1, "opt-enter", "v=0"),
-        e(1, 1, "opt-save", "v=5 val=0"),
-        e(2, 1, "acc-write", "v=5 val=42"),
-        e(3, 1, "opt-rollback", "v=0"),
+        e(1, 1, "mutex-enter", var(0)),
+        e(1, 1, "opt-enter", var(0)),
+        e(1, 1, "opt-save", vv(5, 0)),
+        e(2, 1, "acc-write", vv(5, 42)),
+        e(3, 1, "opt-rollback", var(0)),
         // No acc-write-local restore: the write survives the discard.
     ];
     let violations = check_trace(&trace);
@@ -65,12 +98,12 @@ fn optimistic_write_surviving_rollback_yields_one_diagnostic() {
 #[test]
 fn out_of_order_gwc_delivery_yields_one_diagnostic() {
     let trace = vec![
-        e(1, 0, "root-seq", "g=0 seq=1 v=1 val=7 origin=0"),
-        e(2, 0, "root-seq", "g=0 seq=2 v=1 val=8 origin=0"),
-        e(3, 1, "gwc-apply", "g=0 seq=1 v=1 val=7 origin=0 mode=a"),
-        e(4, 1, "gwc-apply", "g=0 seq=2 v=1 val=8 origin=0 mode=a"),
-        e(5, 2, "gwc-apply", "g=0 seq=2 v=1 val=8 origin=0 mode=a"),
-        e(6, 2, "gwc-apply", "g=0 seq=1 v=1 val=7 origin=0 mode=a"),
+        e(1, 0, "root-seq", rseq(0, 1, 1, 7, 0)),
+        e(2, 0, "root-seq", rseq(0, 2, 1, 8, 0)),
+        e(3, 1, "gwc-apply", apply(0, 1, 1, 7, 0, ApplyMode::Applied)),
+        e(4, 1, "gwc-apply", apply(0, 2, 1, 8, 0, ApplyMode::Applied)),
+        e(5, 2, "gwc-apply", apply(0, 2, 1, 8, 0, ApplyMode::Applied)),
+        e(6, 2, "gwc-apply", apply(0, 1, 1, 7, 0, ApplyMode::Applied)),
     ];
     let violations = check_trace(&trace);
     assert_eq!(violations.len(), 1, "got: {violations:?}");

@@ -4,6 +4,12 @@
 //! labelled [`Series`] ready for printing; the `repro-*` binaries in
 //! `sesame-bench` call these and print the tables recorded in
 //! EXPERIMENTS.md.
+//!
+//! Every sweep point is an independent, deterministic simulation, so the
+//! `*_jobs` variants run points concurrently through
+//! [`sesame_sweep::run_sweep`] and reassemble the series in point-index
+//! order: the output is byte-identical for every `jobs` value, only
+//! wall-clock time changes.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -39,22 +45,37 @@ pub struct Figure2Data {
     pub entry: Series,
 }
 
-/// Runs the Figure 2 sweep over `sizes`.
+/// Runs the Figure 2 sweep over `sizes` serially.
 pub fn figure2(cfg: TaskQueueConfig, sizes: &[usize]) -> Figure2Data {
+    figure2_jobs(cfg, sizes, 1)
+}
+
+/// Runs the Figure 2 sweep over `sizes` on up to `jobs` worker threads
+/// (`0` = all cores). Each `(size, series)` pair is one sweep point, so a
+/// seven-size sweep exposes 21 independent simulations to the pool. The
+/// returned data is identical for every `jobs` value.
+pub fn figure2_jobs(cfg: TaskQueueConfig, sizes: &[usize], jobs: usize) -> Figure2Data {
+    let speedups = sesame_sweep::run_sweep(sizes.len() * 3, jobs, |i| {
+        let n = sizes[i / 3];
+        match i % 3 {
+            0 => {
+                let zero_cfg = TaskQueueConfig {
+                    timing: LinkTiming::zero_delay(),
+                    ..cfg
+                };
+                run_task_queue(n, ModelChoice::Gwc, zero_cfg).speedup
+            }
+            1 => run_task_queue(n, ModelChoice::Gwc, cfg).speedup,
+            _ => run_task_queue(n, ModelChoice::Entry, cfg).speedup,
+        }
+    });
     let mut ideal = Series::new("ideal (zero network delay)");
     let mut gwc = Series::new("Sesame GWC eagersharing");
     let mut entry = Series::new("entry consistency");
-    for &n in sizes {
-        let zero_cfg = TaskQueueConfig {
-            timing: LinkTiming::zero_delay(),
-            ..cfg
-        };
-        ideal.push(
-            n as f64,
-            run_task_queue(n, ModelChoice::Gwc, zero_cfg).speedup,
-        );
-        gwc.push(n as f64, run_task_queue(n, ModelChoice::Gwc, cfg).speedup);
-        entry.push(n as f64, run_task_queue(n, ModelChoice::Entry, cfg).speedup);
+    for (i, &n) in sizes.iter().enumerate() {
+        ideal.push(n as f64, speedups[i * 3]);
+        gwc.push(n as f64, speedups[i * 3 + 1]);
+        entry.push(n as f64, speedups[i * 3 + 2]);
     }
     Figure2Data { ideal, gwc, entry }
 }
@@ -104,30 +125,40 @@ pub struct HeadlineRatios {
     pub regular_over_entry: f64,
 }
 
-/// Runs the Figure 8 sweep over `sizes`.
+/// Runs the Figure 8 sweep over `sizes` serially.
 pub fn figure8(cfg: PipelineConfig, sizes: &[usize]) -> Figure8Data {
+    figure8_jobs(cfg, sizes, 1)
+}
+
+/// Runs the Figure 8 sweep over `sizes` on up to `jobs` worker threads
+/// (`0` = all cores). Each `(size, series)` pair is one sweep point — 28
+/// independent simulations for the paper's seven sizes. The returned data
+/// is identical for every `jobs` value.
+pub fn figure8_jobs(cfg: PipelineConfig, sizes: &[usize], jobs: usize) -> Figure8Data {
+    let powers = sesame_sweep::run_sweep(sizes.len() * 4, jobs, |i| {
+        let n = sizes[i / 4];
+        match i % 4 {
+            0 => {
+                let zero_cfg = PipelineConfig {
+                    timing: LinkTiming::zero_delay(),
+                    ..cfg
+                };
+                run_pipeline(n, MutexMethod::RegularGwc, zero_cfg).power
+            }
+            1 => run_pipeline(n, MutexMethod::OptimisticGwc, cfg).power,
+            2 => run_pipeline(n, MutexMethod::RegularGwc, cfg).power,
+            _ => run_pipeline(n, MutexMethod::Entry, cfg).power,
+        }
+    });
     let mut ideal = Series::new("no network delay bound");
     let mut optimistic = Series::new("optimistic GWC");
     let mut regular = Series::new("non-optimistic GWC");
     let mut entry = Series::new("entry consistency");
-    for &n in sizes {
-        let zero_cfg = PipelineConfig {
-            timing: LinkTiming::zero_delay(),
-            ..cfg
-        };
-        ideal.push(
-            n as f64,
-            run_pipeline(n, MutexMethod::RegularGwc, zero_cfg).power,
-        );
-        optimistic.push(
-            n as f64,
-            run_pipeline(n, MutexMethod::OptimisticGwc, cfg).power,
-        );
-        regular.push(
-            n as f64,
-            run_pipeline(n, MutexMethod::RegularGwc, cfg).power,
-        );
-        entry.push(n as f64, run_pipeline(n, MutexMethod::Entry, cfg).power);
+    for (i, &n) in sizes.iter().enumerate() {
+        ideal.push(n as f64, powers[i * 4]);
+        optimistic.push(n as f64, powers[i * 4 + 1]);
+        regular.push(n as f64, powers[i * 4 + 2]);
+        entry.push(n as f64, powers[i * 4 + 3]);
     }
     Figure8Data {
         ideal,
@@ -169,27 +200,37 @@ impl OptimismPoint {
 /// the per-size optimism counters the `repro-fig8` table prints alongside
 /// network power.
 pub fn figure8_optimism(cfg: PipelineConfig, sizes: &[usize]) -> Vec<OptimismPoint> {
-    sizes
-        .iter()
-        .map(|&n| {
-            let shared = Telemetry::new("figure8", 0).shared();
-            let observer: Rc<RefCell<dyn TraceObserver>> = shared.clone();
-            let run = run_pipeline_observed(n, MutexMethod::OptimisticGwc, cfg, Some(observer));
-            {
-                let mut t = shared.borrow_mut();
-                crate::telemetry::absorb_run(&mut t, &run.result);
-            }
-            drop(run);
-            let snap = Telemetry::unwrap_shared(shared).snapshot();
-            OptimismPoint {
-                nodes: n,
-                attempts: snap.sum_counters("node/", "/opt/attempts"),
-                wins: snap.sum_counters("node/", "/opt/wins"),
-                rollbacks: snap.sum_counters("node/", "/opt/rollbacks"),
-                overlapped: snap.sum_counters("node/", "/opt/overlapped"),
-            }
-        })
-        .collect()
+    figure8_optimism_jobs(cfg, sizes, 1)
+}
+
+/// The parallel form of [`figure8_optimism`]: one sweep point per network
+/// size, each constructing its own [`Telemetry`] observer inside the
+/// worker (the observer chain is thread-local by design). Results come
+/// back in size order regardless of `jobs`.
+pub fn figure8_optimism_jobs(
+    cfg: PipelineConfig,
+    sizes: &[usize],
+    jobs: usize,
+) -> Vec<OptimismPoint> {
+    sesame_sweep::run_sweep(sizes.len(), jobs, |i| {
+        let n = sizes[i];
+        let shared = Telemetry::new("figure8", 0).shared();
+        let observer: Rc<RefCell<dyn TraceObserver>> = shared.clone();
+        let run = run_pipeline_observed(n, MutexMethod::OptimisticGwc, cfg, Some(observer));
+        {
+            let mut t = shared.borrow_mut();
+            crate::telemetry::absorb_run(&mut t, &run.result);
+        }
+        drop(run);
+        let snap = Telemetry::unwrap_shared(shared).snapshot();
+        OptimismPoint {
+            nodes: n,
+            attempts: snap.sum_counters("node/", "/opt/attempts"),
+            wins: snap.sum_counters("node/", "/opt/wins"),
+            rollbacks: snap.sum_counters("node/", "/opt/rollbacks"),
+            overlapped: snap.sum_counters("node/", "/opt/overlapped"),
+        }
+    })
 }
 
 /// Runs the Figure 1 scenario under all models and renders the comparison
@@ -266,6 +307,46 @@ mod tests {
             assert_eq!(p.wins, p.attempts, "{p:?}");
             assert!((p.hit_rate() - 1.0).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn parallel_figure8_sweep_is_byte_identical_to_serial() {
+        let cfg = PipelineConfig {
+            total_visits: 32,
+            ..PipelineConfig::default()
+        };
+        let sizes = [2, 4, 8];
+        let serial = figure8_jobs(cfg, &sizes, 1);
+        for jobs in [2, 4, 0] {
+            let par = figure8_jobs(cfg, &sizes, jobs);
+            assert_eq!(serial.ideal, par.ideal, "jobs={jobs}");
+            assert_eq!(serial.optimistic, par.optimistic, "jobs={jobs}");
+            assert_eq!(serial.regular, par.regular, "jobs={jobs}");
+            assert_eq!(serial.entry, par.entry, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_figure2_and_optimism_sweeps_match_serial() {
+        let tq = TaskQueueConfig {
+            total_tasks: 24,
+            ..TaskQueueConfig::default()
+        };
+        let sizes = [3, 5];
+        let serial = figure2_jobs(tq, &sizes, 1);
+        let par = figure2_jobs(tq, &sizes, 3);
+        assert_eq!(serial.ideal, par.ideal);
+        assert_eq!(serial.gwc, par.gwc);
+        assert_eq!(serial.entry, par.entry);
+
+        let pipe = PipelineConfig {
+            total_visits: 32,
+            ..PipelineConfig::default()
+        };
+        assert_eq!(
+            figure8_optimism_jobs(pipe, &[2, 4], 1),
+            figure8_optimism_jobs(pipe, &[2, 4], 2)
+        );
     }
 
     #[test]
