@@ -38,6 +38,34 @@ cargo run -q --release -p sesame-cli -- fig8 --sizes 2,4,8 --visits 128 --jobs 2
     > "$tmpdir/fig8-parallel.txt"
 diff -u "$tmpdir/fig8-serial.txt" "$tmpdir/fig8-parallel.txt"
 
+echo "==> model-checking smoke (exhaustive clean exploration, bounded)"
+cargo run -q --release -p sesame-cli -- check \
+    | grep -q "complete: every schedule"
+# Bigger canonical configs: their spaces exceed the budget, so the
+# bounded search must come back clean and honestly incomplete.
+cargo run -q --release -p sesame-cli -- check --cpus 3 --work-max 100000 \
+    | grep -q "without finding a violation"
+cargo run -q --release -p sesame-cli -- check --links relax-roots \
+    --work-max 20000 --depth 120 \
+    | grep -q "without finding a violation"
+
+echo "==> model-checking planted bug (nonzero exit + replay artifact)"
+if cargo run -q --release -p sesame-cli -- check \
+    --mutation stale-grant-reuse --out "$tmpdir/cx.replay" \
+    > "$tmpdir/check.out" 2>&1; then
+    echo "planted stale-grant-reuse mutant was NOT caught" >&2
+    exit 1
+fi
+grep -q "still holds" "$tmpdir/check.out"
+grep -q "sesame-check counterexample v1" "$tmpdir/cx.replay"
+# The recorded schedule must reproduce the violation deterministically.
+if cargo run -q --release -p sesame-cli -- check --replay "$tmpdir/cx.replay" \
+    > "$tmpdir/replay.out" 2>&1; then
+    echo "replayed counterexample did NOT reproduce the violation" >&2
+    exit 1
+fi
+grep -q "still holds" "$tmpdir/replay.out"
+
 echo "==> bench smoke (queue micro-bench, JSON line output)"
 cargo bench -q -p sesame-bench --bench queue -- --bench-out "$tmpdir/bench.json" \
     >/dev/null

@@ -38,6 +38,7 @@ fn main() {
         "figure 2: {} tasks, exec {}, produce ratio {:.5}, queue capacity {}",
         cfg.total_tasks, cfg.exec_time, cfg.produce_ratio, cfg.capacity
     );
+    #[allow(clippy::disallowed_methods)] // the repro harness reports wall time
     let sweep_start = std::time::Instant::now();
     let data = figure2_jobs(cfg, &sizes, jobs);
     eprintln!(

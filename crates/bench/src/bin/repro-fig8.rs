@@ -54,6 +54,7 @@ fn main() {
         cfg.section(),
         cfg.token_words
     );
+    #[allow(clippy::disallowed_methods)] // the repro harness reports wall time
     let sweep_start = std::time::Instant::now();
     let data = figure8_jobs(cfg, &sizes, jobs);
     eprintln!(

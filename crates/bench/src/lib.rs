@@ -120,6 +120,7 @@ impl Harness {
     fn sample<T>(&self, f: &mut impl FnMut() -> T) -> Timing {
         let mut times = Vec::with_capacity(self.samples as usize);
         for _ in 0..self.samples {
+            #[allow(clippy::disallowed_methods)] // the bench harness measures wall time
             let start = Instant::now();
             black_box(f());
             times.push(start.elapsed());

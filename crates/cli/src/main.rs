@@ -11,6 +11,8 @@
 //! sesame contention [--contenders N] [--rounds N] [--think-us N]
 //! sesame run --scenario contention --metrics-out m.json --timeline-out t.trace.json
 //! sesame report --metrics-in m.json
+//! sesame check [--cpus N] [--mutation stale-grant-reuse] [--out cx.replay]
+//! sesame check --replay cx.replay
 //! ```
 
 mod args;
@@ -70,6 +72,23 @@ COMMANDS:
     verify        replay scenarios under the sesame-verify checkers
                     --scenario <all|three-cpu|contention|task-queue|planted-bad>
                     --contenders <N=4>  --rounds <N=30>
+    check         model-check the canonical mutex workload: explore every
+                  meaningfully different delivery schedule under the
+                  sesame-verify checkers plus a linearizability oracle
+                    --cpus <N=2>      contending CPUs  --rounds <N=1>
+                    --links <fifo|relax-roots|relax>  (default fifo)
+                    --mutation <none|stale-grant-reuse|seq-gap|drop-rollback>
+                                      plant a protocol bug to find
+                                      (seq-gap needs --links relax-roots)
+                    --depth <N=500>   schedule-length budget
+                    --schedules-max <N=50000>  completed-schedule budget
+                    --work-max <N=500000>      total explored-state budget
+                    --hash-states <true|false=true>  fold revisited states
+                    --out <file>      where to write the counterexample
+                                      replay file (default sesame-check
+                                      prints it to stdout)
+                    --replay <file>   re-run a recorded counterexample
+                                      deterministically instead of exploring
     help          print this message
 ";
 
@@ -455,6 +474,137 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_check(args: &Args) -> Result<(), String> {
+    use sesame_check::{
+        check, parse_replay, replay, to_replay_string, CanonicalConfig, CheckOptions, GwcMutation,
+        LinkMode, MutexMutation,
+    };
+
+    if let Some(path) = args.get_str("--replay") {
+        let contents =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let (cfg, choices) = parse_replay(&contents)?;
+        let outcome = replay(cfg, &choices)?;
+        println!(
+            "replayed {} choices over {} CPUs: {} trace events, {}",
+            choices.len(),
+            cfg.contenders,
+            outcome.trace_len,
+            if outcome.drained {
+                "run drained"
+            } else {
+                "run cut mid-flight"
+            }
+        );
+        for note in &outcome.incomplete {
+            println!("note {note}");
+        }
+        if outcome.violations.is_empty() {
+            println!("no violations on the replayed schedule");
+            return Ok(());
+        }
+        for v in &outcome.violations {
+            println!("FAIL {v}");
+        }
+        return Err(format!(
+            "{} violation(s) reproduced from {path}",
+            outcome.violations.len()
+        ));
+    }
+
+    let mut cfg = CanonicalConfig {
+        contenders: args
+            .get_or("--cpus", 2u32, "integer")
+            .map_err(|e| e.to_string())?,
+        rounds: args
+            .get_or("--rounds", 1u32, "integer")
+            .map_err(|e| e.to_string())?,
+        ..CanonicalConfig::default()
+    };
+    match args.get_str("--mutation").unwrap_or("none") {
+        "none" => {}
+        "stale-grant-reuse" => cfg.gwc_mutation = GwcMutation::StaleGrantReuse,
+        "seq-gap" => cfg.gwc_mutation = GwcMutation::SeqGap,
+        "drop-rollback" => cfg.mutex_mutation = MutexMutation::DropRollback,
+        other => {
+            return Err(format!(
+                "unknown --mutation {other:?} \
+                 (use none, stale-grant-reuse, seq-gap or drop-rollback)"
+            ))
+        }
+    }
+    let links = match args.get_str("--links").unwrap_or("fifo") {
+        "fifo" => LinkMode::Fifo,
+        "relax-roots" => LinkMode::RelaxFromRoots,
+        "relax" => LinkMode::Relax,
+        other => {
+            return Err(format!(
+                "unknown --links {other:?} (use fifo, relax-roots or relax)"
+            ))
+        }
+    };
+    let defaults = CheckOptions::default();
+    let opts = CheckOptions {
+        depth_max: args
+            .get_or("--depth", defaults.depth_max, "integer")
+            .map_err(|e| e.to_string())?,
+        schedules_max: args
+            .get_or("--schedules-max", defaults.schedules_max, "integer")
+            .map_err(|e| e.to_string())?,
+        work_max: args
+            .get_or("--work-max", defaults.work_max, "integer")
+            .map_err(|e| e.to_string())?,
+        hash_states: args
+            .get_or("--hash-states", defaults.hash_states, "true or false")
+            .map_err(|e| e.to_string())?,
+        links,
+    };
+
+    let report = check(cfg, opts);
+    println!(
+        "explored {} schedule(s): {} truncated, {} sleep-blocked, {} pruned, max depth {}",
+        report.schedules, report.truncated, report.sleep_blocked, report.pruned, report.max_depth
+    );
+    match &report.counterexample {
+        None => {
+            if report.complete {
+                println!(
+                    "complete: every schedule (up to reduction) is violation-free \
+                     for {} CPUs x {} round(s)",
+                    cfg.contenders, cfg.rounds
+                );
+            } else {
+                println!("bounded search exhausted its budget without finding a violation");
+            }
+            Ok(())
+        }
+        Some(cx) => {
+            println!(
+                "counterexample after {} schedule(s), {} choices deep:",
+                report.schedules,
+                cx.choices.len()
+            );
+            for v in &cx.violations {
+                println!("FAIL {v}");
+            }
+            let file = to_replay_string(cx);
+            match args.get_str("--out") {
+                Some(path) => {
+                    std::fs::write(path, &file).map_err(|e| format!("cannot write {path}: {e}"))?;
+                    println!(
+                        "replay file written to {path} (re-run: sesame check --replay {path})"
+                    );
+                }
+                None => print!("{file}"),
+            }
+            Err(format!(
+                "{} violation(s) found by schedule exploration",
+                cx.violations.len()
+            ))
+        }
+    }
+}
+
 /// A subcommand implementation.
 type Command = fn(&Args) -> Result<(), String>;
 
@@ -506,6 +656,21 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
             cmd_report,
         ),
         "verify" => (&["--scenario", "--contenders", "--rounds"], cmd_verify),
+        "check" => (
+            &[
+                "--cpus",
+                "--rounds",
+                "--links",
+                "--mutation",
+                "--depth",
+                "--schedules-max",
+                "--work-max",
+                "--hash-states",
+                "--out",
+                "--replay",
+            ],
+            cmd_check,
+        ),
         _ => return Err(format!("unknown command {cmd:?}\n\n{USAGE}")),
     };
     let args = Args::parse(rest, allowed).map_err(|e| format!("{e}\n\n{USAGE}"))?;

@@ -102,6 +102,15 @@ impl ModelInstance {
         }
     }
 
+    /// Mutable GWC access (pre-run configuration, e.g. planting checker
+    /// mutations).
+    pub fn as_gwc_mut(&mut self) -> Option<&mut GwcModel> {
+        match self {
+            ModelInstance::Gwc(m) => Some(m),
+            _ => None,
+        }
+    }
+
     /// The entry-consistency model, if that is what was built.
     pub fn as_entry(&self) -> Option<&EntryModel> {
         match self {
@@ -157,6 +166,14 @@ impl Model for ModelInstance {
             ModelInstance::Gwc(m) => m.on_timer(node, tag, mx),
             ModelInstance::Entry(m) => m.on_timer(node, tag, mx),
             ModelInstance::Release(m) => m.on_timer(node, tag, mx),
+        }
+    }
+
+    fn digest(&self) -> Option<u64> {
+        match self {
+            ModelInstance::Gwc(m) => m.digest(),
+            ModelInstance::Entry(m) => m.digest(),
+            ModelInstance::Release(m) => m.digest(),
         }
     }
 }

@@ -36,7 +36,7 @@ mod seqlock;
 pub use history::UsageHistory;
 pub use multigroup::{MultiMutex, MultiMutexBusyError, MultiMutexSignal, MultiMutexStats};
 pub use optimistic::{
-    Completion, MutexSignal, NestedMutexError, OptimisticConfig, OptimisticMutex, OptimisticStats,
-    Path, MUTEX_TAG_BASE,
+    Completion, MutexMutation, MutexSignal, NestedMutexError, OptimisticConfig, OptimisticMutex,
+    OptimisticStats, Path, MUTEX_TAG_BASE,
 };
 pub use seqlock::{SeqReader, SeqWriter, Snapshot};

@@ -60,6 +60,20 @@ impl Default for OptimisticConfig {
     }
 }
 
+/// A deliberately planted engine bug, used as a regression fixture for
+/// the `sesame-check` model checker.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum MutexMutation {
+    /// The correct engine.
+    #[default]
+    None,
+    /// Rollback skips restoring the saved write-set values: the discarded
+    /// optimistic section's writes survive in local memory after the
+    /// rollback — exactly the lost-update hazard lines 22–24 of Figure 4
+    /// exist to prevent.
+    DropRollback,
+}
+
 /// Which path [`OptimisticMutex::enter`] chose (Figure 4 line 07).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Path {
@@ -163,6 +177,7 @@ pub struct OptimisticMutex {
     saved: Vec<(VarId, Word)>,
     epoch: u64,
     stats: OptimisticStats,
+    mutation: MutexMutation,
 }
 
 impl OptimisticMutex {
@@ -180,7 +195,55 @@ impl OptimisticMutex {
             saved: Vec::new(),
             epoch: 0,
             stats: OptimisticStats::default(),
+            mutation: MutexMutation::None,
         }
+    }
+
+    /// Plants `mutation` into the engine (checker regression fixtures).
+    pub fn set_mutation(&mut self, mutation: MutexMutation) {
+        self.mutation = mutation;
+    }
+
+    /// Hash of the engine's logical state — protocol state machine, saved
+    /// write set, usage history — for `sesame-check` state-revisit pruning
+    /// (building block for [`sesame_dsm::Program::digest`]
+    /// implementations). Statistics are excluded; the history estimate is
+    /// included because it steers the optimistic/regular path choice.
+    pub fn state_digest(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.lock.get().hash(&mut h);
+        self.history.value().to_bits().hash(&mut h);
+        match &self.state {
+            State::Idle => 0u8.hash(&mut h),
+            State::Optimistic {
+                computing,
+                body_ran,
+                granted,
+                rollbacks,
+            } => (1u8, computing, body_ran, granted, rollbacks).hash(&mut h),
+            State::Waiting { path, rollbacks } => {
+                (2u8, *path == Path::Optimistic, rollbacks).hash(&mut h)
+            }
+            State::PostGrantCompute { path, rollbacks } => {
+                (3u8, *path == Path::Optimistic, rollbacks).hash(&mut h)
+            }
+            State::AwaitBody { path, rollbacks } => {
+                (4u8, *path == Path::Optimistic, rollbacks).hash(&mut h)
+            }
+            State::Releasing(c) => (
+                5u8,
+                c.path == Path::Optimistic,
+                c.rollbacks,
+                c.fully_overlapped,
+            )
+                .hash(&mut h),
+        }
+        for &(var, val) in &self.saved {
+            (var.get(), val).hash(&mut h);
+        }
+        self.epoch.hash(&mut h);
+        h.finish()
     }
 
     /// The lock this engine manages.
@@ -492,8 +555,10 @@ impl OptimisticMutex {
         }
         // Restore saved values while insharing is still suspended, so the
         // other processor's incoming valid data cannot be overwritten.
-        for &(var, val) in &self.saved {
-            api.write_local(var, val);
+        if self.mutation != MutexMutation::DropRollback {
+            for &(var, val) in &self.saved {
+                api.write_local(var, val);
+            }
         }
         self.saved.clear(); // line 24: variables_saved = NO
         api.resume_insharing(); // line 25

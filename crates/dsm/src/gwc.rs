@@ -128,6 +128,24 @@ pub struct GwcStats {
     pub grant_retransmissions: u64,
 }
 
+/// A deliberately planted protocol bug, used as a regression fixture for
+/// the `sesame-check` model checker: each mutation breaks one safety
+/// mechanism the paper depends on, and the checker must find a schedule
+/// exposing it within its budget.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum GwcMutation {
+    /// The correct protocol.
+    #[default]
+    None,
+    /// The root grants a busy lock to a new requester instead of queueing
+    /// it — two holders can believe they own the critical section.
+    StaleGrantReuse,
+    /// Members apply out-of-order sequenced writes immediately instead of
+    /// buffering them in the reorder window — the root's total store order
+    /// is no longer respected at members.
+    SeqGap,
+}
+
 /// The group-write-consistency memory model.
 #[derive(Debug)]
 pub struct GwcModel {
@@ -140,6 +158,8 @@ pub struct GwcModel {
     /// Retransmission window: how many sequenced writes each root keeps.
     /// `None` keeps everything (exact recovery, unbounded memory).
     history_window: Option<u64>,
+    /// Planted bug for checker regression fixtures.
+    mutation: GwcMutation,
 }
 
 impl GwcModel {
@@ -170,7 +190,82 @@ impl GwcModel {
             stats: GwcStats::default(),
             grant_timeout: None,
             history_window: None,
+            mutation: GwcMutation::None,
         }
+    }
+
+    /// Plants `mutation` into the protocol (checker regression fixtures).
+    pub fn set_mutation(&mut self, mutation: GwcMutation) {
+        self.mutation = mutation;
+    }
+
+    /// The currently planted mutation.
+    pub fn mutation(&self) -> GwcMutation {
+        self.mutation
+    }
+
+    /// Order-independent hash of all protocol state (sharing interfaces
+    /// and root groups), for the `sesame-check` explorer's state-revisit
+    /// pruning. Statistics counters are excluded: they never influence
+    /// protocol behavior.
+    pub fn state_digest(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        fn hash_item(item: &SeqItem, h: &mut impl Hasher) {
+            (
+                item.group.get(),
+                item.var.get(),
+                item.value,
+                item.origin.get(),
+                item.seq,
+            )
+                .hash(h);
+        }
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for (i, st) in self.ifaces.iter().enumerate() {
+            i.hash(&mut h);
+            let mut expected: Vec<(u32, u64)> =
+                st.expected.iter().map(|(g, s)| (g.get(), *s)).collect();
+            expected.sort_unstable();
+            expected.hash(&mut h);
+            let mut reorder_groups: Vec<u32> = st.reorder.keys().map(|g| g.get()).collect();
+            reorder_groups.sort_unstable();
+            for g in reorder_groups {
+                g.hash(&mut h);
+                for item in st.reorder[&GroupId::new(g)].values() {
+                    hash_item(item, &mut h);
+                }
+            }
+            st.suspended.hash(&mut h);
+            for item in &st.held {
+                hash_item(item, &mut h);
+            }
+            let mut armed: Vec<u32> = st.armed.iter().map(|v| v.get()).collect();
+            armed.sort_unstable();
+            armed.hash(&mut h);
+            let mut pending: Vec<u32> = st.pending_acquire.iter().map(|v| v.get()).collect();
+            pending.sort_unstable();
+            pending.hash(&mut h);
+        }
+        let mut group_ids: Vec<GroupId> = self.roots.keys().copied().collect();
+        group_ids.sort_unstable();
+        for gid in group_ids {
+            let rg = &self.roots[&gid];
+            (gid.get(), rg.next_seq, rg.history_base).hash(&mut h);
+            for (var, value, origin) in &rg.history {
+                (var.get(), *value, origin.get()).hash(&mut h);
+            }
+            match &rg.lock {
+                None => 0u8.hash(&mut h),
+                Some(l) => {
+                    (1u8, l.var.get(), l.holder.map(|n| n.get())).hash(&mut h);
+                    for n in &l.queue {
+                        n.get().hash(&mut h);
+                    }
+                }
+            }
+            rg.watchdog.map(|w| (w.seq, w.holder.get())).hash(&mut h);
+        }
+        h.finish()
     }
 
     /// Bounds each root's retransmission history to the last `window`
@@ -397,6 +492,11 @@ impl GwcModel {
                         lock.holder = Some(requester);
                         Outcome::Grant(requester)
                     }
+                    Some(_) if self.mutation == GwcMutation::StaleGrantReuse => {
+                        // PLANTED BUG: grant over the live holder.
+                        lock.holder = Some(requester);
+                        Outcome::Grant(requester)
+                    }
                     Some(_) => {
                         lock.queue.push_back(requester);
                         Outcome::Queued
@@ -596,6 +696,11 @@ impl GwcModel {
             return; // duplicate retransmission
         }
         if item.seq > expected {
+            if self.mutation == GwcMutation::SeqGap {
+                // PLANTED BUG: apply over the gap instead of buffering.
+                self.apply_item(node, item, mx);
+                return;
+            }
             st.reorder
                 .entry(item.group)
                 .or_default()
@@ -641,6 +746,10 @@ impl GwcModel {
 impl Model for GwcModel {
     fn name(&self) -> &'static str {
         "gwc"
+    }
+
+    fn digest(&self) -> Option<u64> {
+        Some(self.state_digest())
     }
 
     fn on_action(&mut self, node: NodeId, action: ModelAction, mx: &mut Mx<'_, '_>) {

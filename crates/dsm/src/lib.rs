@@ -64,6 +64,7 @@
 #![warn(missing_docs)]
 
 mod addr;
+mod footprint;
 mod group;
 mod gwc;
 mod machine;
@@ -72,8 +73,9 @@ mod program;
 mod protocol;
 
 pub use addr::{lockval, GroupId, VarId, Word};
+pub use footprint::{event_footprint, independent, is_local, Footprint, Resource};
 pub use group::{GroupConfigError, GroupSpec, GroupTable, SharingGroup};
-pub use gwc::{GwcModel, GwcStats};
+pub use gwc::{GwcModel, GwcMutation, GwcStats};
 pub use machine::{
     run, run_observed, CpuMeter, DsmEvent, Machine, MachineConfig, MachineMsg, Model, Mx,
     RunOptions, RunResult,

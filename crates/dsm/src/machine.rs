@@ -29,7 +29,7 @@ use crate::{
 };
 
 /// Machine-level events targeted at one node.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum DsmEvent {
     /// Deliver [`AppEvent::Started`] (scheduled once per node at time
     /// zero).
@@ -240,6 +240,13 @@ pub trait Model {
     fn on_timer(&mut self, node: NodeId, tag: u64, mx: &mut Mx<'_, '_>) {
         let _ = (node, tag, mx);
     }
+
+    /// An order-independent hash of the model's protocol state, used by the
+    /// `sesame-check` explorer to recognize revisited states. `None` (the
+    /// default) means the model does not support state-revisit pruning.
+    fn digest(&self) -> Option<u64> {
+        None
+    }
 }
 
 impl<M: Model + ?Sized> Model for Box<M> {
@@ -254,6 +261,9 @@ impl<M: Model + ?Sized> Model for Box<M> {
     }
     fn on_timer(&mut self, node: NodeId, tag: u64, mx: &mut Mx<'_, '_>) {
         (**self).on_timer(node, tag, mx)
+    }
+    fn digest(&self) -> Option<u64> {
+        (**self).digest()
     }
 }
 
@@ -411,6 +421,42 @@ impl<M: Model> Machine<M> {
     /// The CPU meter of `node`.
     pub fn cpu(&self, node: NodeId) -> &CpuMeter {
         &self.cpus[node.index()]
+    }
+
+    /// The sharing-group table (e.g. for conflict-footprint computation).
+    pub fn groups(&self) -> &GroupTable {
+        &self.groups
+    }
+
+    /// Combined digest of the machine's logical state — model protocol
+    /// state, every node's local memory, and every program's state — for
+    /// the `sesame-check` explorer's state-revisit pruning. `None` if the
+    /// model or any program does not implement digests.
+    ///
+    /// Timestamps (CPU meters, fabric statistics) are deliberately
+    /// excluded: under the explorer's time-free enabledness semantics they
+    /// never influence future transitions, and including them would make
+    /// every interleaving look like a fresh state.
+    pub fn state_digest(&self) -> Option<u64> {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.model.digest()?.hash(&mut h);
+        for (i, mem) in self.mems.iter().enumerate() {
+            let mut words: Vec<(u32, crate::Word)> =
+                mem.iter().map(|(v, w)| (v.get(), w)).collect();
+            words.sort_unstable();
+            (i, words).hash(&mut h);
+        }
+        for p in &self.programs {
+            p.digest()?.hash(&mut h);
+        }
+        Some(h.finish())
+    }
+
+    /// The interconnect fabric (to inspect its loss and contention
+    /// configuration, e.g. the schedule explorer's preconditions).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
     }
 
     /// The interconnect fabric (to set loss or contention before a run, or

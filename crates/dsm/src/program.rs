@@ -85,6 +85,13 @@ pub trait Program {
     /// Reacts to one event. All interaction with the machine goes through
     /// `api`.
     fn on_event(&mut self, event: AppEvent, api: &mut NodeApi<'_>);
+
+    /// A hash of the program's internal state, used by the `sesame-check`
+    /// explorer to recognize revisited machine states. `None` (the
+    /// default) means this program does not support state-revisit pruning.
+    fn digest(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// A no-op program for nodes that only serve as roots or routers.
@@ -93,6 +100,10 @@ pub struct IdleProgram;
 
 impl Program for IdleProgram {
     fn on_event(&mut self, _event: AppEvent, _api: &mut NodeApi<'_>) {}
+
+    fn digest(&self) -> Option<u64> {
+        Some(0) // stateless
+    }
 }
 
 /// Closures are programs, which keeps tests and small experiments concise.

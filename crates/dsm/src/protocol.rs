@@ -26,7 +26,7 @@ pub mod sizes {
 }
 
 /// What a packet carries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PacketKind {
     /// GWC: a locally captured write traveling up to the group root for
     /// sequencing. Lock requests and releases are ordinary writes to the
@@ -173,7 +173,7 @@ pub enum PacketKind {
 }
 
 /// One message in flight.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Packet {
     /// Sending node.
     pub from: NodeId,

@@ -103,6 +103,21 @@ impl Fabric {
         self.timing
     }
 
+    /// The contention model in use. The `sesame-check` explorer requires
+    /// [`ContentionModel::None`]: store-and-forward queueing couples all
+    /// senders through shared link-occupancy state, which would invalidate
+    /// its target-node independence relation.
+    pub fn contention(&self) -> ContentionModel {
+        self.contention
+    }
+
+    /// The per-link-traversal loss probability. The `sesame-check`
+    /// explorer requires zero: the loss RNG is shared by every send, so a
+    /// lossy fabric makes delivery outcomes depend on event order.
+    pub fn loss_probability(&self) -> f64 {
+        self.loss_probability
+    }
+
     /// Traffic counters.
     pub fn stats(&self) -> FabricStats {
         self.stats

@@ -33,6 +33,18 @@ impl LinkTiming {
         }
     }
 
+    /// Uniform unit timing for model checking: 1 ns per hop, unlimited
+    /// bandwidth. The `sesame-check` explorer ignores delivery times
+    /// entirely (its enabledness is time-free), but keeping hops nonzero
+    /// preserves strictly increasing cascade times so traces stay readable
+    /// and the clamped clock stays monotone.
+    pub const fn unit() -> Self {
+        LinkTiming {
+            hop_latency: SimDur::from_nanos(1),
+            bytes_per_sec: u64::MAX,
+        }
+    }
+
     /// Time to clock `bytes` onto a link (zero if bandwidth is unlimited).
     pub fn serialization(&self, bytes: u32) -> SimDur {
         if self.bytes_per_sec == u64::MAX {
@@ -93,6 +105,14 @@ mod tests {
     fn zero_delay_network_is_free() {
         let t = LinkTiming::zero_delay();
         assert_eq!(t.transfer(100, 1_000_000), SimDur::ZERO);
+    }
+
+    #[test]
+    fn unit_timing_counts_hops_only() {
+        let t = LinkTiming::unit();
+        assert_eq!(t.serialization(1_000_000), SimDur::ZERO);
+        assert_eq!(t.transfer(3, 64), SimDur::from_nanos(3));
+        assert!(t.transfer(1, 8) > SimDur::ZERO, "cascade times keep rising");
     }
 
     #[test]

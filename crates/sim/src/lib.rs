@@ -47,7 +47,9 @@ mod stats;
 mod time;
 mod trace;
 
-pub use engine::{Actor, ActorId, Context, RunOutcome, Simulation, DEFAULT_EVENT_LIMIT};
+pub use engine::{
+    Actor, ActorId, Context, PendingEvent, RunOutcome, Scheduler, Simulation, DEFAULT_EVENT_LIMIT,
+};
 pub use queue::EventQueue;
 pub use rng::DetRng;
 pub use stats::{Counter, Histogram, MeanVar, Point, Series, TimeWeighted};

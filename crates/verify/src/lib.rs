@@ -41,6 +41,7 @@
 
 mod clock;
 pub mod event;
+mod linear;
 mod mutex;
 mod race;
 mod seq;
@@ -50,6 +51,7 @@ use std::fmt;
 use sesame_sim::{SimTime, TraceEntry, TraceObserver, TraceRecorder};
 
 pub use clock::VectorClock;
+pub use linear::LinearChecker;
 pub use mutex::MutexChecker;
 pub use race::RaceChecker;
 pub use seq::SeqChecker;
@@ -63,6 +65,9 @@ pub enum CheckKind {
     MutualExclusion,
     /// GWC sequencing (total store order) failure.
     Sequencing,
+    /// Critical-section effects diverge from the sequential counter
+    /// specification.
+    Linearizability,
 }
 
 impl fmt::Display for CheckKind {
@@ -71,6 +76,7 @@ impl fmt::Display for CheckKind {
             CheckKind::DataRace => "data-race",
             CheckKind::MutualExclusion => "mutual-exclusion",
             CheckKind::Sequencing => "sequencing",
+            CheckKind::Linearizability => "linearizability",
         };
         f.write_str(s)
     }
@@ -109,14 +115,26 @@ pub struct Verifier {
     race: RaceChecker,
     mutex: MutexChecker,
     seq: SeqChecker,
+    linear: Option<LinearChecker>,
     violations: Vec<Violation>,
     finished: bool,
 }
 
 impl Verifier {
-    /// Creates a verifier with all checkers enabled.
+    /// Creates a verifier with all structural checkers enabled.
     pub fn new() -> Self {
         Verifier::default()
+    }
+
+    /// Like [`Verifier::new`], additionally checking critical-section
+    /// effects against the sequential counter specification on `counter`
+    /// (each section reads the counter and writes it plus one) — the
+    /// linearizability oracle of the `sesame-check` explorer.
+    pub fn with_counter_spec(counter: u32) -> Self {
+        Verifier {
+            linear: Some(LinearChecker::new(counter)),
+            ..Verifier::default()
+        }
     }
 
     /// Processes one trace record. Non-canonical records (human-readable
@@ -129,6 +147,9 @@ impl Verifier {
         self.race.feed(time, node, &ev, &mut self.violations);
         self.mutex.feed(time, node, &ev, &mut self.violations);
         self.seq.feed(time, node, &ev, &mut self.violations);
+        if let Some(linear) = self.linear.as_mut() {
+            linear.feed(time, node, &ev, &mut self.violations);
+        }
     }
 
     /// Finalizes end-of-trace checks (e.g. a rollback still awaiting its
@@ -141,6 +162,36 @@ impl Verifier {
         self.race.finish(&mut self.violations);
         self.mutex.finish(&mut self.violations);
         self.seq.finish(&mut self.violations);
+        if let Some(linear) = self.linear.as_mut() {
+            linear.finish(&mut self.violations);
+        }
+    }
+
+    /// Finalizes a **truncated** trace (a recording cut mid-run): runs
+    /// only the checks that stay valid on a prefix, and returns notes
+    /// describing protocol activity still open at the cut — an open
+    /// optimistic section or rollback, sequenced writes not yet applied
+    /// everywhere (packets mid-flight), an uncommitted critical section.
+    ///
+    /// Unlike [`Verifier::finish`], this never reports a rollback as
+    /// incomplete or a history as non-contiguous merely because the tail
+    /// of the trace is missing. Idempotent; returns no notes if the trace
+    /// was already finalized.
+    pub fn finish_partial(&mut self) -> Vec<String> {
+        if self.finished {
+            return Vec::new();
+        }
+        self.finished = true;
+        self.race.finish(&mut self.violations);
+        self.seq.finish(&mut self.violations);
+        // Deliberately NOT mutex.finish(): it would flag open rollbacks as
+        // incomplete restores, a false alarm on a truncated trace.
+        let mut notes = self.mutex.open_notes();
+        notes.extend(self.seq.pending_notes());
+        if let Some(linear) = self.linear.as_mut() {
+            notes.extend(linear.finish_partial(&mut self.violations));
+        }
+        notes
     }
 
     /// Diagnostics reported so far.
@@ -178,6 +229,30 @@ pub fn check_trace(entries: &[TraceEntry]) -> Vec<Violation> {
         v.feed(e);
     }
     v.into_violations()
+}
+
+/// Outcome of checking a truncated (mid-run) trace.
+#[derive(Debug)]
+pub struct PartialOutcome {
+    /// Diagnostics that are valid even without the trace's tail.
+    pub violations: Vec<Violation>,
+    /// Protocol activity still open where the trace was cut.
+    pub incomplete: Vec<String>,
+}
+
+/// Checks a **truncated** trace offline: prefix-safe diagnostics plus
+/// notes about in-flight protocol activity, instead of false alarms about
+/// the missing tail.
+pub fn check_trace_partial(entries: &[TraceEntry]) -> PartialOutcome {
+    let mut v = Verifier::new();
+    for e in entries {
+        v.feed(e);
+    }
+    let incomplete = v.finish_partial();
+    PartialOutcome {
+        violations: v.violations,
+        incomplete,
+    }
 }
 
 /// Checks everything a [`TraceRecorder`] retained.

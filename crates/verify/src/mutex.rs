@@ -299,4 +299,26 @@ impl MutexChecker {
             self.finish_rollback(node, out);
         }
     }
+
+    /// Describes protocol activity still open — for truncated traces,
+    /// where an open speculation or rollback is expected mid-run state,
+    /// not a violation.
+    pub fn open_notes(&self) -> Vec<String> {
+        let mut notes = Vec::new();
+        for (node, st) in self.nodes.iter().enumerate() {
+            if let Some(spec) = &st.speculating {
+                notes.push(format!(
+                    "node{node} has an open optimistic section on lock v{}",
+                    spec.lock
+                ));
+            }
+            if let Some(rb) = &st.rolling_back {
+                notes.push(format!(
+                    "node{node} has a rollback of lock v{} still in progress",
+                    rb.spec.lock
+                ));
+            }
+        }
+        notes
+    }
 }

@@ -136,4 +136,25 @@ impl SeqChecker {
 
     /// End-of-trace finalization (nothing pending for sequencing).
     pub fn finish(&mut self, _out: &mut Vec<Violation>) {}
+
+    /// Describes sequenced writes not yet observed by every member — for
+    /// truncated traces, where a member that lags the root means packets
+    /// were mid-flight at the cut, not that ordering failed.
+    pub fn pending_notes(&self) -> Vec<String> {
+        let mut keys: Vec<(usize, u32)> = self.member_next.keys().copied().collect();
+        keys.sort_unstable();
+        let mut notes = Vec::new();
+        for key in keys {
+            let (node, group) = key;
+            let applied = self.member_next[&key] - 1;
+            let sequenced = self.root_next.get(&group).copied().unwrap_or(1) - 1;
+            if applied < sequenced {
+                notes.push(format!(
+                    "node{node} applied group {group} writes through seq {applied} but the \
+                     root sequenced through {sequenced}: deliveries in flight"
+                ));
+            }
+        }
+        notes
+    }
 }

@@ -10,6 +10,8 @@
 //!   shared queue (one producer, `N−1` consumers);
 //! * [`pipeline`] — Figure 8, the linear pipeline comparing optimistic
 //!   GWC, non-optimistic GWC, and entry consistency;
+//! * [`canonical`] — tiny deterministic configurations explored
+//!   exhaustively by the `sesame-check` model checker;
 //! * [`contention`] — rollback / contention sweeps (the Figure 7 regime at
 //!   scale) used by the ablation benches;
 //! * [`experiments`] — sweep runners that produce the figures' series;
@@ -19,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod canonical;
 pub mod contention;
 pub mod experiments;
 pub mod pipeline;
