@@ -66,6 +66,29 @@ if cargo run -q --release -p sesame-cli -- check --replay "$tmpdir/cx.replay" \
 fi
 grep -q "still holds" "$tmpdir/replay.out"
 
+echo "==> causal-tracing smoke (explain, DAG export, flow arrows)"
+cargo run -q --release -p sesame-cli -- run --scenario contention \
+    --causes-out "$tmpdir/causes.json" --timeline-out "$tmpdir/flow.trace.json" \
+    >/dev/null
+grep -q '"schema":"sesame-causes/v1"' "$tmpdir/causes.json"
+grep -q '"op":"rollback"' "$tmpdir/causes.json"
+# Flow arrows: paired Chrome flow-event start/finish phases in the timeline.
+grep -q '"ph":"s"' "$tmpdir/flow.trace.json"
+grep -q '"ph":"f","bp":"e"' "$tmpdir/flow.trace.json"
+# explain walks every rollback back to the remote write that caused it and
+# ends with the critical-path split.
+cargo run -q --release -p sesame-cli -- explain --scenario contention \
+    > "$tmpdir/explain.out"
+grep -q "rollback #" "$tmpdir/explain.out"
+grep -q "invalidated by node" "$tmpdir/explain.out"
+grep -q "critical path:" "$tmpdir/explain.out"
+# Unknown event ids are a hard error.
+if cargo run -q --release -p sesame-cli -- explain --scenario contention \
+    --event 999999999 >/dev/null 2>&1; then
+    echo "explain accepted an unknown event id" >&2
+    exit 1
+fi
+
 echo "==> bench smoke (queue micro-bench, JSON line output)"
 cargo bench -q -p sesame-bench --bench queue -- --bench-out "$tmpdir/bench.json" \
     >/dev/null

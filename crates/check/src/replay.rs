@@ -23,7 +23,7 @@
 use sesame_core::{MutexMutation, OptimisticConfig};
 use sesame_dsm::{DsmEvent, GwcMutation};
 use sesame_net::NodeId;
-use sesame_sim::{ActorId, SimTime, Simulation};
+use sesame_sim::{ActorId, SimTime, Simulation, TraceEntry};
 use sesame_verify::{check_trace, check_trace_partial, Violation};
 use sesame_workloads::canonical::{build_canonical, CanonicalConfig};
 
@@ -135,6 +135,9 @@ pub struct ReplayOutcome {
     pub drained: bool,
     /// Trace records produced.
     pub trace_len: usize,
+    /// The full recorded trace, for downstream annotation (e.g. the CLI's
+    /// causal-chain rendering of a counterexample).
+    pub trace: Vec<TraceEntry>,
 }
 
 /// Re-executes a recorded schedule and checks its trace offline.
@@ -171,6 +174,7 @@ pub fn replay(cfg: CanonicalConfig, choices: &[u64]) -> Result<ReplayOutcome, St
         incomplete,
         drained,
         trace_len: entries.len(),
+        trace: entries.to_vec(),
     })
 }
 

@@ -11,6 +11,7 @@
 //! sesame contention [--contenders N] [--rounds N] [--think-us N]
 //! sesame run --scenario contention --metrics-out m.json --timeline-out t.trace.json
 //! sesame report --metrics-in m.json
+//! sesame explain --scenario contention [--event 42]
 //! sesame check [--cpus N] [--mutation stale-grant-reuse] [--out cx.replay]
 //! sesame check --replay cx.replay
 //! ```
@@ -22,7 +23,7 @@ use std::process::ExitCode;
 use args::Args;
 use sesame_core::OptimisticConfig;
 use sesame_sim::SimDur;
-use sesame_telemetry::{render_report, Snapshot};
+use sesame_telemetry::{render_report, CausalDag, Snapshot};
 use sesame_workloads::contention::{run_contention, ContentionConfig};
 use sesame_workloads::experiments::{
     figure1, figure2_jobs, figure2_sizes, figure8_jobs, figure8_sizes, render_series,
@@ -65,10 +66,21 @@ COMMANDS:
                     --metrics-out <file.json>   JSON metrics snapshot
                     --csv-out <file.csv>        CSV metrics export
                     --timeline-out <file.json>  Chrome trace-event timeline
+                                      (with cross-node causal flow arrows)
+                    --causes-out <file>         causal DAG (.dot → Graphviz,
+                                      anything else → sesame-causes/v1 JSON)
                     --jobs <N=1>      run N redundant copies concurrently and
                                       assert their exports are byte-identical
     report        render a human-readable report from a metrics snapshot
+                  (includes wait percentiles and rollback attribution)
                     --metrics-in <file.json>  (or --scenario to run fresh)
+    explain       re-run a scenario and print cause→effect chains: why each
+                  rollback happened (the remote write, its multicast, the
+                  interrupting apply) and the run's critical path
+                    --scenario/--contenders/--rounds/--tasks/--nodes/--seed
+                                      as for run
+                    --event <id>      explain one causal event id instead
+                                      (exits nonzero if the id is unknown)
     verify        replay scenarios under the sesame-verify checkers
                     --scenario <all|three-cpu|contention|task-queue|planted-bad>
                     --contenders <N=4>  --rounds <N=30>
@@ -304,7 +316,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     if jobs > 1 {
         let exports = sesame_sweep::run_sweep(jobs, jobs, |_| {
             let t = run_with_telemetry(scenario, &opts);
-            (t.snapshot().to_json(), t.chrome_trace())
+            (t.snapshot().to_json(), t.chrome_trace(), t.causes_json())
         });
         for (i, copy) in exports.iter().enumerate().skip(1) {
             if copy != &exports[0] {
@@ -332,7 +344,96 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             telemetry.timeline().len()
         );
     }
+    if let Some(path) = args.get_str("--causes-out") {
+        let contents = if path.ends_with(".dot") {
+            telemetry.causes_dot()
+        } else {
+            telemetry.causes_json()
+        };
+        write_file(path, &contents)?;
+        println!(
+            "wrote causal DAG ({} events) to {path}",
+            telemetry.causes().len()
+        );
+    }
     print!("{}", render_report(&snapshot));
+    Ok(())
+}
+
+/// Prints the cause→effect chains a causal DAG holds: one chain per
+/// rollback (with its blame line), or — when nothing rolled back — the
+/// chain ending at the latest recorded action.
+fn print_causal_chains(dag: &CausalDag) {
+    let rollbacks = dag.rollbacks();
+    if rollbacks.is_empty() {
+        println!("no rollbacks recorded");
+        if let Some(path) = dag.critical_path() {
+            if let Some(&last) = path.ids.last() {
+                if let Some(text) = dag.render_chain(last) {
+                    println!("chain to the last recorded action:");
+                    print!("{text}");
+                }
+            }
+        }
+    }
+    for id in rollbacks {
+        let node = dag.get(id).expect("listed id");
+        match node.conflict {
+            Some((var, writer)) => println!(
+                "rollback #{id} on node {} @ {}ns — invalidated by node {writer}'s write to v{var}:",
+                node.actor,
+                node.time.as_nanos()
+            ),
+            None => println!(
+                "rollback #{id} on node {} @ {}ns:",
+                node.actor,
+                node.time.as_nanos()
+            ),
+        }
+        if let Some(text) = dag.render_chain(id) {
+            print!("{text}");
+        }
+    }
+    if let Some(path) = dag.critical_path() {
+        println!(
+            "critical path: {} events, {}ns total = {}ns flight + {}ns sequencing + {}ns hold + {}ns wait",
+            path.ids.len(),
+            path.total_ns(),
+            path.flight_ns,
+            path.sequencing_ns,
+            path.hold_ns,
+            path.wait_ns,
+        );
+    }
+}
+
+/// Re-runs a scenario with causal tracing and explains its rollbacks (or
+/// one specific causal event id via `--event`).
+fn cmd_explain(args: &Args) -> Result<(), String> {
+    let (scenario, opts) = scenario_options(args)?;
+    let telemetry = run_with_telemetry(scenario, &opts);
+    let dag = telemetry.causes();
+    if let Some(spec) = args.get_str("--event") {
+        let id: u64 = spec
+            .trim_start_matches('#')
+            .parse()
+            .map_err(|_| format!("invalid --event {spec:?} (expected a causal event id)"))?;
+        let text = dag.render_chain(id).ok_or_else(|| {
+            format!(
+                "unknown event id #{id}: this run recorded {} causal events",
+                dag.len()
+            )
+        })?;
+        println!("causal chain to #{id}:");
+        print!("{text}");
+        return Ok(());
+    }
+    println!(
+        "{} causal events recorded over {}ns",
+        dag.len(),
+        telemetry.end().as_nanos()
+    );
+    print_causal_chains(dag);
     Ok(())
 }
 
@@ -506,6 +607,10 @@ fn cmd_check(args: &Args) -> Result<(), String> {
         for v in &outcome.violations {
             println!("FAIL {v}");
         }
+        let dag = CausalDag::from_trace(&outcome.trace);
+        if !dag.is_empty() {
+            print_causal_chains(&dag);
+        }
         return Err(format!(
             "{} violation(s) reproduced from {path}",
             outcome.violations.len()
@@ -587,6 +692,10 @@ fn cmd_check(args: &Args) -> Result<(), String> {
             for v in &cx.violations {
                 println!("FAIL {v}");
             }
+            let dag = CausalDag::from_trace(&cx.trace);
+            if !dag.is_empty() {
+                print_causal_chains(&dag);
+            }
             let file = to_replay_string(cx);
             match args.get_str("--out") {
                 Some(path) => {
@@ -639,6 +748,7 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
                 "--metrics-out",
                 "--csv-out",
                 "--timeline-out",
+                "--causes-out",
                 "--jobs",
             ],
             cmd_run,
@@ -654,6 +764,18 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
                 "--seed",
             ],
             cmd_report,
+        ),
+        "explain" => (
+            &[
+                "--scenario",
+                "--contenders",
+                "--rounds",
+                "--tasks",
+                "--nodes",
+                "--seed",
+                "--event",
+            ],
+            cmd_explain,
         ),
         "verify" => (&["--scenario", "--contenders", "--rounds"], cmd_verify),
         "check" => (

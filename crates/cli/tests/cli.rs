@@ -114,6 +114,142 @@ fn run_exports_validate_and_report_round_trips() {
 }
 
 #[test]
+fn run_exports_causal_dag_and_flow_events() {
+    let causes = tmp("c.json");
+    let dot = tmp("c.dot");
+    let timeline = tmp("c.trace.json");
+    let out = sesame(&[
+        "run",
+        "--rounds",
+        "10",
+        "--causes-out",
+        causes.to_str().unwrap(),
+        "--timeline-out",
+        timeline.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&causes).unwrap();
+    assert!(json.contains("\"schema\":\"sesame-causes/v1\""));
+    assert!(json.contains("\"op\":\"mcast\""));
+    assert!(json.contains("\"op\":\"rollback\""));
+    assert!(json.contains("\"conflict\":{"));
+
+    // A .dot path selects the Graphviz export.
+    let out = sesame(&[
+        "run",
+        "--rounds",
+        "10",
+        "--causes-out",
+        dot.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let dot_text = std::fs::read_to_string(&dot).unwrap();
+    assert!(dot_text.starts_with("digraph causes {"));
+    assert!(dot_text.contains("color=red"), "rollbacks highlighted");
+
+    // The Chrome trace carries causal flow arrows as s/f pairs.
+    let trace = std::fs::read_to_string(&timeline).unwrap();
+    assert!(trace.contains("\"ph\":\"s\""), "flow start events");
+    assert!(
+        trace.contains("\"ph\":\"f\",\"bp\":\"e\""),
+        "flow finish events"
+    );
+
+    for p in [causes, dot, timeline] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn causal_exports_are_identical_serial_and_concurrent() {
+    let serial = tmp("causes-serial.json");
+    let jobs = tmp("causes-jobs.json");
+    let out = sesame(&[
+        "run",
+        "--rounds",
+        "8",
+        "--causes-out",
+        serial.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    // --jobs N runs N redundant copies concurrently, asserts all exports
+    // (snapshot, timeline, causal DAG) match internally, then exports.
+    let out = sesame(&[
+        "run",
+        "--rounds",
+        "8",
+        "--jobs",
+        "3",
+        "--causes-out",
+        jobs.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("byte-identical"));
+    assert_eq!(
+        std::fs::read(&serial).unwrap(),
+        std::fs::read(&jobs).unwrap(),
+        "causal DAG must not depend on host scheduling"
+    );
+    for p in [serial, jobs] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn explain_walks_every_rollback_back_to_the_remote_write() {
+    let out = sesame(&["explain", "--rounds", "10"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let rollback_headers = text.matches("rollback #").count();
+    assert!(
+        rollback_headers > 0,
+        "contention run must roll back:\n{text}"
+    );
+    // Every rollback chain crosses the network: remote write, multicast
+    // fan-out, interrupting apply, then the rollback with its blame.
+    assert_eq!(
+        text.matches("invalidated by node").count(),
+        rollback_headers
+    );
+    assert!(
+        text.matches(" mcast ").count() >= rollback_headers,
+        "{text}"
+    );
+    assert!(
+        text.matches(" apply ").count() >= rollback_headers,
+        "{text}"
+    );
+    assert!(
+        text.matches("conflict: v").count() >= rollback_headers,
+        "{text}"
+    );
+    assert!(text.contains("critical path:"), "{text}");
+}
+
+#[test]
+fn explain_single_event_and_unknown_id() {
+    let out = sesame(&["explain", "--rounds", "5", "--event", "1"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("causal chain to #1:"));
+
+    let out = sesame(&["explain", "--rounds", "5", "--event", "999999999"]);
+    assert!(!out.status.success(), "unknown event ids must exit nonzero");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown event id"));
+}
+
+#[test]
 fn report_rejects_malformed_snapshots() {
     let path = tmp("bad.json");
     std::fs::write(&path, "{\"schema\":\"wrong/v0\",\"metrics\":{}}").unwrap();

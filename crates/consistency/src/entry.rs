@@ -24,7 +24,8 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use sesame_dsm::{
-    sizes, AppEvent, GroupTable, Model, ModelAction, Mx, Packet, PacketKind, TraceDetail, VarId,
+    sizes, AppEvent, CauseId, GroupTable, Model, ModelAction, Mx, Packet, PacketKind, TraceDetail,
+    VarId,
 };
 use sesame_net::NodeId;
 
@@ -193,6 +194,7 @@ impl EntryModel {
             mx.send_after(
                 self.handler_time,
                 Packet {
+                    cause: CauseId::NONE,
                     from,
                     to: *r,
                     bytes: sizes::CTRL,
@@ -223,6 +225,7 @@ impl EntryModel {
         mx.send_after(
             self.handler_time,
             Packet {
+                cause: CauseId::NONE,
                 from: t.from,
                 to: t.to,
                 bytes: sizes::CTRL + data_bytes,
@@ -292,6 +295,7 @@ impl EntryModel {
         mx.send_after(
             self.handler_time,
             Packet {
+                cause: CauseId::NONE,
                 from: node,
                 to: owner,
                 bytes: sizes::CTRL,
@@ -317,6 +321,7 @@ impl EntryModel {
             mx.send_after(
                 self.handler_time,
                 Packet {
+                    cause: CauseId::NONE,
                     from: node,
                     to: owner,
                     bytes: sizes::CTRL,
@@ -380,6 +385,7 @@ impl Model for EntryModel {
                         mx.send_after(
                             self.handler_time,
                             Packet {
+                                cause: CauseId::NONE,
                                 from: node,
                                 to: home,
                                 bytes: sizes::WRITE,
@@ -447,6 +453,7 @@ impl Model for EntryModel {
                 mx.send_after(
                     self.handler_time,
                     Packet {
+                        cause: CauseId::NONE,
                         from: node,
                         to: target,
                         bytes: sizes::CTRL,
@@ -488,6 +495,7 @@ impl Model for EntryModel {
                 mx.send_after(
                     self.handler_time,
                     Packet {
+                        cause: CauseId::NONE,
                         from: node,
                         to: back,
                         bytes: sizes::ACK,
@@ -520,6 +528,7 @@ impl Model for EntryModel {
                         mx.send_after(
                             self.handler_time,
                             Packet {
+                                cause: CauseId::NONE,
                                 from: node,
                                 to: owner,
                                 bytes: sizes::CTRL,
@@ -546,6 +555,7 @@ impl Model for EntryModel {
                 mx.send_after(
                     self.handler_time,
                     Packet {
+                        cause: CauseId::NONE,
                         from: node,
                         to: requester,
                         bytes: sizes::WRITE,
@@ -609,6 +619,7 @@ impl EntryModel {
             mx.send_after(
                 self.handler_time,
                 Packet {
+                    cause: CauseId::NONE,
                     from: root,
                     to: r,
                     bytes: sizes::CTRL,

@@ -19,7 +19,9 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use sesame_dsm::{sizes, AppEvent, GroupTable, Model, ModelAction, Mx, Packet, PacketKind, VarId};
+use sesame_dsm::{
+    sizes, AppEvent, CauseId, GroupTable, Model, ModelAction, Mx, Packet, PacketKind, VarId,
+};
 use sesame_net::NodeId;
 
 /// Counters exposed for tests and the experiment harness.
@@ -122,6 +124,7 @@ impl ReleaseModel {
             mx.deliver(to, AppEvent::Acquired { lock });
         } else {
             mx.send(Packet {
+                cause: CauseId::NONE,
                 from,
                 to,
                 bytes: sizes::CTRL,
@@ -162,6 +165,7 @@ impl ReleaseModel {
                         .owner = Some(next);
                 } else {
                     mx.send(Packet {
+                        cause: CauseId::NONE,
                         from: node,
                         to: manager,
                         bytes: sizes::CTRL,
@@ -185,6 +189,7 @@ impl ReleaseModel {
                         .owner = None;
                 } else {
                     mx.send(Packet {
+                        cause: CauseId::NONE,
                         from: node,
                         to: manager,
                         bytes: sizes::CTRL,
@@ -221,6 +226,7 @@ impl Model for ReleaseModel {
                 self.stats.updates += targets.len() as u64;
                 for m in targets {
                     mx.send(Packet {
+                        cause: CauseId::NONE,
                         from: node,
                         to: m,
                         bytes: sizes::WRITE,
@@ -252,6 +258,7 @@ impl Model for ReleaseModel {
                         Some(o) => {
                             self.stats.forwards += 1;
                             mx.send(Packet {
+                                cause: CauseId::NONE,
                                 from: node,
                                 to: o,
                                 bytes: sizes::CTRL,
@@ -264,6 +271,7 @@ impl Model for ReleaseModel {
                     }
                 } else {
                     mx.send(Packet {
+                        cause: CauseId::NONE,
                         from: node,
                         to: manager,
                         bytes: sizes::CTRL,
@@ -312,6 +320,7 @@ impl Model for ReleaseModel {
                 mx.mem(node).write(var, value);
                 mx.deliver(node, AppEvent::Updated { var, value, origin });
                 mx.send(Packet {
+                    cause: CauseId::NONE,
                     from: node,
                     to: origin,
                     bytes: sizes::ACK,
@@ -346,6 +355,7 @@ impl Model for ReleaseModel {
                             .expect("invariant: RcAcquire names a lock registered at this manager")
                             .owner = Some(o);
                         mx.send(Packet {
+                            cause: CauseId::NONE,
                             from: node,
                             to: o,
                             bytes: sizes::CTRL,
@@ -361,6 +371,7 @@ impl Model for ReleaseModel {
                 } else if let Some(&next) = st.last_granted.get(&lock) {
                     // The token moved on; chase it.
                     mx.send(Packet {
+                        cause: CauseId::NONE,
                         from: node,
                         to: next,
                         bytes: sizes::CTRL,
@@ -371,6 +382,7 @@ impl Model for ReleaseModel {
                     // manager will re-route.
                     let manager = self.locks[&lock].manager;
                     mx.send(Packet {
+                        cause: CauseId::NONE,
                         from: node,
                         to: manager,
                         bytes: sizes::CTRL,

@@ -548,6 +548,18 @@ impl OptimisticMutex {
                     var: self.lock.get(),
                 },
             );
+            // Blame attribution: the lock value names the winner whose
+            // remote write invalidated this section. Telemetry pairs this
+            // with the rollback's causal point for per-rollback reports.
+            if let Some(writer) = lockval::as_grant(value) {
+                api.trace(
+                    "opt-conflict",
+                    TraceDetail::Conflict {
+                        var: self.lock.get(),
+                        writer: writer.get(),
+                    },
+                );
+            }
         }
         if computing {
             api.cancel_compute();

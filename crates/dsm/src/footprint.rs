@@ -156,6 +156,7 @@ mod tests {
                 value,
                 origin: NodeId::new(from),
             },
+            cause: crate::CauseId::NONE,
         })
     }
 
@@ -171,6 +172,7 @@ mod tests {
                 origin: NodeId::new(0),
                 seq,
             },
+            cause: crate::CauseId::NONE,
         })
     }
 

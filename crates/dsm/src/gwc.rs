@@ -32,7 +32,8 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
-use sesame_net::NodeId;
+use sesame_net::{CauseId, NodeId};
+use sesame_sim::CauseOp;
 
 use crate::addr::lockval;
 use crate::protocol::sizes;
@@ -338,6 +339,7 @@ impl GwcModel {
                 value,
                 origin: node,
             },
+            cause: CauseId::NONE,
         });
     }
 
@@ -366,6 +368,10 @@ impl GwcModel {
                 },
             );
         }
+        // The sequencing decision is a causal point of its own: the fan-out
+        // (and every member apply) chains from it.
+        let root = mx.groups().group(group).root();
+        mx.cause_point(root, CauseOp::Seq);
         let rg = self.roots.get_mut(&group).expect("known group");
         rg.history.push_back((var, value, origin));
         if let Some(window) = self.history_window {
@@ -446,6 +452,7 @@ impl GwcModel {
                         },
                     );
                 }
+                mx.cause_point(node, CauseOp::Filter);
                 return;
             }
         }
@@ -559,6 +566,9 @@ impl GwcModel {
                         },
                     );
                 }
+                // The grant decision precedes its sequencing, so the Seq
+                // point (and the whole grant multicast) chains from it.
+                mx.cause_point(root, CauseOp::Grant);
                 self.sequence_and_multicast(group, var, lockval::grant(holder), root, mx);
                 if let Some(timeout) = self.grant_timeout {
                     let rg = self.roots.get_mut(&group).expect("known group");
@@ -640,6 +650,7 @@ impl GwcModel {
                 );
                 gwc_apply(mx, ApplyMode::HwBlocked);
             }
+            mx.cause_point(node, CauseOp::Apply);
             return;
         }
 
@@ -653,6 +664,7 @@ impl GwcModel {
             if mx.tracing() {
                 gwc_apply(mx, ApplyMode::Interrupt);
             }
+            mx.cause_point(node, CauseOp::Apply);
             mx.mem(node).write(item.var, item.value);
             mx.deliver(
                 node,
@@ -667,6 +679,7 @@ impl GwcModel {
         if mx.tracing() {
             gwc_apply(mx, ApplyMode::Applied);
         }
+        mx.cause_point(node, CauseOp::Apply);
         mx.mem(node).write(item.var, item.value);
         if st.pending_acquire.contains(&item.var) && item.value == lockval::grant(node) {
             st.pending_acquire.remove(&item.var);
@@ -715,6 +728,7 @@ impl GwcModel {
                     group: item.group,
                     have: expected - 1,
                 },
+                cause: CauseId::NONE,
             });
             return;
         }
@@ -844,6 +858,7 @@ impl Model for GwcModel {
                             origin,
                             seq,
                         },
+                        cause: CauseId::NONE,
                     });
                 }
             }
@@ -895,6 +910,7 @@ impl Model for GwcModel {
                 origin,
                 seq,
             },
+            cause: CauseId::NONE,
         });
         if let Some(timeout) = self.grant_timeout {
             mx.set_model_timer(node, timeout, tag);

@@ -64,6 +64,7 @@
 #![warn(missing_docs)]
 
 mod addr;
+mod causal;
 mod footprint;
 mod group;
 mod gwc;
@@ -73,6 +74,7 @@ mod program;
 mod protocol;
 
 pub use addr::{lockval, GroupId, VarId, Word};
+pub use causal::CauseCtx;
 pub use footprint::{event_footprint, independent, is_local, Footprint, Resource};
 pub use group::{GroupConfigError, GroupSpec, GroupTable, SharingGroup};
 pub use gwc::{GwcModel, GwcMutation, GwcStats};
@@ -83,4 +85,5 @@ pub use machine::{
 pub use memory::LocalMemory;
 pub use program::{Action, AppEvent, IdleProgram, ModelAction, NodeApi, Program};
 pub use protocol::{sizes, Packet, PacketKind};
-pub use sesame_sim::{ApplyMode, TraceDetail};
+pub use sesame_net::{CauseAlloc, CauseId};
+pub use sesame_sim::{ApplyMode, CauseOp, TraceDetail};

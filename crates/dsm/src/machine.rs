@@ -16,12 +16,13 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use sesame_net::{Fabric, LinkTiming, NodeId, SpanningTree, Topology};
+use sesame_net::{CauseId, Fabric, LinkTiming, NodeId, SpanningTree, Topology};
 use sesame_sim::{
-    Actor, ActorId, Context, RunOutcome, SimDur, SimTime, Simulation, TimeWeighted, TraceDetail,
-    TraceRecorder,
+    Actor, ActorId, CauseOp, Context, RunOutcome, SimDur, SimTime, Simulation, TimeWeighted,
+    TraceDetail, TraceRecorder,
 };
 
+use crate::causal::CauseCtx;
 use crate::protocol::sizes;
 use crate::{
     Action, AppEvent, GroupId, GroupTable, LocalMemory, ModelAction, NodeApi, Packet, PacketKind,
@@ -90,7 +91,8 @@ pub struct Mx<'a, 'b> {
     fabric: &'a mut Fabric,
     cfg: &'a MachineConfig,
     ctx: &'a mut Context<'b, MachineMsg>,
-    app_outbox: &'a mut VecDeque<(NodeId, AppEvent)>,
+    app_outbox: &'a mut VecDeque<(NodeId, AppEvent, CauseId)>,
+    causes: &'a mut CauseCtx,
 }
 
 impl Mx<'_, '_> {
@@ -128,7 +130,7 @@ impl Mx<'_, '_> {
     /// Sends a packet after an extra processing delay at the sender —
     /// software protocol-handler occupancy in models that are not
     /// hardware-assisted.
-    pub fn send_after(&mut self, extra: SimDur, pkt: Packet) {
+    pub fn send_after(&mut self, extra: SimDur, mut pkt: Packet) {
         let at = self
             .fabric
             .unicast(self.now + extra, self.topo, pkt.from, pkt.to, pkt.bytes);
@@ -149,6 +151,9 @@ impl Mx<'_, '_> {
                 },
             );
         }
+        // Stamp the packet with a fresh send id chaining from the current
+        // cause; the receiver restores it as its causal context.
+        pkt.cause = self.causes.stage(self.ctx, pkt.from, CauseOp::Send);
         let target = self.ctx.self_id();
         self.ctx
             .send_at(target, at, (pkt.to, DsmEvent::Packet(pkt)));
@@ -178,6 +183,9 @@ impl Mx<'_, '_> {
                 },
             );
         }
+        // One mcast id covers the whole fan-out: every member's packet
+        // carries it, so each arrival chains back to this decision.
+        let cause = self.causes.stage(self.ctx, root, CauseOp::Mcast);
         for (member, at) in arrivals {
             // Per-member loss (the root's own echo is a local operation and
             // never lost); members recover via nack-triggered retransmission.
@@ -189,6 +197,7 @@ impl Mx<'_, '_> {
                 to: member,
                 bytes,
                 kind,
+                cause,
             };
             self.ctx
                 .send_at(target, at, (member, DsmEvent::Packet(pkt)));
@@ -198,6 +207,7 @@ impl Mx<'_, '_> {
     /// Schedules a protocol timer: [`Model::on_timer`] fires at `node`
     /// after `delay`.
     pub fn set_model_timer(&mut self, node: NodeId, delay: SimDur, tag: u64) {
+        self.causes.park_model_timer(node, tag);
         let target = self.ctx.self_id();
         self.ctx.send_at(
             target,
@@ -207,9 +217,18 @@ impl Mx<'_, '_> {
     }
 
     /// Queues an application event for delivery to `node`'s program in the
-    /// current cascade (zero simulated delay).
+    /// current cascade (zero simulated delay). The event captures the
+    /// delivering protocol action's causal context.
     pub fn deliver(&mut self, node: NodeId, event: AppEvent) {
-        self.app_outbox.push_back((node, event));
+        self.app_outbox
+            .push_back((node, event, self.causes.current()));
+    }
+
+    /// Records a causal point attributed to `node`: a fresh id chaining
+    /// from the current cause, which becomes the new current cause. No-op
+    /// (returns [`CauseId::NONE`]) when tracing is detached.
+    pub fn cause_point(&mut self, node: NodeId, op: CauseOp) -> CauseId {
+        self.causes.point(self.ctx, node, op)
     }
 
     /// Records a trace entry attributed to `node`.
@@ -344,6 +363,7 @@ pub struct Machine<M: Model> {
     programs: Vec<Box<dyn Program>>,
     model: M,
     cfg: MachineConfig,
+    causes: CauseCtx,
 }
 
 impl<M: Model> std::fmt::Debug for Machine<M> {
@@ -391,6 +411,7 @@ impl<M: Model> Machine<M> {
             programs,
             model,
             cfg,
+            causes: CauseCtx::new(),
         }
     }
 
@@ -500,7 +521,7 @@ impl<M: Model> Machine<M> {
     fn with_mx<R>(
         &mut self,
         ctx: &mut Context<'_, MachineMsg>,
-        app_q: &mut VecDeque<(NodeId, AppEvent)>,
+        app_q: &mut VecDeque<(NodeId, AppEvent, CauseId)>,
         f: impl FnOnce(&mut M, &mut Mx<'_, '_>) -> R,
     ) -> R {
         let Machine {
@@ -511,6 +532,7 @@ impl<M: Model> Machine<M> {
             mems,
             model,
             cfg,
+            causes,
             ..
         } = self;
         let mut mx = Mx {
@@ -523,16 +545,18 @@ impl<M: Model> Machine<M> {
             cfg,
             ctx,
             app_outbox: app_q,
+            causes,
         };
         f(model, &mut mx)
     }
 
     fn drain(
         &mut self,
-        mut app_q: VecDeque<(NodeId, AppEvent)>,
+        mut app_q: VecDeque<(NodeId, AppEvent, CauseId)>,
         ctx: &mut Context<'_, MachineMsg>,
     ) {
-        while let Some((node, event)) = app_q.pop_front() {
+        while let Some((node, event, cause)) = app_q.pop_front() {
+            self.causes.set_current(cause);
             if ctx.tracing() {
                 // Canonical lock-transfer events for trace-level checkers
                 // (`sesame-verify`): a node now believes it holds / has
@@ -554,6 +578,11 @@ impl<M: Model> Machine<M> {
                     }
                     _ => {}
                 }
+            }
+            if let AppEvent::Acquired { .. } = &event {
+                // The program's actions inside the critical section chain
+                // from the acquisition, not from the delivering apply.
+                self.causes.point(ctx, node, CauseOp::Acquired);
             }
             let mut actions = Vec::new();
             {
@@ -598,16 +627,31 @@ impl<M: Model> Machine<M> {
                                 _ => {}
                             }
                         }
+                        match &ma {
+                            ModelAction::Write { .. } => {
+                                self.causes.point(ctx, node, CauseOp::Write);
+                            }
+                            ModelAction::Acquire { .. } => {
+                                self.causes.point(ctx, node, CauseOp::Acquire);
+                            }
+                            ModelAction::Release { .. } => {
+                                self.causes.point(ctx, node, CauseOp::Release);
+                            }
+                            _ => {}
+                        }
                         self.with_mx(ctx, &mut app_q, |model, mx| model.on_action(node, ma, mx));
                     }
                     Action::Compute { dur, tag } => {
                         self.cpus[node.index()].start(ctx.now(), dur);
+                        let id = self.causes.stage(ctx, node, CauseOp::Compute);
+                        self.causes.park_compute(node, tag, id);
                         ctx.send_self(dur, (node, DsmEvent::ComputeDone { tag }));
                     }
                     Action::CancelCompute => {
                         self.cpus[node.index()].cancel(ctx.now());
                     }
                     Action::Timer { dur, tag } => {
+                        self.causes.park_timer(node, tag);
                         ctx.send_self(dur, (node, DsmEvent::TimerFired { tag }));
                     }
                     Action::SendMessage {
@@ -616,11 +660,12 @@ impl<M: Model> Machine<M> {
                         tag,
                     } => {
                         let bytes = payload_bytes + sizes::APP_HEADER;
-                        let pkt = Packet {
+                        let mut pkt = Packet {
                             from: node,
                             to,
                             bytes,
                             kind: PacketKind::App { tag },
+                            cause: CauseId::NONE,
                         };
                         let at =
                             self.fabric
@@ -639,11 +684,27 @@ impl<M: Model> Machine<M> {
                                 },
                             );
                         }
+                        pkt.cause = self.causes.stage(ctx, node, CauseOp::Send);
                         let target = ctx.self_id();
                         ctx.send_at(target, at, (to, DsmEvent::Packet(pkt)));
                     }
                     Action::Stop => ctx.stop(),
-                    Action::Trace { kind, detail } => ctx.trace_for(node.index(), kind, detail),
+                    Action::Trace { kind, detail } => {
+                        ctx.trace_for(node.index(), kind, detail);
+                        // Program-level causal milestones: rollbacks and
+                        // section completions announce themselves through
+                        // trace actions; pair them with a causal point so
+                        // chains run through them.
+                        match kind {
+                            "opt-rollback" => {
+                                self.causes.point(ctx, node, CauseOp::Rollback);
+                            }
+                            "mutex-complete" => {
+                                self.causes.point(ctx, node, CauseOp::Complete);
+                            }
+                            _ => {}
+                        }
+                    }
                 }
             }
         }
@@ -656,18 +717,27 @@ impl<M: Model> Actor for Machine<M> {
     fn handle(&mut self, (node, event): MachineMsg, ctx: &mut Context<'_, MachineMsg>) {
         let mut app_q = VecDeque::new();
         match event {
-            DsmEvent::Start => app_q.push_back((node, AppEvent::Started)),
+            DsmEvent::Start => {
+                // Spontaneous: a root of the causal forest.
+                self.causes.set_current(CauseId::NONE);
+                app_q.push_back((node, AppEvent::Started, CauseId::NONE));
+            }
             DsmEvent::ComputeDone { tag } => {
                 self.cpus[node.index()].finish(ctx.now());
-                app_q.push_back((node, AppEvent::ComputeDone { tag }));
+                self.causes.resume_compute(node, tag);
+                app_q.push_back((node, AppEvent::ComputeDone { tag }, self.causes.current()));
             }
             DsmEvent::TimerFired { tag } => {
-                app_q.push_back((node, AppEvent::TimerFired { tag }));
+                self.causes.resume_timer(node, tag);
+                app_q.push_back((node, AppEvent::TimerFired { tag }, self.causes.current()));
             }
             DsmEvent::Packet(pkt) => {
+                // The packet carried its sender's causal context.
+                self.causes.set_current(pkt.cause);
                 self.with_mx(ctx, &mut app_q, |model, mx| model.on_packet(node, pkt, mx));
             }
             DsmEvent::ModelTimer { tag } => {
+                self.causes.resume_model_timer(node, tag);
                 self.with_mx(ctx, &mut app_q, |model, mx| model.on_timer(node, tag, mx));
             }
         }

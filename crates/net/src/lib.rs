@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod causal;
 mod fabric;
 mod hypercube;
 mod link;
@@ -34,6 +35,7 @@ mod node;
 mod topology;
 mod tree;
 
+pub use causal::{CauseAlloc, CauseId};
 pub use fabric::{ContentionModel, Delivery, Fabric, FabricStats};
 pub use hypercube::Hypercube;
 pub use link::LinkTiming;

@@ -52,6 +52,65 @@ impl fmt::Display for ApplyMode {
     }
 }
 
+/// What kind of protocol action a causal id labels (the `op` field of
+/// `"cause"` records).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CauseOp {
+    /// A program issued a shared write.
+    Write,
+    /// A program requested the group lock.
+    Acquire,
+    /// A program released the group lock.
+    Release,
+    /// A unicast packet left a node.
+    Send,
+    /// A multicast fan-out left the group root.
+    Mcast,
+    /// The root assigned a global sequence number.
+    Seq,
+    /// The root discarded a losing optimistic write.
+    Filter,
+    /// The root granted the lock.
+    Grant,
+    /// A sequenced update was applied at a member interface.
+    Apply,
+    /// A program scheduled local compute.
+    Compute,
+    /// An optimistic section rolled back.
+    Rollback,
+    /// A program observed lock acquisition.
+    Acquired,
+    /// A mutex section completed.
+    Complete,
+}
+
+impl CauseOp {
+    /// The short wire name used in rendered traces and exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CauseOp::Write => "write",
+            CauseOp::Acquire => "acquire",
+            CauseOp::Release => "release",
+            CauseOp::Send => "send",
+            CauseOp::Mcast => "mcast",
+            CauseOp::Seq => "seq",
+            CauseOp::Filter => "filter",
+            CauseOp::Grant => "grant",
+            CauseOp::Apply => "apply",
+            CauseOp::Compute => "compute",
+            CauseOp::Rollback => "rollback",
+            CauseOp::Acquired => "acquired",
+            CauseOp::Complete => "complete",
+        }
+    }
+}
+
+impl fmt::Display for CauseOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// The structured payload of a [`TraceEntry`].
 ///
 /// Every canonical protocol event maps to one typed variant; all variants
@@ -182,6 +241,26 @@ pub enum TraceDetail {
         /// Last arrival, nanoseconds.
         last_ns: u64,
     },
+    /// A causal edge (`id=<id> cause=<parent> op=<op>`): the action with
+    /// causal id `id` happened because of the action with id `cause`
+    /// (0 = no recorded cause). Emitted immediately after the canonical
+    /// record it annotates, on the same actor at the same time.
+    Cause {
+        /// The causal id assigned to this action.
+        id: u64,
+        /// The causal id of the action that caused it (0 for roots).
+        cause: u64,
+        /// What kind of action this is.
+        op: CauseOp,
+    },
+    /// A rollback's conflict attribution (`v=<var> writer=<writer>`): the
+    /// remote write that invalidated the optimistic section.
+    Conflict {
+        /// The lock variable whose change triggered the rollback.
+        var: u32,
+        /// The node whose conflicting write won.
+        writer: u32,
+    },
     /// Free-form human-readable text — timeline marks and diagnostics no
     /// checker consumes. The only allocating variant; build it behind an
     /// [`TraceRecorder::is_enabled`] check.
@@ -259,6 +338,10 @@ impl fmt::Display for TraceDetail {
                 members,
                 last_ns,
             } => write!(f, "g={group} bytes={bytes} n={members} last={last_ns}"),
+            TraceDetail::Cause { id, cause, op } => {
+                write!(f, "id={id} cause={cause} op={op}")
+            }
+            TraceDetail::Conflict { var, writer } => write!(f, "v={var} writer={writer}"),
             TraceDetail::Text(s) => f.write_str(s),
         }
     }
@@ -552,6 +635,15 @@ mod tests {
                 },
                 "g=0 bytes=32 n=7 last=9000",
             ),
+            (
+                TraceDetail::Cause {
+                    id: 41,
+                    cause: 17,
+                    op: CauseOp::Mcast,
+                },
+                "id=41 cause=17 op=mcast",
+            ),
+            (TraceDetail::Conflict { var: 5, writer: 2 }, "v=5 writer=2"),
             (TraceDetail::text("free form"), "free form"),
         ];
         for (detail, want) in cases {

@@ -12,7 +12,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use sesame_sim::{ApplyMode, SimTime, TraceDetail, TraceRecorder};
+use sesame_sim::{ApplyMode, CauseOp, SimTime, TraceDetail, TraceRecorder};
 
 struct CountingAlloc;
 
@@ -47,7 +47,7 @@ fn allocations() -> u64 {
 }
 
 /// One of each canonical (typed, `Copy`) detail the protocol layers emit.
-fn canonical_details() -> [TraceDetail; 11] {
+fn canonical_details() -> [TraceDetail; 13] {
     [
         TraceDetail::None,
         TraceDetail::Var { var: 3 },
@@ -97,6 +97,12 @@ fn canonical_details() -> [TraceDetail; 11] {
             hops: 2,
             arrival_ns: 300,
         },
+        TraceDetail::Cause {
+            id: 41,
+            cause: 17,
+            op: CauseOp::Send,
+        },
+        TraceDetail::Conflict { var: 3, writer: 2 },
     ]
 }
 

@@ -1,0 +1,496 @@
+//! The causal DAG: cross-node cause→effect chains rebuilt from the
+//! trace stream.
+//!
+//! The simulation side emits one `"cause"` record per protocol action
+//! (see `sesame_dsm::CauseCtx`), carrying the action's [`CauseId`] raw
+//! value, its parent id, and a typed [`CauseOp`]. By convention each
+//! `"cause"` record follows the canonical record it annotates on the same
+//! actor at the same simulated time, so the builder here pairs the two and
+//! labels every DAG node with the canonical event kind. Rollback nodes
+//! additionally absorb the `"opt-conflict"` record that names the shared
+//! variable and the remote writer whose sequenced write invalidated the
+//! optimistic section — the blame report.
+//!
+//! The DAG is a forest: ids count up deterministically from 1, parents
+//! always precede children in the stream, and `cause = 0` marks a root
+//! (a spontaneous program start, or an action whose provenance was not
+//! tracked). Exports (JSON and Graphviz DOT) iterate in id order, so two
+//! same-seed runs produce byte-identical bytes.
+//!
+//! [`CauseId`]: sesame_net::CauseId
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use sesame_sim::{CauseOp, SimTime, TraceDetail, TraceEntry};
+
+/// One action in the causal forest.
+#[derive(Debug, Clone)]
+pub struct CausalNode {
+    /// This action's causal id (raw; never 0).
+    pub id: u64,
+    /// The parent action's id, or 0 for a root.
+    pub cause: u64,
+    /// What kind of protocol action this was.
+    pub op: CauseOp,
+    /// The node (trace actor) that performed the action.
+    pub actor: usize,
+    /// When the action happened.
+    pub time: SimTime,
+    /// The canonical trace kind this cause annotates (the record emitted
+    /// immediately before it), or `""` when no record paired.
+    pub kind: &'static str,
+    /// For rollback nodes: the conflicting shared variable and the remote
+    /// writer whose sequenced write forced the rollback.
+    pub conflict: Option<(u32, u32)>,
+}
+
+/// The assembled causal forest, keyed by raw causal id.
+#[derive(Debug, Clone, Default)]
+pub struct CausalDag {
+    nodes: BTreeMap<u64, CausalNode>,
+}
+
+/// The longest cause→effect chain in the DAG, with its simulated time
+/// split into edge categories.
+#[derive(Debug, Clone)]
+pub struct CriticalPath {
+    /// Node ids from the chain's root to its final action.
+    pub ids: Vec<u64>,
+    /// Time of the first action on the chain.
+    pub start: SimTime,
+    /// Time of the last action on the chain.
+    pub end: SimTime,
+    /// Time under message transmission (parent was a send or multicast).
+    pub flight_ns: u64,
+    /// Time under an optimistic/compute section (parent was a compute).
+    pub hold_ns: u64,
+    /// Time waiting on root-side ordering (child is a sequencing decision).
+    pub sequencing_ns: u64,
+    /// Everything else: queueing and scheduling waits — including the lead
+    /// from run start (t = 0) to the chain's first action.
+    pub wait_ns: u64,
+}
+
+impl CriticalPath {
+    /// Total simulated time from run start (t = 0) to the chain's last
+    /// action. The per-category splits telescope:
+    /// `flight + hold + sequencing + wait == total` — and when the chain
+    /// ends at the run's final event, `total` equals the run's final
+    /// simulated time.
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.end.as_nanos()
+    }
+}
+
+/// How one parent→child edge on the critical path spends its time.
+fn edge_category(parent: CauseOp, child: CauseOp) -> &'static str {
+    match parent {
+        CauseOp::Send | CauseOp::Mcast => "flight",
+        CauseOp::Compute => "hold",
+        _ => match child {
+            CauseOp::Seq | CauseOp::Grant | CauseOp::Filter => "sequencing",
+            _ => "wait",
+        },
+    }
+}
+
+impl CausalDag {
+    /// Rebuilds the DAG offline from a recorded trace (e.g. a
+    /// model-checking counterexample replay). The streaming observer in
+    /// [`Telemetry`](crate::Telemetry) applies identical pairing rules.
+    #[must_use]
+    pub fn from_trace(entries: &[TraceEntry]) -> CausalDag {
+        let mut state = CausalState::default();
+        for e in entries {
+            match (e.kind, &e.detail) {
+                ("cause", &TraceDetail::Cause { id, cause, op }) => {
+                    state.record_cause(e.actor, e.time, id, cause, op);
+                }
+                ("opt-conflict", &TraceDetail::Conflict { var, writer }) => {
+                    state.record_conflict(e.actor, var, writer);
+                }
+                _ => state.note_record(e.actor, e.kind, e.time),
+            }
+        }
+        state.dag
+    }
+
+    /// Number of actions in the forest.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no causal records were observed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Looks up one action by raw id.
+    #[must_use]
+    pub fn get(&self, id: u64) -> Option<&CausalNode> {
+        self.nodes.get(&id)
+    }
+
+    /// All nodes in id (allocation) order.
+    pub fn iter(&self) -> impl Iterator<Item = &CausalNode> {
+        self.nodes.values()
+    }
+
+    /// Ids of every rollback action, in allocation order.
+    #[must_use]
+    pub fn rollbacks(&self) -> Vec<u64> {
+        self.nodes
+            .values()
+            .filter(|n| matches!(n.op, CauseOp::Rollback))
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// The cause→effect chain ending at `id`, root first. `None` when the
+    /// id is unknown.
+    #[must_use]
+    pub fn chain(&self, id: u64) -> Option<Vec<&CausalNode>> {
+        let mut chain = Vec::new();
+        let mut cur = self.nodes.get(&id)?;
+        loop {
+            chain.push(cur);
+            match self.nodes.get(&cur.cause) {
+                Some(parent) => cur = parent,
+                None => break,
+            }
+        }
+        chain.reverse();
+        Some(chain)
+    }
+
+    /// The critical path: the chain ending at the latest action in the
+    /// forest (ties broken toward the highest id), split into per-edge
+    /// time categories. `None` for an empty DAG.
+    #[must_use]
+    pub fn critical_path(&self) -> Option<CriticalPath> {
+        let last = self
+            .nodes
+            .values()
+            .max_by_key(|n| (n.time, n.id))
+            .map(|n| n.id)?;
+        let chain = self.chain(last)?;
+        let mut path = CriticalPath {
+            ids: chain.iter().map(|n| n.id).collect(),
+            start: chain.first()?.time,
+            end: chain.last()?.time,
+            flight_ns: 0,
+            hold_ns: 0,
+            sequencing_ns: 0,
+            wait_ns: 0,
+        };
+        path.wait_ns += path.start.as_nanos();
+        for pair in chain.windows(2) {
+            let (parent, child) = (pair[0], pair[1]);
+            let dt = child.time.saturating_since(parent.time).as_nanos();
+            match edge_category(parent.op, child.op) {
+                "flight" => path.flight_ns += dt,
+                "hold" => path.hold_ns += dt,
+                "sequencing" => path.sequencing_ns += dt,
+                _ => path.wait_ns += dt,
+            }
+        }
+        Some(path)
+    }
+
+    /// Renders the chain ending at `id` as text, one action per line —
+    /// the `sesame explain` output. Long program-order prefixes are elided
+    /// so the cross-node tail stays readable. `None` when the id is
+    /// unknown.
+    #[must_use]
+    pub fn render_chain(&self, id: u64) -> Option<String> {
+        let chain = self.chain(id)?;
+        let len = chain.len();
+        // Keep the root and the last 20 hops; elide the middle.
+        let (head, tail_from) = if len > 24 { (2, len - 20) } else { (len, len) };
+        let mut out = String::new();
+        for (i, n) in chain.iter().enumerate() {
+            if i >= head && i < tail_from {
+                if i == head {
+                    let _ = writeln!(
+                        out,
+                        "  └─ … {} intermediate events elided …",
+                        tail_from - head
+                    );
+                }
+                continue;
+            }
+            let arrow = if i == 0 { "  " } else { "  └─ " };
+            let _ = write!(
+                out,
+                "{arrow}#{} {:<9} node {} @ {}ns",
+                n.id,
+                n.op.as_str(),
+                n.actor,
+                n.time.as_nanos(),
+            );
+            if !n.kind.is_empty() {
+                let _ = write!(out, "  ({})", n.kind);
+            }
+            if let Some((var, writer)) = n.conflict {
+                let _ = write!(out, "  conflict: v{var} written by node {writer}");
+            }
+            out.push('\n');
+        }
+        Some(out)
+    }
+
+    /// Deterministic JSON export (`sesame-causes/v1`): every node in id
+    /// order with its parent edge, op, actor, time, paired kind, and (for
+    /// rollbacks) the conflict blame.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"schema\":\"sesame-causes/v1\",\"nodes\":[");
+        let mut first = true;
+        for n in self.nodes.values() {
+            if first {
+                first = false;
+            } else {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n  {{\"id\":{},\"cause\":{},\"op\":\"{}\",\"node\":{},\"t_ns\":{},\"kind\":\"{}\"",
+                n.id,
+                n.cause,
+                n.op,
+                n.actor,
+                n.time.as_nanos(),
+                n.kind,
+            );
+            if let Some((var, writer)) = n.conflict {
+                let _ = write!(out, ",\"conflict\":{{\"var\":{var},\"writer\":{writer}}}");
+            }
+            out.push('}');
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Deterministic Graphviz DOT export: one node per action (rollbacks
+    /// highlighted), one edge per cause→effect link.
+    #[must_use]
+    pub fn to_dot(&self) -> String {
+        let mut out =
+            String::from("digraph causes {\n  rankdir=LR;\n  node [shape=box,fontsize=10];\n");
+        for n in self.nodes.values() {
+            let _ = write!(
+                out,
+                "  n{} [label=\"#{} {}\\nnode {} @ {}ns\"",
+                n.id,
+                n.id,
+                n.op,
+                n.actor,
+                n.time.as_nanos(),
+            );
+            if matches!(n.op, CauseOp::Rollback) {
+                out.push_str(",color=red");
+            }
+            out.push_str("];\n");
+        }
+        for n in self.nodes.values() {
+            if n.cause != 0 && self.nodes.contains_key(&n.cause) {
+                let _ = writeln!(out, "  n{} -> n{};", n.cause, n.id);
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Streaming builder state: the DAG plus the pairing bookkeeping the
+/// observer needs (last canonical record per actor, last cause per actor
+/// for conflict attachment, and the send-like causes that seed timeline
+/// flow arrows).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CausalState {
+    pub(crate) dag: CausalDag,
+    /// Last non-`"cause"` record per actor: `(kind, time)`.
+    last_record: BTreeMap<usize, (&'static str, SimTime)>,
+    /// Last cause id recorded per actor (for `"opt-conflict"` attachment).
+    last_cause: BTreeMap<usize, u64>,
+    /// Send/multicast causes: `id -> (actor, time)`, for flow events.
+    send_like: BTreeMap<u64, (usize, SimTime)>,
+}
+
+impl CausalState {
+    /// Where (actor, time) the send-like cause `id` originated, if it was
+    /// one — the source anchor for a timeline flow arrow.
+    pub(crate) fn send_like_source(&self, id: u64) -> Option<(usize, SimTime)> {
+        self.send_like.get(&id).copied()
+    }
+
+    /// Notes a canonical (non-cause) record for pairing.
+    pub(crate) fn note_record(&mut self, actor: usize, kind: &'static str, t: SimTime) {
+        self.last_record.insert(actor, (kind, t));
+    }
+
+    /// Inserts one causal node, pairing it with the immediately preceding
+    /// canonical record on the same actor at the same time (if any).
+    pub(crate) fn record_cause(
+        &mut self,
+        actor: usize,
+        t: SimTime,
+        id: u64,
+        cause: u64,
+        op: CauseOp,
+    ) {
+        let kind = match self.last_record.get(&actor) {
+            Some(&(kind, rt)) if rt == t => kind,
+            _ => "",
+        };
+        self.last_cause.insert(actor, id);
+        if matches!(op, CauseOp::Send | CauseOp::Mcast) {
+            self.send_like.insert(id, (actor, t));
+        }
+        self.dag.nodes.insert(
+            id,
+            CausalNode {
+                id,
+                cause,
+                op,
+                actor,
+                time: t,
+                kind,
+                conflict: None,
+            },
+        );
+    }
+
+    /// Attaches rollback blame to the actor's most recent causal node.
+    pub(crate) fn record_conflict(&mut self, actor: usize, var: u32, writer: u32) {
+        if let Some(id) = self.last_cause.get(&actor) {
+            if let Some(node) = self.dag.nodes.get_mut(id) {
+                node.conflict = Some((var, writer));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cause(ns: u64, actor: usize, id: u64, parent: u64, op: CauseOp) -> TraceEntry {
+        TraceEntry {
+            time: SimTime::from_nanos(ns),
+            actor,
+            kind: "cause",
+            detail: TraceDetail::Cause {
+                id,
+                cause: parent,
+                op,
+            },
+        }
+    }
+
+    fn canonical(ns: u64, actor: usize, kind: &'static str) -> TraceEntry {
+        TraceEntry {
+            time: SimTime::from_nanos(ns),
+            actor,
+            kind,
+            detail: TraceDetail::Var { var: 0 },
+        }
+    }
+
+    /// A small cross-node story: node 1 writes (root-sequenced, multicast),
+    /// node 2's apply interrupts its optimistic section and rolls back.
+    fn sample() -> Vec<TraceEntry> {
+        vec![
+            canonical(0, 1, "acc-write"),
+            cause(0, 1, 1, 0, CauseOp::Write),
+            canonical(0, 1, "pkt-send"),
+            cause(0, 1, 2, 1, CauseOp::Send),
+            canonical(400, 0, "root-seq"),
+            cause(400, 0, 3, 2, CauseOp::Seq),
+            canonical(400, 0, "pkt-mcast"),
+            cause(400, 0, 4, 3, CauseOp::Mcast),
+            canonical(900, 2, "gwc-apply"),
+            cause(900, 2, 5, 4, CauseOp::Apply),
+            canonical(900, 2, "opt-rollback"),
+            cause(900, 2, 6, 5, CauseOp::Rollback),
+            TraceEntry {
+                time: SimTime::from_nanos(900),
+                actor: 2,
+                kind: "opt-conflict",
+                detail: TraceDetail::Conflict { var: 0, writer: 1 },
+            },
+        ]
+    }
+
+    #[test]
+    fn chains_walk_back_to_the_remote_write() {
+        let dag = CausalDag::from_trace(&sample());
+        assert_eq!(dag.len(), 6);
+        assert_eq!(dag.rollbacks(), vec![6]);
+        let chain = dag.chain(6).expect("known id");
+        let ops: Vec<CauseOp> = chain.iter().map(|n| n.op).collect();
+        assert_eq!(
+            ops,
+            vec![
+                CauseOp::Write,
+                CauseOp::Send,
+                CauseOp::Seq,
+                CauseOp::Mcast,
+                CauseOp::Apply,
+                CauseOp::Rollback,
+            ]
+        );
+        assert_eq!(chain[0].actor, 1);
+        assert_eq!(chain[5].conflict, Some((0, 1)));
+        assert!(dag.chain(99).is_none());
+    }
+
+    #[test]
+    fn pairing_labels_nodes_with_the_preceding_canonical_kind() {
+        let dag = CausalDag::from_trace(&sample());
+        assert_eq!(dag.get(3).unwrap().kind, "root-seq");
+        assert_eq!(dag.get(6).unwrap().kind, "opt-rollback");
+    }
+
+    #[test]
+    fn critical_path_splits_time_by_edge_category() {
+        let dag = CausalDag::from_trace(&sample());
+        let path = dag.critical_path().expect("non-empty");
+        assert_eq!(path.ids, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(path.total_ns(), 900);
+        // write→send (wait 0), send→seq (flight 400), seq→mcast
+        // (sequencing-free: parent seq, child mcast → wait 0), mcast→apply
+        // (flight 500), apply→rollback (wait 0).
+        assert_eq!(path.flight_ns, 900);
+        assert_eq!(path.hold_ns + path.sequencing_ns + path.wait_ns, 0);
+        assert_eq!(
+            path.flight_ns + path.hold_ns + path.sequencing_ns + path.wait_ns,
+            path.total_ns()
+        );
+    }
+
+    #[test]
+    fn exports_are_deterministic_and_carry_the_blame() {
+        let dag = CausalDag::from_trace(&sample());
+        let json = dag.to_json();
+        assert!(json.contains("\"schema\":\"sesame-causes/v1\""));
+        assert!(json.contains("\"conflict\":{\"var\":0,\"writer\":1}"));
+        assert_eq!(json, CausalDag::from_trace(&sample()).to_json());
+        let dot = dag.to_dot();
+        assert!(dot.contains("n5 -> n6;"));
+        assert!(dot.contains("color=red"));
+    }
+
+    #[test]
+    fn render_chain_prints_every_hop_and_errors_on_unknown_ids() {
+        let dag = CausalDag::from_trace(&sample());
+        let text = dag.render_chain(6).expect("known id");
+        assert!(text.contains("#1 write"));
+        assert!(text.contains("conflict: v0 written by node 1"));
+        assert!(dag.render_chain(12345).is_none());
+    }
+}

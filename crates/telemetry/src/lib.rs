@@ -10,8 +10,12 @@
 //! * simulated-time spans on a [`Timeline`] (lock sections, optimistic
 //!   sections, rollback instants, message-in-flight and root-sequencing
 //!   intervals);
-//! * deterministic exporters: a stable JSON [`Snapshot`] schema, CSV, and
-//!   Chrome trace-event / Perfetto JSON.
+//! * a cross-node [`CausalDag`] (cause→effect chains, rollback blame,
+//!   critical-path extraction) assembled from the `"cause"` records the
+//!   machine emits while tracing;
+//! * deterministic exporters: a stable JSON [`Snapshot`] schema, CSV,
+//!   Chrome trace-event / Perfetto JSON (including cross-track causal
+//!   flow arrows), and causal-DAG JSON / Graphviz DOT.
 //!
 //! [`Telemetry`] is the façade: it implements
 //! [`TraceObserver`](sesame_sim::TraceObserver), so a run wired through
@@ -42,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod causal;
 pub mod json;
 mod observer;
 mod registry;
@@ -54,6 +59,7 @@ use std::rc::Rc;
 
 use sesame_sim::SimTime;
 
+pub use causal::{CausalDag, CausalNode, CriticalPath};
 pub use registry::{Metric, MetricRegistry};
 pub use report::render_report;
 pub use snapshot::{Snapshot, SnapshotValue, SCHEMA};
@@ -70,6 +76,7 @@ pub struct Telemetry {
     timeline_enabled: bool,
     end: SimTime,
     state: observer::SpanState,
+    causal: causal::CausalState,
 }
 
 impl Telemetry {
@@ -84,6 +91,7 @@ impl Telemetry {
             timeline_enabled: false,
             end: SimTime::ZERO,
             state: observer::SpanState::default(),
+            causal: causal::CausalState::default(),
         }
     }
 
@@ -152,5 +160,20 @@ impl Telemetry {
     /// Renders the timeline as Chrome trace-event JSON.
     pub fn chrome_trace(&self) -> String {
         self.timeline.to_chrome_trace()
+    }
+
+    /// The causal DAG assembled from the run's `"cause"` records.
+    pub fn causes(&self) -> &CausalDag {
+        &self.causal.dag
+    }
+
+    /// The causal DAG as deterministic `sesame-causes/v1` JSON.
+    pub fn causes_json(&self) -> String {
+        self.causal.dag.to_json()
+    }
+
+    /// The causal DAG as deterministic Graphviz DOT.
+    pub fn causes_dot(&self) -> String {
+        self.causal.dag.to_dot()
     }
 }

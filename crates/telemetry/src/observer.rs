@@ -59,6 +59,34 @@ impl Telemetry {
             self.timeline.touch_track(node);
         }
         match (e.kind, &e.detail) {
+            ("cause", &TraceDetail::Cause { id, cause, op }) => {
+                // Capture the flow source before inserting: a send's own
+                // parent may be an earlier send on the same actor.
+                let flow_src = self.causal.send_like_source(cause);
+                self.causal.record_cause(node, t, id, cause, op);
+                if self.timeline_enabled {
+                    if let Some((src, sent)) = flow_src {
+                        self.timeline.add_flow(
+                            (src, sent),
+                            (node, t),
+                            cat::CAUSAL,
+                            format!("cause #{id}"),
+                            id,
+                        );
+                    }
+                }
+                return;
+            }
+            ("opt-conflict", &TraceDetail::Conflict { var, writer }) => {
+                self.causal.record_conflict(node, var, writer);
+                self.registry
+                    .counter(&format!("blame/var/{var}/writer/{writer}"))
+                    .incr();
+            }
+            _ => {}
+        }
+        self.causal.note_record(node, e.kind, t);
+        match (e.kind, &e.detail) {
             ("mutex-enter" | "lock-acquire", &TraceDetail::Var { var: v }) => {
                 self.state.wait_start.insert((node, v), t);
             }
@@ -296,27 +324,66 @@ impl Telemetry {
     /// the root-sequencing async spans and records the end time used by
     /// [`Telemetry::snapshot`](crate::Telemetry::snapshot). Call once,
     /// after the run.
+    ///
+    /// Sections still open at end-of-run (a sequenced write no member had
+    /// applied yet, a wait/hold/optimistic section that never closed) are
+    /// emitted as spans ending at `end` with a `(truncated)` marker rather
+    /// than dropped silently — a run cut short mid-protocol still shows
+    /// where every node was stuck.
     pub fn finish(&mut self, end: SimTime) {
         self.end = end;
         let pending = std::mem::take(&mut self.state.seq_pending);
-        if self.timeline_enabled {
-            for ((g, seq), span) in pending {
-                if let Some(last) = span.last_apply {
-                    self.timeline.add_async(
-                        span.root,
-                        cat::GWC,
-                        format!("seq g{g}#{seq}"),
-                        span.start,
-                        last,
-                    );
-                }
+        let waits = std::mem::take(&mut self.state.wait_start);
+        let holds = std::mem::take(&mut self.state.hold_start);
+        let opts = std::mem::take(&mut self.state.opt_start);
+        if !self.timeline_enabled {
+            return;
+        }
+        for ((g, seq), span) in pending {
+            match span.last_apply {
+                Some(last) => self.timeline.add_async(
+                    span.root,
+                    cat::GWC,
+                    format!("seq g{g}#{seq}"),
+                    span.start,
+                    last,
+                ),
+                None => self.timeline.add_async(
+                    span.root,
+                    cat::GWC,
+                    format!("seq g{g}#{seq} (truncated)"),
+                    span.start,
+                    end,
+                ),
             }
         }
-        // Open wait/hold/optimistic sections at end-of-run are dropped:
-        // they never completed, so they have no duration to report.
-        self.state.wait_start.clear();
-        self.state.hold_start.clear();
-        self.state.opt_start.clear();
+        for ((node, v), start) in waits {
+            self.timeline.add_complete(
+                node,
+                cat::LOCK,
+                format!("wait v{v} (truncated)"),
+                start,
+                end,
+            );
+        }
+        for ((node, v), start) in holds {
+            self.timeline.add_complete(
+                node,
+                cat::LOCK,
+                format!("hold v{v} (truncated)"),
+                start,
+                end,
+            );
+        }
+        for ((node, v), start) in opts {
+            self.timeline.add_complete(
+                node,
+                cat::OPTIMISM,
+                format!("optimistic v{v} (truncated)"),
+                start,
+                end,
+            );
+        }
     }
 }
 
@@ -473,6 +540,92 @@ mod tests {
         assert_eq!(snap.counter("node/0/net/packets"), 2);
         assert_eq!(snap.counter("node/0/net/bytes"), 48);
         assert_eq!(snap.counter("node/0/net/hops"), 3);
+    }
+
+    #[test]
+    fn dangling_spans_close_with_truncated_markers() {
+        let mut t = Telemetry::new("t", 0).with_timeline(true);
+        let seq = TraceDetail::Seq {
+            group: 0,
+            seq: 4,
+            var: 1,
+            val: 2,
+            origin: 1,
+        };
+        feed(
+            &mut t,
+            vec![
+                // A sequenced write nobody applied, an unanswered acquire,
+                // a hold and an optimistic section never released.
+                (100, 0, "root-seq", seq),
+                (200, 1, "lock-acquire", var(0)),
+                (250, 2, "ev-acquired", var(1)),
+                (260, 2, "opt-enter", var(1)),
+            ],
+        );
+        t.finish(SimTime::from_nanos(500));
+        let trace = t.chrome_trace();
+        assert!(trace.contains("seq g0#4 (truncated)"), "{trace}");
+        assert!(trace.contains("wait v0 (truncated)"), "{trace}");
+        assert!(trace.contains("hold v1 (truncated)"), "{trace}");
+        assert!(trace.contains("optimistic v1 (truncated)"), "{trace}");
+    }
+
+    #[test]
+    fn cause_records_build_the_dag_and_emit_flow_arrows() {
+        use sesame_sim::CauseOp;
+        let mut t = Telemetry::new("t", 0).with_timeline(true);
+        let cause = |id, cause, op| TraceDetail::Cause { id, cause, op };
+        feed(
+            &mut t,
+            vec![
+                (10, 1, "pkt-send", TraceDetail::text("ignored-shape")),
+                (10, 1, "cause", cause(1, 0, CauseOp::Send)),
+                (300, 0, "cause", cause(2, 1, CauseOp::Apply)),
+            ],
+        );
+        t.finish(SimTime::from_nanos(400));
+        let dag = t.causes();
+        assert_eq!(dag.len(), 2);
+        assert_eq!(dag.get(1).unwrap().kind, "pkt-send");
+        assert_eq!(dag.get(2).unwrap().cause, 1);
+        let trace = t.chrome_trace();
+        assert!(trace.contains("\"ph\":\"s\""), "{trace}");
+        assert!(trace.contains("\"ph\":\"f\",\"bp\":\"e\""), "{trace}");
+        // Cause records feed the DAG, not the metric registry.
+        assert_eq!(t.snapshot().metrics.len(), 0);
+    }
+
+    #[test]
+    fn conflicts_count_blame_and_annotate_the_rollback_node() {
+        use sesame_sim::CauseOp;
+        let mut t = Telemetry::new("t", 0);
+        feed(
+            &mut t,
+            vec![
+                (50, 2, "opt-rollback", var(0)),
+                (
+                    50,
+                    2,
+                    "cause",
+                    TraceDetail::Cause {
+                        id: 9,
+                        cause: 0,
+                        op: CauseOp::Rollback,
+                    },
+                ),
+                (
+                    50,
+                    2,
+                    "opt-conflict",
+                    TraceDetail::Conflict { var: 0, writer: 1 },
+                ),
+            ],
+        );
+        t.finish(SimTime::from_nanos(60));
+        assert_eq!(t.causes().get(9).unwrap().conflict, Some((0, 1)));
+        let snap = t.snapshot();
+        assert_eq!(snap.counter("blame/var/0/writer/1"), 1);
     }
 
     #[test]

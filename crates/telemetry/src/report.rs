@@ -6,8 +6,10 @@ use std::collections::BTreeSet;
 use crate::snapshot::{Snapshot, SnapshotValue};
 
 /// Renders the snapshot as a plain-text report: a run header, a per-node /
-/// per-lock table (optimism attempts/wins/rollbacks and wait/hold means),
-/// and the global counters.
+/// per-lock table (optimism attempts/wins/rollbacks, wait/hold means, and
+/// wait-latency percentiles), the rollback-attribution table (which shared
+/// variables and remote writers caused the rollbacks), and the global
+/// counters.
 pub fn render_report(snap: &Snapshot) -> String {
     let mut out = String::new();
     out.push_str(&format!(
@@ -24,7 +26,7 @@ pub fn render_report(snap: &Snapshot) -> String {
     }
     if !pairs.is_empty() {
         out.push_str(&format!(
-            "\n{:>5} {:>5} {:>9} {:>9} {:>6} {:>6} {:>10} {:>13} {:>13}\n",
+            "\n{:>5} {:>5} {:>9} {:>9} {:>6} {:>6} {:>10} {:>13} {:>13} {:>10} {:>10} {:>10}\n",
             "node",
             "lock",
             "opt-try",
@@ -33,12 +35,16 @@ pub fn render_report(snap: &Snapshot) -> String {
             "rolls",
             "complete",
             "wait-mean",
-            "hold-mean"
+            "hold-mean",
+            "wait-p50",
+            "wait-p90",
+            "wait-p99"
         ));
         for (node, lock) in pairs {
             let k = |leaf: &str| format!("node/{node}/lock/{lock}/{leaf}");
+            let (p50, p90, p99) = hist_quantiles(snap, &k("wait"));
             out.push_str(&format!(
-                "{:>5} {:>5} {:>9} {:>9} {:>6} {:>6} {:>10} {:>13} {:>13}\n",
+                "{:>5} {:>5} {:>9} {:>9} {:>6} {:>6} {:>10} {:>13} {:>13} {:>10} {:>10} {:>10}\n",
                 node,
                 lock,
                 snap.counter(&k("opt/attempts")),
@@ -48,7 +54,30 @@ pub fn render_report(snap: &Snapshot) -> String {
                 snap.counter(&k("completions")),
                 hist_mean(snap, &k("wait")),
                 hist_mean(snap, &k("hold")),
+                p50,
+                p90,
+                p99,
             ));
+        }
+    }
+
+    // Rollback attribution: which (variable, remote writer) pairs forced
+    // rollbacks, heaviest first.
+    let mut blame: Vec<(u64, u64, u64)> = Vec::new();
+    for (key, value) in &snap.metrics {
+        if let (Some((var, writer)), SnapshotValue::Counter(n)) = (parse_blame(key), value) {
+            blame.push((*n, var, writer));
+        }
+    }
+    if !blame.is_empty() {
+        blame.sort_by(|a, b| (b.0, a.1, a.2).cmp(&(a.0, b.1, b.2)));
+        out.push_str("\nrollback attribution (conflicting writes, heaviest first):\n");
+        out.push_str(&format!(
+            "{:>5} {:>7} {:>10}\n",
+            "var", "writer", "rollbacks"
+        ));
+        for (count, var, writer) in blame.iter().take(10) {
+            out.push_str(&format!("{var:>5} {writer:>7} {count:>10}\n"));
         }
     }
 
@@ -65,7 +94,7 @@ pub fn render_report(snap: &Snapshot) -> String {
     // Global (non-node, non-group) scalars.
     let mut wrote_header = false;
     for (key, value) in &snap.metrics {
-        if key.starts_with("node/") || key.starts_with("group/") {
+        if key.starts_with("node/") || key.starts_with("group/") || key.starts_with("blame/") {
             continue;
         }
         if !wrote_header {
@@ -95,11 +124,37 @@ fn parse_node_lock(key: &str) -> Option<(u64, u64)> {
     Some((node.parse().ok()?, lock.parse().ok()?))
 }
 
+/// Extracts `(var, writer)` from a `blame/var/<v>/writer/<w>` key.
+fn parse_blame(key: &str) -> Option<(u64, u64)> {
+    let rest = key.strip_prefix("blame/var/")?;
+    let (var, rest) = rest.split_once('/')?;
+    let writer = rest.strip_prefix("writer/")?;
+    Some((var.parse().ok()?, writer.parse().ok()?))
+}
+
 /// The mean of the histogram at `key` as `"<n>ns"`, or `"-"` when absent.
 fn hist_mean(snap: &Snapshot, key: &str) -> String {
     match snap.metrics.get(key) {
         Some(SnapshotValue::Histogram { mean_ns, .. }) => format!("{mean_ns}ns"),
         _ => "-".to_string(),
+    }
+}
+
+/// The p50/p90/p99 of the histogram at `key` as `"<n>ns"` triples, or
+/// `"-"` when absent.
+fn hist_quantiles(snap: &Snapshot, key: &str) -> (String, String, String) {
+    match snap.metrics.get(key) {
+        Some(SnapshotValue::Histogram {
+            p50_ns,
+            p90_ns,
+            p99_ns,
+            ..
+        }) => (
+            format!("{p50_ns}ns"),
+            format!("{p90_ns}ns"),
+            format!("{p99_ns}ns"),
+        ),
+        _ => ("-".to_string(), "-".to_string(), "-".to_string()),
     }
 }
 
@@ -129,6 +184,27 @@ mod tests {
         // Two table rows: (0,0) and (3,0).
         assert!(report.contains("\n    0     0"), "{report}");
         assert!(report.contains("\n    3     0"), "{report}");
+    }
+
+    #[test]
+    fn percentile_columns_and_blame_table() {
+        let mut r = MetricRegistry::new();
+        for ns in [100u64, 200, 400, 800] {
+            r.histogram("node/1/lock/0/wait")
+                .record(SimDur::from_nanos(ns));
+        }
+        r.counter("blame/var/0/writer/2").add(5);
+        r.counter("blame/var/1/writer/0").add(2);
+        let snap = r.snapshot("contention", 9, SimTime::from_nanos(5000));
+        let report = render_report(&snap);
+        assert!(report.contains("wait-p50"), "{report}");
+        assert!(report.contains("wait-p99"), "{report}");
+        assert!(report.contains("rollback attribution"), "{report}");
+        // Heaviest blame row first; blame keys stay out of the globals.
+        let heavy = report.find("    0       2          5").expect("blame row");
+        let light = report.find("    1       0          2").expect("blame row");
+        assert!(heavy < light, "{report}");
+        assert!(!report.contains("blame/var"), "{report}");
     }
 
     #[test]

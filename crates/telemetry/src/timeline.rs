@@ -27,6 +27,8 @@ pub mod cat {
     pub const NET: &str = "net";
     /// Root write-sequencing intervals.
     pub const GWC: &str = "gwc";
+    /// Cross-node cause→effect flow arrows.
+    pub const CAUSAL: &str = "causal";
 }
 
 #[derive(Debug, Clone)]
@@ -46,6 +48,15 @@ enum Ev {
     },
     Async {
         tid: usize,
+        cat: &'static str,
+        name: String,
+        id: u64,
+        start: SimTime,
+        end: SimTime,
+    },
+    Flow {
+        src_tid: usize,
+        dst_tid: usize,
         cat: &'static str,
         name: String,
         id: u64,
@@ -113,6 +124,33 @@ impl Timeline {
         self.next_async_id += 1;
         self.events.push(Ev::Async {
             tid,
+            cat,
+            name,
+            id,
+            start,
+            end,
+        });
+    }
+
+    /// Adds a cross-track flow arrow from `src = (tid, time)` to
+    /// `dst = (tid, time)` — rendered by Chrome/Perfetto as an arrow
+    /// between the two tracks. `id` must be unique per arrow (the causal
+    /// layer uses the effect's causal id).
+    pub fn add_flow(
+        &mut self,
+        src: (usize, SimTime),
+        dst: (usize, SimTime),
+        cat: &'static str,
+        name: String,
+        id: u64,
+    ) {
+        let (src_tid, start) = src;
+        let (dst_tid, end) = dst;
+        self.tracks.insert(src_tid);
+        self.tracks.insert(dst_tid);
+        self.events.push(Ev::Flow {
+            src_tid,
+            dst_tid,
             cat,
             name,
             id,
@@ -206,6 +244,31 @@ impl Timeline {
                         us(end.as_nanos()),
                     );
                 }
+                Ev::Flow {
+                    src_tid,
+                    dst_tid,
+                    cat,
+                    name,
+                    id,
+                    start,
+                    end,
+                } => {
+                    let name = escape(name);
+                    sep(&mut out, &mut first);
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"s\",\"pid\":0,\"tid\":{src_tid},\"ts\":{},\"id\":\"{id:#x}\",\
+                         \"cat\":\"{cat}\",\"name\":\"{name}\"}}",
+                        us(start.as_nanos()),
+                    );
+                    sep(&mut out, &mut first);
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"f\",\"bp\":\"e\",\"pid\":0,\"tid\":{dst_tid},\"ts\":{},\
+                         \"id\":\"{id:#x}\",\"cat\":\"{cat}\",\"name\":\"{name}\"}}",
+                        us(end.as_nanos()),
+                    );
+                }
             }
         }
         out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
@@ -266,6 +329,23 @@ mod tests {
         let text = tl.to_chrome_trace();
         assert_eq!(text.matches("\"id\":\"0x0\"").count(), 2);
         assert_eq!(text.matches("\"id\":\"0x1\"").count(), 2);
+    }
+
+    #[test]
+    fn flow_arrows_emit_paired_start_and_finish_phases() {
+        let mut tl = Timeline::new();
+        tl.add_flow((0, t(100)), (2, t(400)), cat::CAUSAL, "cause #7".into(), 7);
+        let text = tl.to_chrome_trace();
+        let root = json::parse(&text).expect("valid JSON");
+        let events = root.get("traceEvents").unwrap().elements().unwrap();
+        let phases: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        // 2 thread-name metadata + s + f.
+        assert_eq!(phases, vec!["M", "M", "s", "f"]);
+        assert!(text.contains("\"ph\":\"f\",\"bp\":\"e\""));
+        assert_eq!(text.matches("\"id\":\"0x7\"").count(), 2);
     }
 
     #[test]

@@ -288,5 +288,65 @@ mod tests {
             observed.snapshot().counter("run/events"),
             bare.result.events
         );
+        // Causal tracking rode along on the observed run (the bare run,
+        // tracing detached, recorded nothing) — and changed nothing above.
+        assert!(!observed.causes().is_empty());
+    }
+
+    #[test]
+    fn causal_chains_connect_every_rollback_to_its_remote_write() {
+        use sesame_sim::CauseOp;
+        let opts = ScenarioOptions::default();
+        let t = run_with_telemetry(Scenario::Contention, &opts);
+        let dag = t.causes();
+        let rollbacks = dag.rollbacks();
+        assert!(!rollbacks.is_empty(), "contention must roll back");
+        for id in rollbacks {
+            let node = dag.get(id).expect("listed id");
+            let (var, writer) = node.conflict.expect("rollback carries blame");
+            let chain = dag.chain(id).expect("chain exists");
+            // The chain crosses the network: the interrupting apply on the
+            // victim, the multicast fan-out at the root, and a write by
+            // the blamed remote node.
+            assert!(chain
+                .iter()
+                .any(|n| matches!(n.op, CauseOp::Apply) && n.actor == node.actor));
+            assert!(chain.iter().any(|n| matches!(n.op, CauseOp::Mcast)));
+            assert!(chain
+                .iter()
+                .any(|n| matches!(n.op, CauseOp::Write) && n.actor == writer as usize));
+            let _ = var;
+        }
+    }
+
+    #[test]
+    fn critical_path_reaches_the_run_end() {
+        let opts = ScenarioOptions::default();
+        let t = run_with_telemetry(Scenario::Contention, &opts);
+        let path = t.causes().critical_path().expect("non-empty DAG");
+        // The chain ending at the run's final causal event accounts for
+        // the whole run, and its category split telescopes exactly.
+        assert_eq!(path.total_ns(), t.end().as_nanos());
+        assert_eq!(
+            path.flight_ns + path.hold_ns + path.sequencing_ns + path.wait_ns,
+            path.total_ns()
+        );
+    }
+
+    #[test]
+    fn causal_exports_are_byte_identical_for_same_seed_runs() {
+        let opts = ScenarioOptions {
+            timeline: true,
+            ..ScenarioOptions::default()
+        };
+        let a = run_with_telemetry(Scenario::Contention, &opts);
+        let b = run_with_telemetry(Scenario::Contention, &opts);
+        assert_eq!(a.causes_json(), b.causes_json());
+        assert_eq!(a.causes_dot(), b.causes_dot());
+        // Flow-event arrows live in the Chrome trace.
+        let trace = a.chrome_trace();
+        assert_eq!(trace, b.chrome_trace());
+        assert!(trace.contains("\"ph\":\"s\""));
+        assert!(trace.contains("\"ph\":\"f\",\"bp\":\"e\""));
     }
 }
