@@ -95,4 +95,51 @@ cargo bench -q -p sesame-bench --bench queue -- --bench-out "$tmpdir/bench.json"
 grep -q '"group":"queue"' "$tmpdir/bench.json"
 grep -q '"events_per_sec"' "$tmpdir/bench.json"
 
+echo "==> time-series determinism smoke (serial vs --jobs 4 byte-identical)"
+cargo run -q --release -p sesame-cli -- run --scenario contention \
+    --series-out "$tmpdir/series-serial.json" >/dev/null
+# --jobs N runs N redundant copies and asserts their exports (including
+# the series) are byte-identical before writing; the written file must
+# also match the serial run exactly.
+cargo run -q --release -p sesame-cli -- run --scenario contention \
+    --series-out "$tmpdir/series-jobs.json" --jobs 4 >/dev/null
+diff "$tmpdir/series-serial.json" "$tmpdir/series-jobs.json"
+grep -q '"schema":"sesame-series/v1"' "$tmpdir/series-serial.json"
+# report --series-in round-trips through the SeriesExport::from_json
+# validator and renders the per-window table. (To a file, not a pipe:
+# grep -q would close the pipe mid-table and kill the CLI with EPIPE.)
+cargo run -q --release -p sesame-cli -- report --scenario contention \
+    --series-in "$tmpdir/series-serial.json" > "$tmpdir/series-report.out"
+grep -q "wait-mean" "$tmpdir/series-report.out"
+
+echo "==> bench diff smoke (planted regression fails, clean diffs pass)"
+if cargo run -q --release -p sesame-cli -- bench diff \
+    crates/bench/testdata/diff_base.json \
+    crates/bench/testdata/diff_regressed.json > "$tmpdir/diff.out" 2>&1; then
+    echo "planted bench regression was NOT flagged" >&2
+    exit 1
+fi
+grep -q "REGRESSED" "$tmpdir/diff.out"
+cargo run -q --release -p sesame-cli -- bench diff \
+    crates/bench/testdata/diff_base.json \
+    crates/bench/testdata/diff_base.json >/dev/null
+# The quick queue bench from the smoke above, gated against the committed
+# reference with a deliberately generous threshold (CI hosts vary a lot).
+cargo run -q --release -p sesame-cli -- bench diff \
+    BENCH_sweep.json "$tmpdir/bench.json" --groups queue --threshold 50 \
+    >/dev/null
+
+echo "==> hostprof smoke (feature-gated profiler, sim tests both ways)"
+cargo test -q -p sesame-sim --features hostprof >/dev/null
+cargo run -q --release -p sesame-cli --features hostprof -- run \
+    --scenario contention --hostprof-out "$tmpdir/hostprof.json" >/dev/null
+grep -q '"schema":"sesame-hostprof/v1"' "$tmpdir/hostprof.json"
+grep -q '"allocations":' "$tmpdir/hostprof.json"
+# Without the feature the flag must fail loudly instead of writing nothing.
+if cargo run -q --release -p sesame-cli -- run --scenario contention \
+    --hostprof-out "$tmpdir/nope.json" >/dev/null 2>&1; then
+    echo "--hostprof-out succeeded without the hostprof feature" >&2
+    exit 1
+fi
+
 echo "CI green."

@@ -6,7 +6,7 @@
 use sesame_bench::Harness;
 use sesame_consistency::analysis::Figure1Params;
 use sesame_core::builder::ModelChoice;
-use sesame_workloads::three_cpu::{run_figure1, Figure1Config};
+use sesame_workloads::three_cpu::{run_figure1, run_figure1_observed, Figure1Config};
 
 fn verify_against_closed_forms() {
     let cfg = Figure1Config::default();
@@ -33,8 +33,9 @@ fn main() {
         ("entry", ModelChoice::Entry),
         ("release", ModelChoice::Release),
     ] {
-        group.bench(name, || {
-            run_figure1(model, Figure1Config::default()).completion
+        group.bench_events(name, || {
+            let (fig, result) = run_figure1_observed(model, Figure1Config::default(), None);
+            (fig.completion, result.events)
         });
     }
 }

@@ -1,0 +1,88 @@
+//! Phase-scoped kernel profile bench: where does the simulator's wall
+//! time go (queue pops, actor dispatch, trace recording, the telemetry
+//! observer) while running the contention scenario with full tracing?
+//!
+//! Emits one `--bench-out` row per phase (group `hostprof`), so the
+//! `sesame bench diff` gate can catch a single phase regressing even
+//! when the end-to-end bench medians stay inside their thresholds.
+//!
+//! Requires the sim kernel's `hostprof` feature:
+//! `cargo bench --features hostprof --bench hostprof`. Without it the
+//! binary prints a notice and exits cleanly so plain `cargo bench` runs
+//! stay green.
+
+fn main() {
+    #[cfg(not(feature = "hostprof"))]
+    println!(
+        "hostprof: skipped (phase timers are compiled out; \
+         rerun with `cargo bench --features hostprof --bench hostprof`)"
+    );
+    #[cfg(feature = "hostprof")]
+    with_profiler::run();
+}
+
+#[cfg(feature = "hostprof")]
+mod with_profiler {
+    use sesame_bench::{append_record, BenchRecord};
+    use sesame_sim::hostprof;
+    use sesame_workloads::telemetry::{run_with_telemetry, Scenario, ScenarioOptions};
+    use std::path::PathBuf;
+
+    const SAMPLES: u32 = 10;
+    const PHASES: [&str; 4] = ["pop", "dispatch", "trace", "observer"];
+
+    fn phase_ns(r: &hostprof::HostProfReport, phase: &str) -> u64 {
+        match phase {
+            "pop" => r.pop_ns,
+            "dispatch" => r.dispatch_ns,
+            "trace" => r.trace_ns,
+            "observer" => r.observer_ns,
+            _ => unreachable!("unknown phase {phase}"),
+        }
+    }
+
+    pub fn run() {
+        let args: Vec<String> = std::env::args().collect();
+        let out: Option<PathBuf> = args
+            .iter()
+            .position(|a| a == "--bench-out")
+            .map(|i| PathBuf::from(args.get(i + 1).expect("--bench-out needs a path")));
+
+        let opts = ScenarioOptions::default();
+        // Warmup pass: pre-faults allocator arenas and caches, and pins
+        // the (deterministic) event count all samples share.
+        hostprof::reset();
+        let _ = run_with_telemetry(Scenario::Contention, &opts);
+        let events = hostprof::report().events;
+
+        let mut samples: Vec<hostprof::HostProfReport> = Vec::with_capacity(SAMPLES as usize);
+        for _ in 0..SAMPLES {
+            hostprof::reset();
+            let _ = run_with_telemetry(Scenario::Contention, &opts);
+            samples.push(hostprof::report());
+        }
+
+        for phase in PHASES {
+            let mut times: Vec<u64> = samples.iter().map(|r| phase_ns(r, phase)).collect();
+            times.sort_unstable();
+            let median_ns = times[times.len() / 2];
+            let record = BenchRecord {
+                group: "hostprof".to_string(),
+                case: format!("contention/{phase}"),
+                samples: SAMPLES,
+                median_ns,
+                min_ns: times[0],
+                max_ns: times[times.len() - 1],
+                events: Some(events),
+                events_per_sec: (median_ns > 0).then(|| events as f64 / (median_ns as f64 / 1e9)),
+            };
+            println!(
+                "hostprof/{}: {}ns median (min {}ns .. max {}ns, n={SAMPLES}) | {events} events",
+                record.case, record.median_ns, record.min_ns, record.max_ns
+            );
+            if let Some(path) = &out {
+                append_record(path, &record);
+            }
+        }
+    }
+}

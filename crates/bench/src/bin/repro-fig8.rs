@@ -2,16 +2,21 @@
 //! methods on the linear pipeline, 2..128 CPUs, plus the §4.1 headline
 //! speedup ratios and the optimism telemetry of the optimistic line.
 //!
-//! Usage: `repro-fig8 [--quick] [--metrics-out <file.json>] [--jobs N]`
-//! (`--quick` runs 2..32 with 256 visits; `--metrics-out` writes the
-//! largest size's telemetry snapshot as JSON; `--jobs N` runs the sweep
-//! points on N worker threads, 0 = all cores — output is byte-identical
-//! for every N).
+//! Usage: `repro-fig8 [--quick] [--metrics-out <file.json>]
+//! [--series-out <file>] [--window <ns>] [--hostprof-out <file.json>]
+//! [--jobs N]` (`--quick` runs 2..32 with 256 visits; `--metrics-out`
+//! writes the largest size's telemetry snapshot as JSON; `--series-out`
+//! writes its windowed time series — `.csv` as CSV, anything else as
+//! `sesame-series/v1` JSON — with `--window` setting the window width in
+//! simulated ns, default 100000; `--hostprof-out` writes the host-side
+//! kernel profile of that same run, and needs a build with `--features
+//! hostprof`; `--jobs N` runs the sweep points on N worker threads, 0 =
+//! all cores — output is byte-identical for every N).
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use sesame_sim::TraceObserver;
+use sesame_sim::{SimDur, TraceObserver};
 use sesame_telemetry::Telemetry;
 use sesame_workloads::experiments::{
     figure8_jobs, figure8_optimism_jobs, figure8_sizes, render_series,
@@ -19,13 +24,46 @@ use sesame_workloads::experiments::{
 use sesame_workloads::pipeline::{run_pipeline_observed, MutexMethod, PipelineConfig};
 use sesame_workloads::telemetry::absorb_run;
 
+// With the profiler compiled in, also count this binary's heap traffic so
+// `--hostprof-out` reports real allocation numbers.
+#[cfg(feature = "hostprof")]
+#[global_allocator]
+static ALLOC: sesame_sim::hostprof::CountingAlloc = sesame_sim::hostprof::CountingAlloc;
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let metrics_out = args
+    let path_flag = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{flag} needs a path"))
+                .clone()
+        })
+    };
+    let metrics_out = path_flag("--metrics-out");
+    let series_out = path_flag("--series-out");
+    let hostprof_out = path_flag("--hostprof-out");
+    #[cfg(not(feature = "hostprof"))]
+    if hostprof_out.is_some() {
+        eprintln!(
+            "error: --hostprof-out requires the host profiler: \
+             rebuild with `cargo run --features hostprof --bin repro-fig8 -- ...`"
+        );
+        std::process::exit(2);
+    }
+    let window: SimDur = args
         .iter()
-        .position(|a| a == "--metrics-out")
-        .map(|i| args.get(i + 1).expect("--metrics-out needs a path").clone());
+        .position(|a| a == "--window")
+        .map(|i| {
+            let ns: u64 = args
+                .get(i + 1)
+                .expect("--window needs a width in ns")
+                .parse()
+                .expect("--window needs an integer nanosecond count");
+            assert!(ns > 0, "--window must be positive");
+            SimDur::from_nanos(ns)
+        })
+        .unwrap_or(SimDur::from_nanos(100_000));
     let jobs: usize = args
         .iter()
         .position(|a| a == "--jobs")
@@ -105,18 +143,49 @@ fn main() {
         );
     }
 
-    if let Some(path) = metrics_out {
+    if metrics_out.is_some() || series_out.is_some() || hostprof_out.is_some() {
         let &n = sizes.last().expect("non-empty sizes");
-        let shared = Telemetry::new("figure8", 0).shared();
+        let mut telemetry = Telemetry::new("figure8", 0);
+        if series_out.is_some() {
+            telemetry = telemetry.with_series(window);
+        }
+        let shared = telemetry.shared();
         let observer: Rc<RefCell<dyn TraceObserver>> = shared.clone();
+        #[cfg(feature = "hostprof")]
+        sesame_sim::hostprof::reset();
         let run = run_pipeline_observed(n, MutexMethod::OptimisticGwc, cfg, Some(observer));
         {
             let mut t = shared.borrow_mut();
             absorb_run(&mut t, &run.result);
         }
         drop(run);
-        let snapshot = Telemetry::unwrap_shared(shared).snapshot();
-        std::fs::write(&path, snapshot.to_json()).expect("write metrics snapshot");
-        eprintln!("wrote {n}-CPU telemetry snapshot to {path}");
+        #[cfg(feature = "hostprof")]
+        if let Some(path) = &hostprof_out {
+            let report = sesame_sim::hostprof::report();
+            std::fs::write(path, report.to_json()).expect("write host profile");
+            eprintln!(
+                "wrote {n}-CPU host profile to {path} ({} events, {} trace records)",
+                report.events, report.trace_records
+            );
+        }
+        let t = Telemetry::unwrap_shared(shared);
+        if let Some(path) = &series_out {
+            let export = t.series_export().expect("series enabled for --series-out");
+            let text = if path.ends_with(".csv") {
+                export.to_csv()
+            } else {
+                export.to_json()
+            };
+            std::fs::write(path, text).expect("write time series");
+            eprintln!(
+                "wrote {n}-CPU time series to {path} ({} windows of {} ns)",
+                export.windows.len(),
+                export.window_ns
+            );
+        }
+        if let Some(path) = &metrics_out {
+            std::fs::write(path, t.snapshot().to_json()).expect("write metrics snapshot");
+            eprintln!("wrote {n}-CPU telemetry snapshot to {path}");
+        }
     }
 }

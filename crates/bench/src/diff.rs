@@ -1,0 +1,304 @@
+//! The bench-trajectory regression gate: compares two `--bench-out`
+//! files case by case and flags cases whose median wall time grew (or
+//! whose event throughput fell) past a configurable ratio.
+//!
+//! The gate is deliberately coarse — bench medians on shared CI hosts
+//! jitter, so the default threshold allows a 1.5x growth before a case
+//! counts as a regression. Per-group thresholds tighten or loosen that
+//! for benches with known variance (the `queue` microbench is steadier
+//! than the full figure sweeps, for instance).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::record::BenchRecord;
+
+/// Configuration for [`diff`].
+#[derive(Debug, Clone)]
+pub struct DiffOptions {
+    /// Allowed growth ratio of `median_ns` (and allowed shrink ratio of
+    /// `events_per_sec`) before a case is flagged. `1.5` means "new may
+    /// be up to 50% slower".
+    pub default_threshold: f64,
+    /// Per-group overrides of `default_threshold`.
+    pub group_thresholds: BTreeMap<String, f64>,
+    /// When non-empty, only these groups are compared; everything else
+    /// is ignored entirely (not even noted).
+    pub groups: Vec<String>,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions {
+            default_threshold: 1.5,
+            group_thresholds: BTreeMap::new(),
+            groups: Vec::new(),
+        }
+    }
+}
+
+impl DiffOptions {
+    fn threshold_for(&self, group: &str) -> f64 {
+        self.group_thresholds
+            .get(group)
+            .copied()
+            .unwrap_or(self.default_threshold)
+    }
+
+    fn includes(&self, group: &str) -> bool {
+        self.groups.is_empty() || self.groups.iter().any(|g| g == group)
+    }
+}
+
+/// The comparison of one case present in both files.
+#[derive(Debug, Clone)]
+pub struct DiffEntry {
+    /// Bench group.
+    pub group: String,
+    /// Case within the group.
+    pub case: String,
+    /// Median wall time in the base file, nanoseconds.
+    pub base_median_ns: u64,
+    /// Median wall time in the new file, nanoseconds.
+    pub new_median_ns: u64,
+    /// `new / base` median ratio (1.0 = unchanged, 2.0 = twice as slow).
+    pub ratio: f64,
+    /// The threshold this case was judged against.
+    pub threshold: f64,
+    /// Whether the case regressed (median grew, or throughput fell,
+    /// past the threshold).
+    pub regressed: bool,
+}
+
+/// The full comparison: per-case entries plus structural notes (cases
+/// present in only one file).
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// One entry per case present in both files, in base-file order.
+    pub entries: Vec<DiffEntry>,
+    /// Cases added or removed between the files — informational, never
+    /// a gate failure (benches come and go across PRs).
+    pub notes: Vec<String>,
+}
+
+impl DiffReport {
+    /// The number of regressed cases; the gate passes iff this is zero.
+    pub fn regressions(&self) -> usize {
+        self.entries.iter().filter(|e| e.regressed).count()
+    }
+
+    /// Renders the report as an aligned text table plus notes, ending
+    /// with a one-line verdict.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.entries.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<40} {:>12} {:>12} {:>7} {:>6}  verdict",
+                "group/case", "base-ns", "new-ns", "ratio", "thr"
+            );
+            for e in &self.entries {
+                let _ = writeln!(
+                    out,
+                    "{:<40} {:>12} {:>12} {:>7.2} {:>6.2}  {}",
+                    format!("{}/{}", e.group, e.case),
+                    e.base_median_ns,
+                    e.new_median_ns,
+                    e.ratio,
+                    e.threshold,
+                    if e.regressed { "REGRESSED" } else { "ok" }
+                );
+            }
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "note: {note}");
+        }
+        let n = self.regressions();
+        if n == 0 {
+            let _ = writeln!(
+                out,
+                "bench diff: {} cases compared, no regressions",
+                self.entries.len()
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "bench diff: {} cases compared, {n} REGRESSED",
+                self.entries.len()
+            );
+        }
+        out
+    }
+}
+
+/// Compares `new` against `base` case by case.
+///
+/// A case regresses when `new.median_ns > base.median_ns * threshold`,
+/// or — when both sides carry throughput — when
+/// `new.events_per_sec < base.events_per_sec / threshold`. Cases present
+/// in only one file become [`DiffReport::notes`]. Duplicate
+/// (group, case) keys keep the last occurrence, matching how repeated
+/// `--bench-out` appends supersede earlier runs.
+pub fn diff(base: &[BenchRecord], new: &[BenchRecord], opts: &DiffOptions) -> DiffReport {
+    let index = |records: &[BenchRecord]| -> BTreeMap<(String, String), BenchRecord> {
+        records
+            .iter()
+            .filter(|r| opts.includes(&r.group))
+            .map(|r| ((r.group.clone(), r.case.clone()), r.clone()))
+            .collect()
+    };
+    let base_by_key = index(base);
+    let new_by_key = index(new);
+
+    let mut report = DiffReport::default();
+    for (key, b) in &base_by_key {
+        let Some(n) = new_by_key.get(key) else {
+            report
+                .notes
+                .push(format!("{}/{} missing from new file", key.0, key.1));
+            continue;
+        };
+        let threshold = opts.threshold_for(&b.group);
+        let ratio = if b.median_ns == 0 {
+            if n.median_ns == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            n.median_ns as f64 / b.median_ns as f64
+        };
+        let slower = ratio > threshold;
+        let throughput_fell = match (b.events_per_sec, n.events_per_sec) {
+            (Some(be), Some(ne)) if be > 0.0 => ne < be / threshold,
+            _ => false,
+        };
+        report.entries.push(DiffEntry {
+            group: b.group.clone(),
+            case: b.case.clone(),
+            base_median_ns: b.median_ns,
+            new_median_ns: n.median_ns,
+            ratio,
+            threshold,
+            regressed: slower || throughput_fell,
+        });
+    }
+    for key in new_by_key.keys() {
+        if !base_by_key.contains_key(key) {
+            report
+                .notes
+                .push(format!("{}/{} new case (not in base file)", key.0, key.1));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(group: &str, case: &str, median_ns: u64, eps: Option<f64>) -> BenchRecord {
+        BenchRecord {
+            group: group.to_string(),
+            case: case.to_string(),
+            samples: 5,
+            median_ns,
+            min_ns: median_ns,
+            max_ns: median_ns,
+            events: eps.map(|_| 1000),
+            events_per_sec: eps,
+        }
+    }
+
+    #[test]
+    fn flags_median_growth_past_the_threshold_only() {
+        let base = vec![rec("g", "a", 1000, None), rec("g", "b", 1000, None)];
+        let new = vec![rec("g", "a", 1499, None), rec("g", "b", 1501, None)];
+        let report = diff(&base, &new, &DiffOptions::default());
+        assert_eq!(report.regressions(), 1);
+        let b = report.entries.iter().find(|e| e.case == "b").unwrap();
+        assert!(b.regressed && b.ratio > 1.5);
+        assert!(
+            !report
+                .entries
+                .iter()
+                .find(|e| e.case == "a")
+                .unwrap()
+                .regressed
+        );
+        assert!(report.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn flags_throughput_drop_even_when_median_holds() {
+        // Same median, but each iteration now processes fewer events/sec
+        // (e.g. the workload shrank while staying equally slow).
+        let base = vec![rec("g", "a", 1000, Some(3000.0))];
+        let new = vec![rec("g", "a", 1000, Some(1000.0))];
+        let report = diff(&base, &new, &DiffOptions::default());
+        assert_eq!(report.regressions(), 1);
+    }
+
+    #[test]
+    fn group_thresholds_and_filters_apply() {
+        let base = vec![
+            rec("noisy", "a", 1000, None),
+            rec("steady", "b", 1000, None),
+        ];
+        let new = vec![
+            rec("noisy", "a", 2500, None),
+            rec("steady", "b", 1200, None),
+        ];
+        let mut opts = DiffOptions::default();
+        opts.group_thresholds.insert("noisy".to_string(), 3.0);
+        opts.group_thresholds.insert("steady".to_string(), 1.1);
+        let report = diff(&base, &new, &opts);
+        assert_eq!(report.regressions(), 1);
+        assert!(
+            report
+                .entries
+                .iter()
+                .find(|e| e.group == "steady")
+                .unwrap()
+                .regressed
+        );
+
+        let only_noisy = DiffOptions {
+            groups: vec!["noisy".to_string()],
+            ..DiffOptions::default()
+        };
+        let report = diff(&base, &new, &only_noisy);
+        assert_eq!(report.entries.len(), 1);
+        assert_eq!(report.entries[0].group, "noisy");
+    }
+
+    #[test]
+    fn missing_and_new_cases_become_notes_not_failures() {
+        let base = vec![rec("g", "gone", 1000, None), rec("g", "kept", 1000, None)];
+        let new = vec![rec("g", "kept", 1000, None), rec("g", "added", 1000, None)];
+        let report = diff(&base, &new, &DiffOptions::default());
+        assert_eq!(report.regressions(), 0);
+        assert_eq!(report.entries.len(), 1);
+        assert_eq!(report.notes.len(), 2);
+        let rendered = report.render();
+        assert!(rendered.contains("missing from new file"));
+        assert!(rendered.contains("new case"));
+        assert!(rendered.contains("no regressions"));
+    }
+
+    #[test]
+    fn zero_base_median_regresses_only_if_new_is_nonzero() {
+        let base = vec![rec("g", "a", 0, None), rec("g", "b", 0, None)];
+        let new = vec![rec("g", "a", 0, None), rec("g", "b", 7, None)];
+        let report = diff(&base, &new, &DiffOptions::default());
+        assert_eq!(report.regressions(), 1);
+        assert!(
+            report
+                .entries
+                .iter()
+                .find(|e| e.case == "b")
+                .unwrap()
+                .regressed
+        );
+    }
+}

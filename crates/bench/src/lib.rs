@@ -40,6 +40,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod diff;
+mod record;
+
+pub use diff::{diff, DiffEntry, DiffOptions, DiffReport};
+pub use record::{parse_bench_lines, BenchRecord};
+
 use std::hint::black_box;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -146,56 +152,31 @@ impl Harness {
             ),
         }
         if let Some(path) = &self.out {
-            let line = json_line(&self.group, case, self.samples, t, events, throughput);
-            let mut file = std::fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(path)
-                .expect("open --bench-out file");
-            writeln!(file, "{line}").expect("append bench JSON line");
+            let record = BenchRecord {
+                group: self.group.clone(),
+                case: case.to_string(),
+                samples: self.samples,
+                median_ns: t.median.as_nanos() as u64,
+                min_ns: t.min.as_nanos() as u64,
+                max_ns: t.max.as_nanos() as u64,
+                events,
+                events_per_sec: throughput,
+            };
+            append_record(path, &record);
         }
     }
 }
 
-/// One case as a JSON object on a single line (hand-rolled: the workspace
-/// builds offline, without serde).
-fn json_line(
-    group: &str,
-    case: &str,
-    samples: u32,
-    t: Timing,
-    events: Option<u64>,
-    throughput: Option<f64>,
-) -> String {
-    let events = events.map_or("null".to_string(), |e| e.to_string());
-    let eps = throughput.map_or("null".to_string(), |e| format!("{e:.1}"));
-    format!(
-        "{{\"group\":{},\"case\":{},\"samples\":{samples},\
-         \"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\
-         \"events\":{events},\"events_per_sec\":{eps}}}",
-        json_str(group),
-        json_str(case),
-        t.median.as_nanos(),
-        t.min.as_nanos(),
-        t.max.as_nanos(),
-    )
-}
-
-/// Minimal JSON string quoting (group/case names are ASCII identifiers,
-/// but stay correct for anything).
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
+/// Appends one record as a JSON line to a `--bench-out` file, creating
+/// it on first use. Exposed so the non-`Harness` bench binaries (e.g.
+/// the hostprof phase bench) can emit the same format.
+pub fn append_record(path: &std::path::Path, record: &BenchRecord) {
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .expect("open --bench-out file");
+    writeln!(file, "{}", record.to_json_line()).expect("append bench JSON line");
 }
 
 #[cfg(test)]
@@ -203,25 +184,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn json_lines_are_well_formed() {
-        let t = Timing {
-            median: Duration::from_nanos(1500),
-            min: Duration::from_nanos(1000),
-            max: Duration::from_nanos(2000),
-        };
-        let with = json_line("g", "c/8", 20, t, Some(3000), Some(2.0e9));
-        assert_eq!(
-            with,
-            "{\"group\":\"g\",\"case\":\"c/8\",\"samples\":20,\
-             \"median_ns\":1500,\"min_ns\":1000,\"max_ns\":2000,\
-             \"events\":3000,\"events_per_sec\":2000000000.0}"
-        );
-        let without = json_line("g", "c", 3, t, None, None);
-        assert!(without.ends_with("\"events\":null,\"events_per_sec\":null}"));
-    }
-
-    #[test]
     fn json_str_escapes_quotes_and_controls() {
+        use record::json_str;
         assert_eq!(json_str("plain"), "\"plain\"");
         assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
         assert_eq!(json_str("x\ny"), "\"x\\u000ay\"");
@@ -243,6 +207,12 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("\"case\":\"a\"") && lines[0].contains("\"events\":10"));
         assert!(lines[1].contains("\"case\":\"b\"") && lines[1].contains("\"events\":null"));
+        // Every emitted line parses back into a BenchRecord and re-emits
+        // byte-identically — the diff gate relies on this round trip.
+        for line in &lines {
+            let rec = BenchRecord::from_json_line(line).unwrap();
+            assert_eq!(&rec.to_json_line(), line);
+        }
         std::fs::remove_file(&path).unwrap();
     }
 }

@@ -1,0 +1,228 @@
+//! One bench case as a typed record, with the exact JSON-line encoding
+//! the harness has always emitted. Extracted so the `bench diff`
+//! regression gate (and any external tooling) can parse `--bench-out`
+//! files back into structs instead of scraping strings.
+
+use sesame_telemetry::json::{self, Json};
+
+/// One `--bench-out` line: the timing summary of a single bench case.
+///
+/// [`BenchRecord::to_json_line`] and [`BenchRecord::from_json_line`]
+/// round-trip byte-identically for any line the harness wrote, so
+/// reference files can be validated, filtered, and re-emitted without
+/// drift.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Bench group, e.g. `fig8_mutex_methods`.
+    pub group: String,
+    /// Case within the group, e.g. `optimistic/8`.
+    pub case: String,
+    /// Number of timed samples behind the statistics.
+    pub samples: u32,
+    /// Median wall time per iteration, nanoseconds.
+    pub median_ns: u64,
+    /// Fastest sample, nanoseconds.
+    pub min_ns: u64,
+    /// Slowest sample, nanoseconds.
+    pub max_ns: u64,
+    /// Simulation events per iteration (`RunResult::events`), when the
+    /// case was measured with [`crate::Harness::bench_events`].
+    pub events: Option<u64>,
+    /// Median throughput in events per second, derived from `events`.
+    pub events_per_sec: Option<f64>,
+}
+
+impl BenchRecord {
+    /// Encodes the record as the harness's single-line JSON object (no
+    /// trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let events = self.events.map_or("null".to_string(), |e| e.to_string());
+        let eps = self
+            .events_per_sec
+            .map_or("null".to_string(), |e| format!("{e:.1}"));
+        format!(
+            "{{\"group\":{},\"case\":{},\"samples\":{},\
+             \"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\
+             \"events\":{events},\"events_per_sec\":{eps}}}",
+            json_str(&self.group),
+            json_str(&self.case),
+            self.samples,
+            self.median_ns,
+            self.min_ns,
+            self.max_ns,
+        )
+    }
+
+    /// Parses one `--bench-out` JSON line, validating every field.
+    pub fn from_json_line(line: &str) -> Result<BenchRecord, String> {
+        let v = json::parse(line)?;
+        let str_of = |field: &str| -> Result<String, String> {
+            v.get(field)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing or non-string '{field}'"))
+        };
+        let u64_of = |field: &str| -> Result<u64, String> {
+            v.get(field)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing or non-integer '{field}'"))
+        };
+        let events = match v.get("events") {
+            Some(Json::Null) => None,
+            Some(j) => Some(
+                j.as_u64()
+                    .ok_or_else(|| "non-integer 'events'".to_string())?,
+            ),
+            None => return Err("missing 'events'".to_string()),
+        };
+        let events_per_sec = match v.get("events_per_sec") {
+            Some(Json::Null) => None,
+            Some(j) => Some(
+                j.as_f64()
+                    .ok_or_else(|| "non-numeric 'events_per_sec'".to_string())?,
+            ),
+            None => return Err("missing 'events_per_sec'".to_string()),
+        };
+        Ok(BenchRecord {
+            group: str_of("group")?,
+            case: str_of("case")?,
+            samples: u64_of("samples")?
+                .try_into()
+                .map_err(|_| "'samples' out of range".to_string())?,
+            median_ns: u64_of("median_ns")?,
+            min_ns: u64_of("min_ns")?,
+            max_ns: u64_of("max_ns")?,
+            events,
+            events_per_sec,
+        })
+    }
+}
+
+/// Parses a whole `--bench-out` file (one JSON object per line; blank
+/// lines ignored), reporting the first malformed line by number.
+pub fn parse_bench_lines(text: &str) -> Result<Vec<BenchRecord>, String> {
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        records
+            .push(BenchRecord::from_json_line(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(records)
+}
+
+/// Minimal JSON string quoting (group/case names are ASCII identifiers,
+/// but stay correct for anything).
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchRecord {
+        BenchRecord {
+            group: "g".to_string(),
+            case: "c/8".to_string(),
+            samples: 20,
+            median_ns: 1500,
+            min_ns: 1000,
+            max_ns: 2000,
+            events: Some(3000),
+            events_per_sec: Some(2.0e9),
+        }
+    }
+
+    #[test]
+    fn json_line_matches_the_historic_byte_format() {
+        assert_eq!(
+            sample().to_json_line(),
+            "{\"group\":\"g\",\"case\":\"c/8\",\"samples\":20,\
+             \"median_ns\":1500,\"min_ns\":1000,\"max_ns\":2000,\
+             \"events\":3000,\"events_per_sec\":2000000000.0}"
+        );
+        let plain = BenchRecord {
+            events: None,
+            events_per_sec: None,
+            ..sample()
+        };
+        assert!(plain
+            .to_json_line()
+            .ends_with("\"events\":null,\"events_per_sec\":null}"));
+    }
+
+    #[test]
+    fn parse_then_emit_is_byte_identical() {
+        for rec in [
+            sample(),
+            BenchRecord {
+                group: "fig8_mutex_methods".to_string(),
+                case: "optimistic/128".to_string(),
+                samples: 5,
+                median_ns: 98_765_432,
+                min_ns: 91_000_000,
+                max_ns: 120_000_000,
+                events: Some(1_234_567),
+                events_per_sec: Some(12_499_999.9),
+            },
+            BenchRecord {
+                events: None,
+                events_per_sec: None,
+                ..sample()
+            },
+        ] {
+            let line = rec.to_json_line();
+            let parsed = BenchRecord::from_json_line(&line).unwrap();
+            assert_eq!(parsed, rec);
+            assert_eq!(parsed.to_json_line(), line);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines_with_field_names() {
+        // events/events_per_sec are validated first, so a near-empty
+        // object reports the missing 'events' member.
+        let err = BenchRecord::from_json_line("{\"group\":\"g\"}").unwrap_err();
+        assert!(err.contains("events"), "unexpected error: {err}");
+        let no_case = "{\"group\":\"g\",\"samples\":3,\
+             \"median_ns\":1,\"min_ns\":1,\"max_ns\":1,\
+             \"events\":null,\"events_per_sec\":null}";
+        let err = BenchRecord::from_json_line(no_case).unwrap_err();
+        assert!(err.contains("case"), "unexpected error: {err}");
+        let err = BenchRecord::from_json_line("not json").unwrap_err();
+        assert!(!err.is_empty());
+        let bad_events = "{\"group\":\"g\",\"case\":\"c\",\"samples\":3,\
+             \"median_ns\":1,\"min_ns\":1,\"max_ns\":1,\
+             \"events\":\"three\",\"events_per_sec\":null}";
+        let err = BenchRecord::from_json_line(bad_events).unwrap_err();
+        assert!(err.contains("events"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn parse_bench_lines_skips_blanks_and_numbers_errors() {
+        let text = format!(
+            "{}\n\n{}\n",
+            sample().to_json_line(),
+            sample().to_json_line()
+        );
+        let records = parse_bench_lines(&text).unwrap();
+        assert_eq!(records.len(), 2);
+        let err = parse_bench_lines("{\"group\":\"g\"}\n").unwrap_err();
+        assert!(err.starts_with("line 1:"), "unexpected error: {err}");
+        let err = parse_bench_lines(&format!("{}\nnope\n", sample().to_json_line())).unwrap_err();
+        assert!(err.starts_with("line 2:"), "unexpected error: {err}");
+    }
+}

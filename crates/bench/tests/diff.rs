@@ -1,0 +1,57 @@
+//! Integration tests of the bench-trajectory regression gate over the
+//! planted fixtures in `testdata/` — the same files the CI smoke feeds
+//! through `sesame bench diff`.
+
+use sesame_bench::{diff, parse_bench_lines, DiffOptions};
+
+fn fixture(name: &str) -> Vec<sesame_bench::BenchRecord> {
+    let path = format!("{}/testdata/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    parse_bench_lines(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"))
+}
+
+#[test]
+fn planted_regression_is_flagged() {
+    let base = fixture("diff_base.json");
+    let new = fixture("diff_regressed.json");
+    let report = diff(&base, &new, &DiffOptions::default());
+    assert_eq!(report.entries.len(), 3);
+    assert_eq!(report.regressions(), 1, "report:\n{}", report.render());
+    let bad = report.entries.iter().find(|e| e.regressed).unwrap();
+    assert_eq!(
+        (bad.group.as_str(), bad.case.as_str()),
+        ("fig1_locking", "gwc")
+    );
+    assert!(bad.ratio > 2.0);
+}
+
+#[test]
+fn self_diff_is_clean() {
+    let base = fixture("diff_base.json");
+    let report = diff(&base, &base, &DiffOptions::default());
+    assert_eq!(report.regressions(), 0);
+    assert!(report.notes.is_empty());
+    assert!(report.entries.iter().all(|e| (e.ratio - 1.0).abs() < 1e-12));
+}
+
+#[test]
+fn loose_threshold_accepts_the_planted_regression() {
+    let base = fixture("diff_base.json");
+    let new = fixture("diff_regressed.json");
+    let opts = DiffOptions {
+        default_threshold: 3.0,
+        ..DiffOptions::default()
+    };
+    assert_eq!(diff(&base, &new, &opts).regressions(), 0);
+}
+
+#[test]
+fn fixtures_round_trip_byte_identically() {
+    for name in ["diff_base.json", "diff_regressed.json"] {
+        let path = format!("{}/testdata/{name}", env!("CARGO_MANIFEST_DIR"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let records = parse_bench_lines(&text).unwrap();
+        let re_emitted: String = records.iter().map(|r| r.to_json_line() + "\n").collect();
+        assert_eq!(re_emitted, text, "{name} drifted from the harness format");
+    }
+}

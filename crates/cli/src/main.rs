@@ -23,7 +23,7 @@ use std::process::ExitCode;
 use args::Args;
 use sesame_core::OptimisticConfig;
 use sesame_sim::SimDur;
-use sesame_telemetry::{render_report, CausalDag, Snapshot};
+use sesame_telemetry::{render_report, render_series_report, CausalDag, SeriesExport, Snapshot};
 use sesame_workloads::contention::{run_contention, ContentionConfig};
 use sesame_workloads::experiments::{
     figure1, figure2_jobs, figure2_sizes, figure8_jobs, figure8_sizes, render_series,
@@ -33,6 +33,12 @@ use sesame_workloads::task_queue::TaskQueueConfig;
 use sesame_workloads::telemetry::{run_with_telemetry, Scenario, ScenarioOptions};
 use sesame_workloads::three_cpu::Figure1Config;
 use sesame_workloads::timeline::render_figure1_timeline;
+
+// With the profiler compiled in, count this binary's heap traffic so
+// `run --hostprof-out` reports real allocation numbers.
+#[cfg(feature = "hostprof")]
+#[global_allocator]
+static ALLOC: sesame_sim::hostprof::CountingAlloc = sesame_sim::hostprof::CountingAlloc;
 
 const USAGE: &str = "\
 sesame — experiments from 'Optimistic Synchronization in Distributed Shared Memory' (ICDCS 1994)
@@ -69,11 +75,23 @@ COMMANDS:
                                       (with cross-node causal flow arrows)
                     --causes-out <file>         causal DAG (.dot → Graphviz,
                                       anything else → sesame-causes/v1 JSON)
+                    --series-out <file>         windowed time series (.csv →
+                                      CSV, anything else → sesame-series/v1
+                                      JSON); also prints the per-window table
+                    --window <ns=100000>        series window width in
+                                      simulated nanoseconds (implies a series)
+                    --hostprof-out <file.json>  host-side simulator profile
+                                      (sesame-hostprof/v1; needs a build with
+                                      --features hostprof)
                     --jobs <N=1>      run N redundant copies concurrently and
                                       assert their exports are byte-identical
     report        render a human-readable report from a metrics snapshot
                   (includes wait percentiles and rollback attribution)
                     --metrics-in <file.json>  (or --scenario to run fresh)
+                    --series-in <file.json>   append the per-window time-series
+                                      table from a sesame-series/v1 export
+                    --window <ns>     on a fresh run, collect and print the
+                                      per-window table directly
     explain       re-run a scenario and print cause→effect chains: why each
                   rollback happened (the remote write, its multicast, the
                   interrupting apply) and the run's critical path
@@ -101,6 +119,14 @@ COMMANDS:
                                       prints it to stdout)
                     --replay <file>   re-run a recorded counterexample
                                       deterministically instead of exploring
+    bench         compare two bench --bench-out files (regression gate)
+                  usage: sesame bench diff <base.json> <new.json>
+                    --threshold <F=1.5>   allowed growth ratio of median_ns
+                                      (and allowed shrink of events_per_sec)
+                    --thresholds <g=F,...>  per-group threshold overrides
+                    --groups <a,b>    compare only these bench groups
+                  prints the per-case table and exits nonzero when any
+                  case regressed past its threshold
     help          print this message
 ";
 
@@ -295,8 +321,25 @@ fn scenario_options(args: &Args) -> Result<(Scenario, ScenarioOptions), String> 
             .get_or("--seed", defaults.seed, "integer")
             .map_err(|e| e.to_string())?,
         timeline: args.get_str("--timeline-out").is_some(),
+        window: parse_window(args)?,
     };
     Ok((scenario, opts))
+}
+
+/// Parses the series window: `--window <ns>` enables the series directly;
+/// `--series-out` without `--window` uses a 100 µs default.
+fn parse_window(args: &Args) -> Result<Option<SimDur>, String> {
+    let ns = match args.get_str("--window") {
+        Some(spec) => spec
+            .parse::<u64>()
+            .map_err(|_| format!("flag --window: cannot parse {spec:?} as integer"))?,
+        None if args.get_str("--series-out").is_some() => 100_000,
+        None => return Ok(None),
+    };
+    if ns == 0 {
+        return Err("flag --window: window width must be > 0 ns".to_string());
+    }
+    Ok(Some(SimDur::from_nanos(ns)))
 }
 
 fn write_file(path: &str, contents: &str) -> Result<(), String> {
@@ -313,10 +356,22 @@ fn write_file(path: &str, contents: &str) -> Result<(), String> {
 fn cmd_run(args: &Args) -> Result<(), String> {
     let (scenario, opts) = scenario_options(args)?;
     let jobs = parse_jobs(args)?.max(1);
+    let hostprof_out = args.get_str("--hostprof-out");
+    #[cfg(not(feature = "hostprof"))]
+    if hostprof_out.is_some() {
+        return Err("--hostprof-out requires the host profiler: rebuild with \
+             `cargo run -p sesame-cli --features hostprof -- run ...`"
+            .to_string());
+    }
     if jobs > 1 {
         let exports = sesame_sweep::run_sweep(jobs, jobs, |_| {
             let t = run_with_telemetry(scenario, &opts);
-            (t.snapshot().to_json(), t.chrome_trace(), t.causes_json())
+            (
+                t.snapshot().to_json(),
+                t.chrome_trace(),
+                t.causes_json(),
+                t.series_json().unwrap_or_default(),
+            )
         });
         for (i, copy) in exports.iter().enumerate().skip(1) {
             if copy != &exports[0] {
@@ -327,7 +382,22 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         }
         println!("{jobs} concurrent runs produced byte-identical exports");
     }
+    // Reset the (thread-local) host profile so it covers exactly the
+    // exported single run, not the redundant determinism copies.
+    #[cfg(feature = "hostprof")]
+    if hostprof_out.is_some() {
+        sesame_sim::hostprof::reset();
+    }
     let telemetry = run_with_telemetry(scenario, &opts);
+    #[cfg(feature = "hostprof")]
+    if let Some(path) = hostprof_out {
+        let profile = sesame_sim::hostprof::report();
+        write_file(path, &profile.to_json())?;
+        println!(
+            "wrote host profile ({} events, {} trace records) to {path}",
+            profile.events, profile.trace_records
+        );
+    }
     let snapshot = telemetry.snapshot();
     if let Some(path) = args.get_str("--metrics-out") {
         write_file(path, &snapshot.to_json())?;
@@ -356,7 +426,25 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             telemetry.causes().len()
         );
     }
+    if let Some(path) = args.get_str("--series-out") {
+        let contents = if path.ends_with(".csv") {
+            telemetry.series_csv()
+        } else {
+            telemetry.series_json()
+        }
+        .expect("--series-out implies a series window");
+        write_file(path, &contents)?;
+        let series = telemetry.series_export().expect("series enabled");
+        println!(
+            "wrote time series ({} windows of {} ns) to {path}",
+            series.windows.len(),
+            series.window_ns
+        );
+    }
     print!("{}", render_report(&snapshot));
+    if let Some(series) = telemetry.series_export() {
+        print!("{}", render_series_report(&series));
+    }
     Ok(())
 }
 
@@ -440,6 +528,7 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
 /// Renders a report from a saved metrics snapshot (validating the schema),
 /// or from a fresh run when `--metrics-in` is absent.
 fn cmd_report(args: &Args) -> Result<(), String> {
+    let mut series = None;
     let snapshot = match args.get_str("--metrics-in") {
         Some(path) => {
             let text =
@@ -448,10 +537,19 @@ fn cmd_report(args: &Args) -> Result<(), String> {
         }
         None => {
             let (scenario, opts) = scenario_options(args)?;
-            run_with_telemetry(scenario, &opts).snapshot()
+            let t = run_with_telemetry(scenario, &opts);
+            series = t.series_export();
+            t.snapshot()
         }
     };
+    if let Some(path) = args.get_str("--series-in") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        series = Some(SeriesExport::from_json(&text).map_err(|e| format!("{path}: {e}"))?);
+    }
     print!("{}", render_report(&snapshot));
+    if let Some(series) = &series {
+        print!("{}", render_series_report(series));
+    }
     Ok(())
 }
 
@@ -714,10 +812,92 @@ fn cmd_check(args: &Args) -> Result<(), String> {
     }
 }
 
+/// `sesame bench diff <base.json> <new.json>` — the bench-trajectory
+/// regression gate. Takes positional file arguments, so it bypasses the
+/// flag-only [`Args::parse`] until the paths are peeled off.
+fn cmd_bench(rest: &[String]) -> Result<(), String> {
+    match rest.first().map(String::as_str) {
+        Some("diff") => {}
+        Some(other) => {
+            return Err(format!(
+                "unknown bench subcommand {other:?} (expected diff)\n\n{USAGE}"
+            ))
+        }
+        None => {
+            return Err(format!(
+                "bench needs a subcommand: diff <base.json> <new.json>\n\n{USAGE}"
+            ))
+        }
+    }
+    let mut paths = Vec::new();
+    let mut flags = Vec::new();
+    for a in &rest[1..] {
+        if a.starts_with("--") || !flags.is_empty() {
+            flags.push(a.clone());
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    let [base_path, new_path] = paths.as_slice() else {
+        return Err(format!(
+            "bench diff takes exactly two files (base, new), got {}\n\n{USAGE}",
+            paths.len()
+        ));
+    };
+    let args = Args::parse(&flags, &["--threshold", "--thresholds", "--groups"])
+        .map_err(|e| format!("{e}\n\n{USAGE}"))?;
+
+    let mut opts = sesame_bench::DiffOptions {
+        default_threshold: args
+            .get_or("--threshold", 1.5f64, "number")
+            .map_err(|e| e.to_string())?,
+        ..sesame_bench::DiffOptions::default()
+    };
+    if opts.default_threshold <= 0.0 {
+        return Err("--threshold must be positive".to_string());
+    }
+    if let Some(spec) = args.get_str("--thresholds") {
+        for part in spec.split(',') {
+            let (group, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad --thresholds entry {part:?} (want group=ratio)"))?;
+            let ratio: f64 = value
+                .parse()
+                .map_err(|_| format!("bad ratio {value:?} in --thresholds"))?;
+            if ratio <= 0.0 {
+                return Err(format!("--thresholds ratio for {group:?} must be positive"));
+            }
+            opts.group_thresholds
+                .insert(group.trim().to_string(), ratio);
+        }
+    }
+    if let Some(spec) = args.get_str("--groups") {
+        opts.groups = spec.split(',').map(|g| g.trim().to_string()).collect();
+    }
+
+    let load = |path: &str| -> Result<Vec<sesame_bench::BenchRecord>, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        sesame_bench::parse_bench_lines(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let base = load(base_path)?;
+    let new = load(new_path)?;
+    let report = sesame_bench::diff(&base, &new, &opts);
+    print!("{}", report.render());
+    match report.regressions() {
+        0 => Ok(()),
+        n => Err(format!("{n} bench case(s) regressed against {base_path}")),
+    }
+}
+
 /// A subcommand implementation.
 type Command = fn(&Args) -> Result<(), String>;
 
 fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
+    // `bench` takes positional arguments, which Args::parse does not
+    // model — it routes around the flag table.
+    if cmd == "bench" {
+        return cmd_bench(rest);
+    }
     let (allowed, f): (&[&'static str], Command) = match cmd {
         "fig1" => (&["--section-us", "--words"], cmd_fig1),
         "fig2" => (
@@ -749,6 +929,9 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
                 "--csv-out",
                 "--timeline-out",
                 "--causes-out",
+                "--series-out",
+                "--window",
+                "--hostprof-out",
                 "--jobs",
             ],
             cmd_run,
@@ -756,6 +939,8 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
         "report" => (
             &[
                 "--metrics-in",
+                "--series-in",
+                "--window",
                 "--scenario",
                 "--contenders",
                 "--rounds",

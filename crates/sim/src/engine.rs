@@ -353,9 +353,35 @@ impl<A: Actor> Simulation<A> {
                 return RunOutcome::EventLimitExceeded;
             }
             // One heap inspection per event instead of a peek + pop pair.
+            #[cfg(feature = "hostprof")]
+            let pop_started = crate::hostprof::clock_start();
             match self.queue.pop_if_before(limit) {
-                Some((time, (target, msg))) => self.dispatch(time, target, msg),
+                Some((time, (target, msg))) => {
+                    #[cfg(feature = "hostprof")]
+                    {
+                        crate::hostprof::pop_done(
+                            pop_started,
+                            self.queue.len(),
+                            self.queue.total_pushed(),
+                            self.queue.total_popped(),
+                        );
+                    }
+                    #[cfg(feature = "hostprof")]
+                    let dispatch_started = crate::hostprof::clock_start();
+                    self.dispatch(time, target, msg);
+                    #[cfg(feature = "hostprof")]
+                    crate::hostprof::dispatch_done(dispatch_started);
+                }
                 None => {
+                    #[cfg(feature = "hostprof")]
+                    {
+                        crate::hostprof::pop_done(
+                            pop_started,
+                            self.queue.len(),
+                            self.queue.total_pushed(),
+                            self.queue.total_popped(),
+                        );
+                    }
                     if self.queue.is_empty() {
                         return RunOutcome::Drained;
                     }

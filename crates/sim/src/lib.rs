@@ -37,10 +37,16 @@
 //! load-bearing for the experiment harness (`sesame-bench`), which asserts
 //! exact figures against recorded baselines.
 
-#![forbid(unsafe_code)]
+// The `hostprof` feature's counting allocator is the sole unsafe code in
+// the crate: two forwarding calls into the system allocator, each behind an
+// explicit allow with a SAFETY comment.
+#![cfg_attr(not(feature = "hostprof"), forbid(unsafe_code))]
+#![cfg_attr(feature = "hostprof", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 mod engine;
+#[cfg(feature = "hostprof")]
+pub mod hostprof;
 mod queue;
 mod rng;
 mod stats;

@@ -445,6 +445,8 @@ impl TraceRecorder {
         if !self.is_enabled() {
             return;
         }
+        #[cfg(feature = "hostprof")]
+        let trace_started = crate::hostprof::clock_start();
         let entry = TraceEntry {
             time,
             actor,
@@ -452,11 +454,17 @@ impl TraceRecorder {
             detail,
         };
         if let Some(observer) = &self.observer {
+            #[cfg(feature = "hostprof")]
+            let observer_started = crate::hostprof::clock_start();
             observer.borrow_mut().on_record(&entry);
+            #[cfg(feature = "hostprof")]
+            crate::hostprof::observer_done(observer_started);
         }
         if self.enabled {
             self.entries.push(entry);
         }
+        #[cfg(feature = "hostprof")]
+        crate::hostprof::trace_done(trace_started);
     }
 
     /// All records, in the order they were made (which is time order, since

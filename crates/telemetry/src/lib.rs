@@ -51,17 +51,19 @@ pub mod json;
 mod observer;
 mod registry;
 mod report;
+mod series;
 mod snapshot;
 mod timeline;
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use sesame_sim::SimTime;
+use sesame_sim::{SimDur, SimTime};
 
 pub use causal::{CausalDag, CausalNode, CriticalPath};
 pub use registry::{Metric, MetricRegistry};
 pub use report::render_report;
+pub use series::{render_series_report, SeriesExport, SeriesWindow, TimeSeries, SERIES_SCHEMA};
 pub use snapshot::{Snapshot, SnapshotValue, SCHEMA};
 pub use timeline::{cat, Timeline};
 
@@ -77,6 +79,7 @@ pub struct Telemetry {
     end: SimTime,
     state: observer::SpanState,
     causal: causal::CausalState,
+    series: Option<TimeSeries>,
 }
 
 impl Telemetry {
@@ -92,12 +95,23 @@ impl Telemetry {
             end: SimTime::ZERO,
             state: observer::SpanState::default(),
             causal: causal::CausalState::default(),
+            series: None,
         }
     }
 
     /// Enables (or disables) timeline span collection.
     pub fn with_timeline(mut self, enabled: bool) -> Self {
         self.timeline_enabled = enabled;
+        self
+    }
+
+    /// Enables windowed time-series collection with the given window width.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-width window (see [`TimeSeries::new`]).
+    pub fn with_series(mut self, window: SimDur) -> Self {
+        self.series = Some(TimeSeries::new(window));
         self
     }
 
@@ -175,5 +189,28 @@ impl Telemetry {
     /// The causal DAG as deterministic Graphviz DOT.
     pub fn causes_dot(&self) -> String {
         self.causal.dag.to_dot()
+    }
+
+    /// The live time-series aggregator, when enabled.
+    pub fn series(&self) -> Option<&TimeSeries> {
+        self.series.as_ref()
+    }
+
+    /// The exportable time series (call after [`Telemetry::finish`] so
+    /// empty-window padding covers the full run), when enabled.
+    pub fn series_export(&self) -> Option<SeriesExport> {
+        self.series
+            .as_ref()
+            .map(|s| s.export(&self.scenario, self.seed))
+    }
+
+    /// The time series as deterministic `sesame-series/v1` JSON, when enabled.
+    pub fn series_json(&self) -> Option<String> {
+        self.series_export().map(|e| e.to_json())
+    }
+
+    /// The time series as deterministic CSV, when enabled.
+    pub fn series_csv(&self) -> Option<String> {
+        self.series_export().map(|e| e.to_csv())
     }
 }

@@ -55,6 +55,9 @@ impl Telemetry {
     pub fn observe(&mut self, e: &TraceEntry) {
         let node = e.actor;
         let t = e.time;
+        if let Some(series) = self.series.as_mut() {
+            series.observe(e);
+        }
         if self.timeline_enabled {
             self.timeline.touch_track(node);
         }
@@ -332,6 +335,9 @@ impl Telemetry {
     /// where every node was stuck.
     pub fn finish(&mut self, end: SimTime) {
         self.end = end;
+        if let Some(series) = self.series.as_mut() {
+            series.finish(end);
+        }
         let pending = std::mem::take(&mut self.state.seq_pending);
         let waits = std::mem::take(&mut self.state.wait_start);
         let holds = std::mem::take(&mut self.state.hold_start);

@@ -213,4 +213,54 @@ mod tests {
         assert_eq!(parse_node_lock("node/3/net/packets"), None);
         assert_eq!(parse_node_lock("gwc/grants"), None);
     }
+
+    #[test]
+    fn empty_snapshot_renders_only_the_header() {
+        let r = MetricRegistry::new();
+        let snap = r.snapshot("contention", 9, SimTime::ZERO);
+        let report = render_report(&snap);
+        assert!(report.starts_with("scenario: contention"), "{report}");
+        assert!(!report.contains("wait-p50"), "{report}");
+        assert!(!report.contains("rollback attribution"), "{report}");
+        assert!(!report.contains("optimism:"), "{report}");
+        assert!(!report.contains("globals:"), "{report}");
+        assert_eq!(report.lines().count(), 1, "{report}");
+    }
+
+    #[test]
+    fn zero_optimistic_attempts_suppress_the_optimism_line() {
+        // A purely regular-locking run: the per-lock table renders, but
+        // there is no optimism summary (it would divide by zero) and no
+        // attribution table (nothing rolled back).
+        let mut r = MetricRegistry::new();
+        r.counter("node/0/lock/0/reg/attempts").add(6);
+        r.counter("node/0/lock/0/completions").add(6);
+        let snap = r.snapshot("three-cpu", 1, SimTime::from_nanos(100));
+        let report = render_report(&snap);
+        assert!(report.contains("reg-try"), "{report}");
+        assert!(!report.contains("optimism:"), "{report}");
+        assert!(!report.contains("rollback attribution"), "{report}");
+    }
+
+    #[test]
+    fn blame_table_truncates_to_the_ten_heaviest_rows() {
+        let mut r = MetricRegistry::new();
+        for var in 0..14u64 {
+            r.counter(&format!("blame/var/{var}/writer/1"))
+                .add(100 - var);
+        }
+        let snap = r.snapshot("contention", 9, SimTime::from_nanos(100));
+        let report = render_report(&snap);
+        let start = report.find("rollback attribution").expect("attribution");
+        // Title + column header, then exactly the 10 heaviest data rows;
+        // vars 10..13 (counts 90..87) are cut.
+        let rows: Vec<&str> = report[start..]
+            .lines()
+            .skip(2)
+            .take_while(|l| !l.trim().is_empty())
+            .collect();
+        assert_eq!(rows.len(), 10, "{report}");
+        assert!(report.contains(" 100\n"), "{report}");
+        assert!(!report.contains(" 90\n"), "{report}");
+    }
 }

@@ -14,7 +14,7 @@ use std::rc::Rc;
 use sesame_core::builder::{ModelChoice, ModelInstance};
 use sesame_dsm::RunResult;
 use sesame_net::NodeId;
-use sesame_sim::TraceObserver;
+use sesame_sim::{SimDur, TraceObserver};
 use sesame_telemetry::Telemetry;
 
 use crate::contention::{run_contention_observed, ContentionConfig};
@@ -79,6 +79,9 @@ pub struct ScenarioOptions {
     pub seed: u64,
     /// Whether to collect timeline spans for the Chrome-trace export.
     pub timeline: bool,
+    /// When set, collect a windowed time series with this window width
+    /// (the `sesame-series/v1` export).
+    pub window: Option<SimDur>,
 }
 
 impl Default for ScenarioOptions {
@@ -90,6 +93,7 @@ impl Default for ScenarioOptions {
             nodes: 5,
             seed: 7,
             timeline: false,
+            window: None,
         }
     }
 }
@@ -97,9 +101,11 @@ impl Default for ScenarioOptions {
 /// Runs `scenario` with an attached telemetry collector and returns the
 /// finished collector (spans closed, post-run statistics absorbed).
 pub fn run_with_telemetry(scenario: Scenario, opts: &ScenarioOptions) -> Telemetry {
-    let shared = Telemetry::new(scenario.name(), opts.seed)
-        .with_timeline(opts.timeline)
-        .shared();
+    let mut telemetry = Telemetry::new(scenario.name(), opts.seed).with_timeline(opts.timeline);
+    if let Some(window) = opts.window {
+        telemetry = telemetry.with_series(window);
+    }
+    let shared = telemetry.shared();
     let observer: Rc<RefCell<dyn TraceObserver>> = shared.clone();
     match scenario {
         Scenario::ThreeCpu => {
@@ -331,6 +337,53 @@ mod tests {
             path.flight_ns + path.hold_ns + path.sequencing_ns + path.wait_ns,
             path.total_ns()
         );
+    }
+
+    #[test]
+    fn time_series_covers_the_run_and_sums_match_the_snapshot() {
+        let opts = ScenarioOptions {
+            window: Some(SimDur::from_us(100)),
+            ..ScenarioOptions::default()
+        };
+        let t = run_with_telemetry(Scenario::Contention, &opts);
+        let series = t.series_export().expect("series enabled");
+        let snap = t.snapshot();
+        // The padded series covers [0, end) exactly.
+        let window_ns = series.window_ns;
+        let covered = series.windows.len() as u64 * window_ns;
+        assert!(covered >= snap.end_ns && covered < snap.end_ns + window_ns);
+        // Summing the windows reproduces the end-of-run totals.
+        let sum = |f: fn(&sesame_telemetry::SeriesWindow) -> u64| {
+            series.windows.iter().map(f).sum::<u64>()
+        };
+        assert_eq!(
+            sum(|w| w.rollbacks),
+            snap.sum_counters("node/", "/opt/rollbacks")
+        );
+        assert_eq!(
+            sum(|w| w.opt_attempts),
+            snap.sum_counters("node/", "/opt/attempts")
+        );
+        assert_eq!(sum(|w| w.opt_wins), snap.sum_counters("node/", "/opt/wins"));
+        assert_eq!(
+            sum(|w| w.completions),
+            snap.sum_counters("node/", "/completions")
+        );
+        assert!(sum(|w| w.packets) > 0);
+        // Same seed → byte-identical series exports; riding along changes
+        // nothing about the run itself.
+        let again = run_with_telemetry(Scenario::Contention, &opts);
+        assert_eq!(again.series_json(), t.series_json());
+        assert_eq!(again.series_csv(), t.series_csv());
+        let bare = run_with_telemetry(
+            Scenario::Contention,
+            &ScenarioOptions {
+                window: None,
+                ..opts
+            },
+        );
+        assert!(bare.series_export().is_none());
+        assert_eq!(bare.snapshot(), snap);
     }
 
     #[test]
