@@ -70,6 +70,7 @@ fn bench_safety_mechanisms() {
             machine: MachineConfig {
                 hw_block,
                 insharing_suspension,
+                ..MachineConfig::default()
             },
             // With safety off, corruption is the expected observation.
             check_counter: hw_block && insharing_suspension,

@@ -8,6 +8,7 @@
 //! sesame fig2 [--sizes 3,5,9] [--tasks N] [--exec-us N] [--ratio F] [--jobs N]
 //! sesame fig7
 //! sesame fig8 [--sizes 2,4,8] [--visits N] [--local-us N] [--jobs N]
+//! sesame bigmesh [--nodes N] [--laps N] [--local-us N] [--shared-words N]
 //! sesame contention [--contenders N] [--rounds N] [--think-us N]
 //! sesame run --scenario contention --metrics-out m.json --timeline-out t.trace.json
 //! sesame report --metrics-in m.json
@@ -24,6 +25,7 @@ use args::Args;
 use sesame_core::OptimisticConfig;
 use sesame_sim::SimDur;
 use sesame_telemetry::{render_report, render_series_report, CausalDag, SeriesExport, Snapshot};
+use sesame_workloads::bigmesh::{run_bigmesh, BigMeshConfig};
 use sesame_workloads::contention::{run_contention, ContentionConfig};
 use sesame_workloads::experiments::{
     figure1, figure2_jobs, figure2_sizes, figure8_jobs, figure8_sizes, render_series,
@@ -63,6 +65,13 @@ COMMANDS:
                     --format <table|csv>
                     --jobs <N=1>      sweep worker threads (0 = all cores);
                                       output is identical for every N
+    bigmesh       100k-node scaling scenario: per-row token pipelines with
+                  row-local mutexes over pruned multicast routes
+                    --nodes <N=100000>  --laps <N=1>  --local-us <N=5>
+                    --shared-words <N=1>  --event-limit <N=500000000>
+                    --hostprof-out <file.json>  host-side simulator profile
+                                      (needs a build with --features hostprof)
+                  exits nonzero unless the run drains with every visit done
     contention    optimistic vs regular locking across think times
                     --contenders <N=6>  --rounds <N=50>  --think-us <N=50>
     run           run one scenario with telemetry and export metrics
@@ -255,6 +264,80 @@ fn cmd_fig8(args: &Args) -> Result<(), String> {
         "# at {} CPUs: opt/reg {:.2}, opt/entry {:.2}, reg/entry {:.2}",
         r.nodes, r.optimistic_over_regular, r.optimistic_over_entry, r.regular_over_entry
     );
+    Ok(())
+}
+
+// Wall-clock reads report host throughput only; simulated results never
+// depend on them (the determinism guard in clippy.toml bans them elsewhere).
+#[allow(clippy::disallowed_methods)]
+fn cmd_bigmesh(args: &Args) -> Result<(), String> {
+    let defaults = BigMeshConfig::default();
+    let cfg = BigMeshConfig {
+        nodes: args
+            .get_or("--nodes", defaults.nodes, "integer")
+            .map_err(|e| e.to_string())?,
+        laps: args
+            .get_or("--laps", defaults.laps, "integer")
+            .map_err(|e| e.to_string())?,
+        local_calc: SimDur::from_us(
+            args.get_or("--local-us", 5u64, "integer")
+                .map_err(|e| e.to_string())?,
+        ),
+        shared_words: args
+            .get_or("--shared-words", defaults.shared_words, "integer")
+            .map_err(|e| e.to_string())?,
+        event_limit: args
+            .get_or("--event-limit", defaults.event_limit, "integer")
+            .map_err(|e| e.to_string())?,
+        ..defaults
+    };
+    let hostprof_out = args.get_str("--hostprof-out");
+    #[cfg(not(feature = "hostprof"))]
+    if hostprof_out.is_some() {
+        return Err("--hostprof-out requires the host profiler: rebuild with \
+             `cargo run -p sesame-cli --features hostprof -- bigmesh ...`"
+            .to_string());
+    }
+    #[cfg(feature = "hostprof")]
+    if hostprof_out.is_some() {
+        sesame_sim::hostprof::reset();
+    }
+    let wall = std::time::Instant::now();
+    let run = run_bigmesh(cfg);
+    let wall = wall.elapsed();
+    #[cfg(feature = "hostprof")]
+    if let Some(path) = hostprof_out {
+        let profile = sesame_sim::hostprof::report();
+        write_file(path, &profile.to_json())?;
+        println!(
+            "wrote host profile ({} events, queue depth max {}) to {path}",
+            profile.events, profile.queue_depth_max
+        );
+    }
+    println!(
+        "nodes {} in {} rows; {} token visits over {} laps",
+        run.nodes, run.rows, run.visits, cfg.laps
+    );
+    println!(
+        "makespan {}  events {}  network power {:.2}",
+        run.end, run.events, run.power
+    );
+    println!(
+        "fabric: {} packets, {} bytes, {} link traversals, {} losses",
+        run.fabric.packets, run.fabric.bytes, run.fabric.link_traversals, run.fabric.losses
+    );
+    println!(
+        "host: {:.2}s wall, {:.1}M events/s",
+        wall.as_secs_f64(),
+        run.events as f64 / wall.as_secs_f64() / 1e6
+    );
+    let expected = cfg.laps as u64 * run.nodes as u64;
+    if run.outcome != sesame_sim::RunOutcome::Drained || run.visits != expected {
+        return Err(format!(
+            "bigmesh run did not complete: outcome {:?}, {} of {} visits, {} of {} rows",
+            run.outcome, run.visits, expected, run.completed_rows, run.rows
+        ));
+    }
     Ok(())
 }
 
@@ -915,6 +998,17 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
         "fig8" => (
             &["--sizes", "--visits", "--local-us", "--format", "--jobs"],
             cmd_fig8,
+        ),
+        "bigmesh" => (
+            &[
+                "--nodes",
+                "--laps",
+                "--local-us",
+                "--shared-words",
+                "--event-limit",
+                "--hostprof-out",
+            ],
+            cmd_bigmesh,
         ),
         "contention" => (&["--contenders", "--rounds", "--think-us"], cmd_contention),
         "run" => (

@@ -21,13 +21,15 @@
 //! at the group root (the demand-fetch traffic the paper charges entry
 //! consistency for in Figure 2).
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use sesame_dsm::{
     sizes, AppEvent, CauseId, GroupTable, Model, ModelAction, Mx, Packet, PacketKind, TraceDetail,
     VarId,
 };
 use sesame_net::NodeId;
+
+use crate::slab::{sset_has, sset_insert, sset_remove, LockSlab};
 
 /// Counters exposed for tests and the experiment harness.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -52,42 +54,51 @@ struct Transfer {
     pending_acks: usize,
 }
 
-/// Per-lock token state.
+/// Per-lock token state. The reader and dirty sets are sorted vectors:
+/// iteration (and therefore invalidation fan-out order) is ascending
+/// node order, a deterministic function of the set contents.
 #[derive(Debug)]
 struct EcLock {
     owner: NodeId,
     held: bool,
     queue: VecDeque<NodeId>,
-    readers: HashSet<NodeId>,
+    readers: Vec<NodeId>,
     transfer: Option<Transfer>,
     /// Guarded vars written since the token last moved; their bytes ship
     /// with the next grant.
-    dirty: HashSet<VarId>,
+    dirty: Vec<VarId>,
 }
 
-/// Per-node validity state.
+/// Per-node validity state (sorted vectors probed by binary search).
 #[derive(Debug, Default)]
 struct EcNode {
-    valid: HashSet<VarId>,
-    pending_fetch: HashSet<VarId>,
+    valid: Vec<VarId>,
+    pending_fetch: Vec<VarId>,
     /// Fetches whose reply must not cache: an invalidation overtook them
     /// while in flight.
-    poisoned: HashSet<VarId>,
+    poisoned: Vec<VarId>,
 }
 
 /// Home state for one non-mutex group (write-through/invalidate at the
-/// root): per-variable reader sets.
+/// root): per-variable reader sets, sorted for deterministic
+/// invalidation order.
 #[derive(Debug, Default)]
 struct EcHome {
-    readers: HashMap<VarId, HashSet<NodeId>>,
+    readers: BTreeMap<VarId, Vec<NodeId>>,
 }
 
 /// The entry-consistency memory model.
+///
+/// Protocol state is index-addressed (see `slab::LockSlab`): per-lock state
+/// lives in a slab keyed by a sorted lock-var index, and per-group home
+/// state in a dense `Vec` indexed by [`sesame_dsm::GroupId`].
 #[derive(Debug)]
 pub struct EntryModel {
-    locks: HashMap<VarId, EcLock>,
+    locks: LockSlab<EcLock>,
     nodes: Vec<EcNode>,
-    homes: HashMap<sesame_dsm::GroupId, EcHome>,
+    /// Home state, indexed by `GroupId::index()`; `None` for mutex
+    /// groups (which are lock-managed, not home-managed).
+    homes: Vec<Option<EcHome>>,
     stats: EntryStats,
     /// Software protocol-handler time charged before each outgoing
     /// protocol message. Sesame's GWC runs in hardware interfaces; entry
@@ -102,33 +113,33 @@ impl EntryModel {
     /// group root, which also starts with valid copies of the guarded
     /// data.
     pub fn new(groups: &GroupTable, nodes: usize) -> Self {
-        let mut locks = HashMap::new();
-        let mut homes = HashMap::new();
+        let mut locks = Vec::new();
+        let mut homes: Vec<Option<EcHome>> = (0..groups.len()).map(|_| None).collect();
         let mut node_state: Vec<EcNode> = (0..nodes).map(|_| EcNode::default()).collect();
         for g in groups.iter() {
             if let Some(lock) = g.mutex_lock() {
-                locks.insert(
+                locks.push((
                     lock,
                     EcLock {
                         owner: g.root(),
                         held: false,
                         queue: VecDeque::new(),
-                        readers: HashSet::new(),
+                        readers: Vec::new(),
                         transfer: None,
-                        dirty: HashSet::new(),
+                        dirty: Vec::new(),
                     },
-                );
+                ));
                 if g.root().index() < nodes {
                     for &v in g.vars() {
-                        node_state[g.root().index()].valid.insert(v);
+                        sset_insert(&mut node_state[g.root().index()].valid, v);
                     }
                 }
             } else {
-                homes.insert(g.id(), EcHome::default());
+                homes[g.id().index()] = Some(EcHome::default());
             }
         }
         EntryModel {
-            locks,
+            locks: LockSlab::build(locks),
             nodes: node_state,
             homes,
             stats: EntryStats::default(),
@@ -150,7 +161,7 @@ impl EntryModel {
 
     /// The current owner of `lock`'s token.
     pub fn owner_of(&self, lock: VarId) -> Option<NodeId> {
-        self.locks.get(&lock).map(|l| l.owner)
+        self.locks.get(lock).map(|l| l.owner)
     }
 
     fn guarded_vars(groups: &GroupTable, lock: VarId) -> Vec<VarId> {
@@ -163,7 +174,11 @@ impl EntryModel {
     /// Start moving the token to `to`: invalidate every other reader, then
     /// grant.
     fn begin_transfer(&mut self, lock: VarId, to: NodeId, mx: &mut Mx<'_, '_>) {
-        let l = self.locks.get_mut(&lock).expect("known lock");
+        let li = self
+            .locks
+            .index_of(lock)
+            .unwrap_or_else(|| panic!("begin_transfer: unknown lock {lock}"));
+        let l = self.locks.at_mut(li);
         debug_assert!(l.transfer.is_none() && !l.held);
         let from = l.owner;
         let targets: Vec<NodeId> = l
@@ -186,11 +201,7 @@ impl EntryModel {
         }
         self.stats.invalidations += targets.len() as u64;
         for r in &targets {
-            self.locks
-                .get_mut(&lock)
-                .expect("known lock")
-                .readers
-                .remove(r);
+            sset_remove(&mut self.locks.at_mut(li).readers, r);
             mx.send_after(
                 self.handler_time,
                 Packet {
@@ -210,7 +221,7 @@ impl EntryModel {
     /// All invalidations acknowledged: ship the lock plus the dirty guarded
     /// data.
     fn finish_transfer(&mut self, lock: VarId, mx: &mut Mx<'_, '_>) {
-        let l = self.locks.get_mut(&lock).expect("known lock");
+        let l = self.locks.expect_mut(lock, "finish_transfer");
         let t = l.transfer.expect("transfer in flight");
         let data_bytes = sizes::WRITE * l.dirty.len() as u32;
         l.dirty.clear();
@@ -244,7 +255,7 @@ impl EntryModel {
             );
         }
         let guarded = Self::guarded_vars(mx.groups(), lock);
-        let l = self.locks.get_mut(&lock).expect("known lock");
+        let l = self.locks.expect_mut(lock, "grant_arrived");
         let t = l.transfer.take().expect("transfer in flight");
         debug_assert_eq!(t.to, node);
         let prev = l.owner;
@@ -254,24 +265,24 @@ impl EntryModel {
         // registered after the transfer's invalidation round stay
         // registered, so the *next* transfer invalidates them with real
         // messages (never silently — see the in-flight reply race below).
-        l.readers.remove(&prev);
-        l.readers.remove(&node);
+        sset_remove(&mut l.readers, &prev);
+        sset_remove(&mut l.readers, &node);
         if prev != node {
             for &v in &guarded {
-                self.nodes[prev.index()].valid.remove(&v);
+                sset_remove(&mut self.nodes[prev.index()].valid, &v);
             }
         }
         // The shipped data materializes at the new owner.
         for &v in &guarded {
             let value = mx.mem(prev).read(v);
             mx.mem(node).write(v, value);
-            self.nodes[node.index()].valid.insert(v);
+            sset_insert(&mut self.nodes[node.index()].valid, v);
         }
         mx.deliver(node, AppEvent::Acquired { lock });
     }
 
     fn acquire(&mut self, node: NodeId, lock: VarId, mx: &mut Mx<'_, '_>) {
-        let l = self.locks.get_mut(&lock).expect("acquire of unknown lock");
+        let l = self.locks.expect_mut(lock, "acquire");
         if l.owner == node && !l.held && l.transfer.is_none() && l.queue.is_empty() {
             // Owner-cached reacquire: local, unless readers must be
             // invalidated first.
@@ -314,7 +325,7 @@ impl EntryModel {
         requester: NodeId,
         mx: &mut Mx<'_, '_>,
     ) {
-        let l = self.locks.get_mut(&lock).expect("known lock");
+        let l = self.locks.expect_mut(lock, "owner_receives_request");
         if l.owner != node {
             // The token moved while the request was in flight; chase it.
             let owner = l.owner;
@@ -335,7 +346,11 @@ impl EntryModel {
             if mx.tracing() {
                 // Canonical owner-queue-depth event (telemetry's
                 // ec-queue-depth time-weighted signal).
-                let qlen = self.locks[&lock].queue.len();
+                let qlen = self
+                    .locks
+                    .expect(lock, "owner_receives_request")
+                    .queue
+                    .len();
                 mx.trace(
                     node,
                     "ec-queue",
@@ -368,17 +383,17 @@ impl Model for EntryModel {
                 };
                 mx.mem(node).write(var, value);
                 if let Some(lock) = mutex_lock {
-                    let l = self.locks.get_mut(&lock).expect("known lock");
+                    let l = self.locks.expect_mut(lock, "guarded write");
                     assert!(
                         l.owner == node && l.held,
                         "{node} wrote guarded {var} without holding {lock}"
                     );
-                    l.dirty.insert(var);
-                    self.nodes[node.index()].valid.insert(var);
+                    sset_insert(&mut l.dirty, var);
+                    sset_insert(&mut self.nodes[node.index()].valid, var);
                 } else {
                     // Non-guarded: write through to the home, which
                     // invalidates cached readers.
-                    self.nodes[node.index()].valid.insert(var);
+                    sset_insert(&mut self.nodes[node.index()].valid, var);
                     if home == node {
                         self.invalidate_home_readers(gid, var, node, mx);
                     } else {
@@ -400,7 +415,7 @@ impl Model for EntryModel {
             }
             ModelAction::Acquire { lock } => self.acquire(node, lock, mx),
             ModelAction::Release { lock } => {
-                let l = self.locks.get_mut(&lock).expect("release of unknown lock");
+                let l = self.locks.expect_mut(lock, "release");
                 assert!(
                     l.owner == node && l.held,
                     "{node} released {lock} it does not hold"
@@ -408,13 +423,10 @@ impl Model for EntryModel {
                 l.held = false;
                 // All releases are local in the fast variant.
                 mx.deliver(node, AppEvent::Released { lock });
-                let l = self
-                    .locks
-                    .get_mut(&lock)
-                    .expect("invariant: every entry-consistency lock is registered at build");
+                let l = self.locks.expect_mut(lock, "release");
                 if let Some(next) = l.queue.pop_front() {
                     if mx.tracing() {
-                        let qlen = self.locks[&lock].queue.len();
+                        let qlen = self.locks.expect(lock, "release").queue.len();
                         mx.trace(
                             node,
                             "ec-queue",
@@ -432,9 +444,9 @@ impl Model for EntryModel {
                     .groups()
                     .group_of(var)
                     .unwrap_or_else(|| panic!("fetch of {var} which is in no sharing group"));
-                let locally_valid = self.nodes[node.index()].valid.contains(&var)
+                let locally_valid = sset_has(&self.nodes[node.index()].valid, &var)
                     || g.mutex_lock()
-                        .and_then(|l| self.locks.get(&l))
+                        .and_then(|l| self.locks.get(l))
                         .is_some_and(|l| l.owner == node)
                     || (g.mutex_lock().is_none() && g.root() == node);
                 if locally_valid {
@@ -442,12 +454,12 @@ impl Model for EntryModel {
                     mx.deliver(node, AppEvent::ValueReady { var, value });
                     return;
                 }
-                if !self.nodes[node.index()].pending_fetch.insert(var) {
+                if !sset_insert(&mut self.nodes[node.index()].pending_fetch, var) {
                     return; // a fetch for this var is already in flight
                 }
                 self.stats.fetches += 1;
                 let target = match g.mutex_lock() {
-                    Some(lock) => self.locks[&lock].owner,
+                    Some(lock) => self.locks.expect(lock, "fetch").owner,
                     None => g.root(),
                 };
                 mx.send_after(
@@ -484,13 +496,13 @@ impl Model for EntryModel {
                 }
                 for v in Self::guarded_vars(mx.groups(), lock) {
                     let st = &mut self.nodes[node.index()];
-                    st.valid.remove(&v);
+                    sset_remove(&mut st.valid, &v);
                     // A reply racing this invalidation must not re-cache.
-                    if st.pending_fetch.contains(&v) {
-                        st.poisoned.insert(v);
+                    if sset_has(&st.pending_fetch, &v) {
+                        sset_insert(&mut st.poisoned, v);
                     }
                 }
-                let l = &self.locks[&lock];
+                let l = self.locks.expect(lock, "invalidate");
                 let back = l.transfer.map(|t| t.from).unwrap_or(l.owner);
                 mx.send_after(
                     self.handler_time,
@@ -504,7 +516,7 @@ impl Model for EntryModel {
                 );
             }
             PacketKind::EcInvalidateAck { lock } => {
-                let l = self.locks.get_mut(&lock).expect("known lock");
+                let l = self.locks.expect_mut(lock, "invalidate-ack");
                 let t = l.transfer.as_mut().expect("transfer in flight");
                 t.pending_acks -= 1;
                 if t.pending_acks == 0 {
@@ -523,7 +535,7 @@ impl Model for EntryModel {
                 let g = mx.groups().group_of(var).expect("known var");
                 // If the token moved, chase it.
                 if let Some(lock) = g.mutex_lock() {
-                    let owner = self.locks[&lock].owner;
+                    let owner = self.locks.expect(lock, "fetch-serve").owner;
                     if owner != node {
                         mx.send_after(
                             self.handler_time,
@@ -537,19 +549,20 @@ impl Model for EntryModel {
                         );
                         return;
                     }
-                    self.locks
-                        .get_mut(&lock)
-                        .expect("invariant: guarded var maps to a registered lock")
-                        .readers
-                        .insert(requester);
+                    sset_insert(
+                        &mut self.locks.expect_mut(lock, "fetch-serve").readers,
+                        requester,
+                    );
                 } else {
-                    self.homes
-                        .get_mut(&g.id())
-                        .expect("home group")
-                        .readers
-                        .entry(var)
-                        .or_default()
-                        .insert(requester);
+                    sset_insert(
+                        self.homes[g.id().index()]
+                            .as_mut()
+                            .expect("home group")
+                            .readers
+                            .entry(var)
+                            .or_default(),
+                        requester,
+                    );
                 }
                 let value = mx.mem(node).read(var);
                 mx.send_after(
@@ -566,9 +579,9 @@ impl Model for EntryModel {
             PacketKind::EcFetchReply { var, value } => {
                 mx.mem(node).write(var, value);
                 let st = &mut self.nodes[node.index()];
-                st.pending_fetch.remove(&var);
-                if !st.poisoned.remove(&var) {
-                    st.valid.insert(var);
+                sset_remove(&mut st.pending_fetch, &var);
+                if !sset_remove(&mut st.poisoned, &var) {
+                    sset_insert(&mut st.valid, var);
                 }
                 mx.deliver(node, AppEvent::ValueReady { var, value });
             }
@@ -580,9 +593,9 @@ impl Model for EntryModel {
             }
             PacketKind::EcHomeInval { var } => {
                 let st = &mut self.nodes[node.index()];
-                st.valid.remove(&var);
-                if st.pending_fetch.contains(&var) {
-                    st.poisoned.insert(var);
+                sset_remove(&mut st.valid, &var);
+                if sset_has(&st.pending_fetch, &var) {
+                    sset_insert(&mut st.poisoned, var);
                 }
             }
             PacketKind::App { tag } => {
@@ -608,14 +621,19 @@ impl EntryModel {
         writer: NodeId,
         mx: &mut Mx<'_, '_>,
     ) {
-        let home = self.homes.get_mut(&group).expect("home group");
+        let home = self.homes[group.index()].as_mut().expect("home group");
         let set = home.readers.entry(var).or_default();
-        let targets: Vec<NodeId> = set.drain().filter(|&r| r != writer).collect();
-        set.insert(writer);
+        // Reader sets are sorted, so the invalidation fan-out goes out in
+        // ascending node order — deterministically.
+        let targets: Vec<NodeId> = std::mem::take(set)
+            .into_iter()
+            .filter(|&r| r != writer)
+            .collect();
+        set.push(writer);
         let root = mx.groups().group(group).root();
         self.stats.invalidations += targets.len() as u64;
         for r in targets {
-            self.nodes[r.index()].valid.remove(&var);
+            sset_remove(&mut self.nodes[r.index()].valid, &var);
             mx.send_after(
                 self.handler_time,
                 Packet {

@@ -21,6 +21,7 @@
 pub mod analysis;
 mod entry;
 mod release;
+mod slab;
 
 pub use entry::{EntryModel, EntryStats};
 pub use release::{ReleaseModel, ReleaseStats};

@@ -17,12 +17,14 @@
 //! [`ReleaseModel::new`] or [`ReleaseModel::weak`] to choose the reported
 //! name.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use sesame_dsm::{
     sizes, AppEvent, CauseId, GroupTable, Model, ModelAction, Mx, Packet, PacketKind, VarId,
 };
 use sesame_net::NodeId;
+
+use crate::slab::{sset_has, sset_insert, sset_remove, LockSlab};
 
 /// Counters exposed for tests and the experiment harness.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -46,26 +48,28 @@ struct RcLock {
     owner: Option<NodeId>,
 }
 
-/// Per-node protocol state.
+/// Per-node protocol state (sorted vectors / `BTreeMap`s: deterministic
+/// iteration, no hashing on the protocol path).
 #[derive(Debug, Default)]
 struct RcNode {
     /// Updates sent but not yet acknowledged by every receiver.
     outstanding_acks: u64,
     /// A release waiting for `outstanding_acks` to drain.
     pending_release: Option<VarId>,
-    /// Locks this node currently holds.
-    holding: HashSet<VarId>,
+    /// Locks this node currently holds (sorted).
+    holding: Vec<VarId>,
     /// Requests forwarded to this node while it owned the lock.
-    local_queue: HashMap<VarId, VecDeque<NodeId>>,
+    local_queue: BTreeMap<VarId, VecDeque<NodeId>>,
     /// Where this node last handed each lock (to chase stale forwards).
-    last_granted: HashMap<VarId, NodeId>,
+    last_granted: BTreeMap<VarId, NodeId>,
 }
 
-/// The weak/release-consistency memory model.
+/// The weak/release-consistency memory model. Per-lock manager state is
+/// index-addressed via `slab::LockSlab`.
 #[derive(Debug)]
 pub struct ReleaseModel {
     name: &'static str,
-    locks: HashMap<VarId, RcLock>,
+    locks: LockSlab<RcLock>,
     nodes: Vec<RcNode>,
     next_write_id: u64,
     stats: ReleaseStats,
@@ -100,7 +104,7 @@ impl ReleaseModel {
             .collect();
         ReleaseModel {
             name,
-            locks,
+            locks: LockSlab::build(locks),
             nodes: (0..nodes).map(|_| RcNode::default()).collect(),
             next_write_id: 0,
             stats: ReleaseStats::default(),
@@ -114,13 +118,13 @@ impl ReleaseModel {
 
     /// The manager's view of who owns `lock`.
     pub fn owner_of(&self, lock: VarId) -> Option<NodeId> {
-        self.locks.get(&lock).and_then(|l| l.owner)
+        self.locks.get(lock).and_then(|l| l.owner)
     }
 
     fn grant(&mut self, lock: VarId, from: NodeId, to: NodeId, mx: &mut Mx<'_, '_>) {
         self.stats.grants += 1;
         if from == to {
-            self.nodes[to.index()].holding.insert(lock);
+            sset_insert(&mut self.nodes[to.index()].holding, lock);
             mx.deliver(to, AppEvent::Acquired { lock });
         } else {
             mx.send(Packet {
@@ -137,10 +141,10 @@ impl ReleaseModel {
     /// lock to a queued waiter or return it to the manager.
     fn complete_release(&mut self, node: NodeId, lock: VarId, mx: &mut Mx<'_, '_>) {
         let st = &mut self.nodes[node.index()];
-        st.holding.remove(&lock);
+        sset_remove(&mut st.holding, &lock);
         mx.deliver(node, AppEvent::Released { lock });
         let next = st.local_queue.get_mut(&lock).and_then(|q| q.pop_front());
-        let manager = self.locks[&lock].manager;
+        let manager = self.locks.expect(lock, "complete_release").manager;
         match next {
             Some(next) => {
                 self.nodes[node.index()].last_granted.insert(lock, next);
@@ -159,10 +163,7 @@ impl ReleaseModel {
                 // Tell the manager where the lock went (non-blocking), then
                 // hand the token directly to the waiter.
                 if manager == node {
-                    self.locks
-                        .get_mut(&lock)
-                        .expect("invariant: released lock is registered at its manager")
-                        .owner = Some(next);
+                    self.locks.expect_mut(lock, "complete_release").owner = Some(next);
                 } else {
                     mx.send(Packet {
                         cause: CauseId::NONE,
@@ -183,10 +184,7 @@ impl ReleaseModel {
                 // stale grantee (prevents chase cycles).
                 self.nodes[node.index()].last_granted.remove(&lock);
                 if manager == node {
-                    self.locks
-                        .get_mut(&lock)
-                        .expect("invariant: released lock is registered at its manager")
-                        .owner = None;
+                    self.locks.expect_mut(lock, "complete_release").owner = None;
                 } else {
                     mx.send(Packet {
                         cause: CauseId::NONE,
@@ -243,16 +241,13 @@ impl Model for ReleaseModel {
                 mx.mem(node).write(var, value);
             }
             ModelAction::Acquire { lock } => {
-                let manager = self.locks[&lock].manager;
+                let manager = self.locks.expect(lock, "acquire").manager;
                 if manager == node {
                     // Local request to the manager.
-                    let owner = self.locks[&lock].owner;
+                    let owner = self.locks.expect(lock, "acquire").owner;
                     match owner {
                         None => {
-                            self.locks
-                                .get_mut(&lock)
-                                .expect("invariant: acquired lock is registered at its manager")
-                                .owner = Some(node);
+                            self.locks.expect_mut(lock, "acquire").owner = Some(node);
                             self.grant(lock, node, node, mx);
                         }
                         Some(o) => {
@@ -284,7 +279,7 @@ impl Model for ReleaseModel {
             }
             ModelAction::Release { lock } => {
                 assert!(
-                    self.nodes[node.index()].holding.contains(&lock),
+                    sset_has(&self.nodes[node.index()].holding, &lock),
                     "{node} released {lock} it does not hold"
                 );
                 if self.nodes[node.index()].outstanding_acks == 0 {
@@ -339,21 +334,15 @@ impl Model for ReleaseModel {
             }
             PacketKind::RcAcquire { lock, requester } => {
                 // At the manager.
-                let owner = self.locks[&lock].owner;
+                let owner = self.locks.expect(lock, "RcAcquire").owner;
                 match owner {
                     None => {
-                        self.locks
-                            .get_mut(&lock)
-                            .expect("invariant: RcAcquire names a lock registered at this manager")
-                            .owner = Some(requester);
+                        self.locks.expect_mut(lock, "RcAcquire").owner = Some(requester);
                         self.grant(lock, node, requester, mx);
                     }
                     Some(o) => {
                         self.stats.forwards += 1;
-                        self.locks
-                            .get_mut(&lock)
-                            .expect("invariant: RcAcquire names a lock registered at this manager")
-                            .owner = Some(o);
+                        self.locks.expect_mut(lock, "RcAcquire").owner = Some(o);
                         mx.send(Packet {
                             cause: CauseId::NONE,
                             from: node,
@@ -366,7 +355,7 @@ impl Model for ReleaseModel {
             }
             PacketKind::RcForward { lock, requester } => {
                 let st = &mut self.nodes[node.index()];
-                if st.holding.contains(&lock) || st.pending_release == Some(lock) {
+                if sset_has(&st.holding, &lock) || st.pending_release == Some(lock) {
                     st.local_queue.entry(lock).or_default().push_back(requester);
                 } else if let Some(&next) = st.last_granted.get(&lock) {
                     // The token moved on; chase it.
@@ -380,7 +369,7 @@ impl Model for ReleaseModel {
                 } else {
                     // Never owned or already returned to the manager; the
                     // manager will re-route.
-                    let manager = self.locks[&lock].manager;
+                    let manager = self.locks.expect(lock, "RcForward").manager;
                     mx.send(Packet {
                         cause: CauseId::NONE,
                         from: node,
@@ -391,14 +380,11 @@ impl Model for ReleaseModel {
                 }
             }
             PacketKind::RcGrant { lock } => {
-                self.nodes[node.index()].holding.insert(lock);
+                sset_insert(&mut self.nodes[node.index()].holding, lock);
                 mx.deliver(node, AppEvent::Acquired { lock });
             }
             PacketKind::RcRelease { lock, new_owner } => {
-                self.locks
-                    .get_mut(&lock)
-                    .expect("invariant: RcRelease names a lock registered at this manager")
-                    .owner = new_owner;
+                self.locks.expect_mut(lock, "RcRelease").owner = new_owner;
             }
             PacketKind::App { tag } => {
                 mx.deliver(

@@ -1,0 +1,125 @@
+//! Index-addressed storage primitives shared by the baseline models.
+//!
+//! Both models keep per-lock and per-node protocol state. At 100k nodes
+//! the former `HashMap`/`HashSet` storage thrashed the allocator and
+//! hashed on every protocol step; these helpers replace it with sorted
+//! vectors probed by binary search. Iteration order is ascending key
+//! order — a pure function of the contents — so every fan-out that walks
+//! one of these sets sends packets in a deterministic order (the
+//! property the byte-identical-trace contract rests on).
+
+use sesame_dsm::VarId;
+
+/// A slab of per-lock state: a sorted `VarId` index plus a parallel
+/// payload vector. Lookup is `O(log n)`; the set of locks is fixed at
+/// model construction, so there is no insertion after build.
+#[derive(Debug)]
+pub(crate) struct LockSlab<T> {
+    vars: Vec<VarId>,
+    items: Vec<T>,
+}
+
+impl<T> LockSlab<T> {
+    /// Builds the slab from `(lock, state)` pairs (any order; sorted
+    /// internally). Lock variables must be unique — guaranteed upstream
+    /// by `GroupTable` validation (one mutex lock per group, every var
+    /// in exactly one group).
+    pub fn build(mut pairs: Vec<(VarId, T)>) -> Self {
+        pairs.sort_by_key(|&(v, _)| v);
+        let mut vars = Vec::with_capacity(pairs.len());
+        let mut items = Vec::with_capacity(pairs.len());
+        for (v, t) in pairs {
+            vars.push(v);
+            items.push(t);
+        }
+        LockSlab { vars, items }
+    }
+
+    /// The dense index of `lock`, if registered.
+    pub fn index_of(&self, lock: VarId) -> Option<usize> {
+        self.vars.binary_search(&lock).ok()
+    }
+
+    /// The state of `lock`, if registered.
+    pub fn get(&self, lock: VarId) -> Option<&T> {
+        self.index_of(lock).map(|i| &self.items[i])
+    }
+
+    /// The state of `lock`; panics with `ctx` if unregistered.
+    pub fn expect(&self, lock: VarId, ctx: &str) -> &T {
+        self.get(lock)
+            .unwrap_or_else(|| panic!("{ctx}: unknown lock {lock}"))
+    }
+
+    /// Mutable state of `lock`; panics with `ctx` if unregistered.
+    pub fn expect_mut(&mut self, lock: VarId, ctx: &str) -> &mut T {
+        match self.index_of(lock) {
+            Some(i) => &mut self.items[i],
+            None => panic!("{ctx}: unknown lock {lock}"),
+        }
+    }
+
+    /// Mutable state at a dense index from [`LockSlab::index_of`].
+    pub fn at_mut(&mut self, index: usize) -> &mut T {
+        &mut self.items[index]
+    }
+}
+
+/// Inserts `x` into a small sorted set kept as a `Vec`; returns whether
+/// it was newly inserted.
+pub(crate) fn sset_insert<T: Ord + Copy>(set: &mut Vec<T>, x: T) -> bool {
+    match set.binary_search(&x) {
+        Ok(_) => false,
+        Err(i) => {
+            set.insert(i, x);
+            true
+        }
+    }
+}
+
+/// Removes `x` from a sorted set; returns whether it was present.
+pub(crate) fn sset_remove<T: Ord>(set: &mut Vec<T>, x: &T) -> bool {
+    match set.binary_search(x) {
+        Ok(i) => {
+            set.remove(i);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// Whether `x` is in the sorted set.
+pub(crate) fn sset_has<T: Ord>(set: &[T], x: &T) -> bool {
+    set.binary_search(x).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(id: u32) -> VarId {
+        VarId::new(id)
+    }
+
+    #[test]
+    fn slab_indexes_by_lock_var() {
+        let slab = LockSlab::build(vec![(v(9), "nine"), (v(2), "two"), (v(5), "five")]);
+        assert_eq!(slab.get(v(2)), Some(&"two"));
+        assert_eq!(slab.get(v(9)), Some(&"nine"));
+        assert_eq!(slab.get(v(3)), None);
+        assert_eq!(slab.expect(v(5), "test"), &"five");
+    }
+
+    #[test]
+    fn sorted_set_ops() {
+        let mut s: Vec<u32> = Vec::new();
+        assert!(sset_insert(&mut s, 5));
+        assert!(sset_insert(&mut s, 1));
+        assert!(!sset_insert(&mut s, 5));
+        assert_eq!(s, vec![1, 5]);
+        assert!(sset_has(&s, &1));
+        assert!(sset_remove(&mut s, &1));
+        assert!(!sset_remove(&mut s, &1));
+        assert_eq!(s, vec![5]);
+    }
+}

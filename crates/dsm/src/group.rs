@@ -74,6 +74,11 @@ pub struct SharingGroup {
     id: GroupId,
     root: NodeId,
     members: Vec<NodeId>,
+    /// `(node, rank)` pairs sorted by node, where `rank` is the node's
+    /// position in `members`. Backs `O(log m)` membership and rank
+    /// queries without touching the declared member order (which the
+    /// multicast fan-out depends on).
+    member_ranks: Vec<(NodeId, u32)>,
     vars: Vec<VarId>,
     mutex_lock: Option<VarId>,
 }
@@ -94,9 +99,22 @@ impl SharingGroup {
         &self.members
     }
 
-    /// Whether `node` is a member.
+    /// Whether `node` is a member (`O(log m)`).
     pub fn is_member(&self, node: NodeId) -> bool {
-        self.members.contains(&node)
+        self.member_rank(node).is_some()
+    }
+
+    /// The member rank of `node`: its index in [`SharingGroup::members`],
+    /// or `None` if it is not a member. Ranks are dense (`0..m`) and
+    /// follow the *declared* member order, so rank-addressed state never
+    /// observes a different order than the multicast fan-out does —
+    /// the invariant that keeps slot-indexed protocol state (see
+    /// [`GroupTable::member_slot`]) deterministic.
+    pub fn member_rank(&self, node: NodeId) -> Option<u32> {
+        self.member_ranks
+            .binary_search_by_key(&node, |&(n, _)| n)
+            .ok()
+            .map(|i| self.member_ranks[i].1)
     }
 
     /// The group's variables.
@@ -120,6 +138,11 @@ impl SharingGroup {
 pub struct GroupTable {
     groups: Vec<SharingGroup>,
     var_group: HashMap<VarId, GroupId>,
+    /// Per-group base of the machine-wide member-slot address space:
+    /// group `g`'s member of rank `r` owns slot `slot_base[g] + r`.
+    slot_base: Vec<u32>,
+    /// Total member slots (sum of all group member counts).
+    member_slots: u32,
 }
 
 impl GroupTable {
@@ -156,10 +179,20 @@ impl GroupTable {
                     return Err(GroupConfigError::DuplicateVar(v));
                 }
             }
+            let mut member_ranks: Vec<(NodeId, u32)> = spec
+                .members
+                .iter()
+                .enumerate()
+                .map(|(rank, &n)| (n, rank as u32))
+                .collect();
+            member_ranks.sort_unstable_by_key(|&(n, _)| n);
+            table.slot_base.push(table.member_slots);
+            table.member_slots += spec.members.len() as u32;
             table.groups.push(SharingGroup {
                 id,
                 root: spec.root,
                 members: spec.members,
+                member_ranks,
                 vars: spec.vars,
                 mutex_lock: spec.mutex_lock,
             });
@@ -204,6 +237,35 @@ impl GroupTable {
     /// The groups rooted at `node`.
     pub fn groups_rooted_at(&self, node: NodeId) -> impl Iterator<Item = &SharingGroup> {
         self.groups.iter().filter(move |g| g.root() == node)
+    }
+
+    /// Total number of member slots: one per `(group, member)` pair,
+    /// summed over all groups. Sizes the dense arrays that protocol
+    /// models use for per-membership state (struct-of-arrays storage on
+    /// the GWC hot loop).
+    pub fn member_slots(&self) -> usize {
+        self.member_slots as usize
+    }
+
+    /// The machine-wide member slot of `node` in `group`:
+    /// `slot_base(group) + rank`, or `None` if `node` is not a member.
+    ///
+    /// Slots are dense in `0..member_slots()`, assigned in group-id order
+    /// and, within a group, in declared member order — a pure function of
+    /// the validated group specs, so slot-indexed state is as
+    /// deterministic as the specs themselves.
+    pub fn member_slot(&self, group: GroupId, node: NodeId) -> Option<usize> {
+        let base = self.slot_base[group.index()];
+        self.groups[group.index()]
+            .member_rank(node)
+            .map(|rank| (base + rank) as usize)
+    }
+
+    /// The first member slot of `group`; the group's members occupy
+    /// `slot_base(group) .. slot_base(group) + members.len()` in rank
+    /// order.
+    pub fn slot_base(&self, group: GroupId) -> usize {
+        self.slot_base[group.index()] as usize
     }
 }
 
@@ -255,6 +317,26 @@ mod tests {
         assert_eq!(t.groups_rooted_at(n(2)).count(), 1);
         assert!(t.group(GroupId::new(0)).is_member(n(1)));
         assert!(!t.group(GroupId::new(0)).is_member(n(2)));
+    }
+
+    #[test]
+    fn member_ranks_and_slots_follow_declared_order() {
+        let t = GroupTable::new(vec![
+            spec(0, &[2, 0, 1], &[0], None),
+            spec(1, &[3, 1], &[1], None),
+        ])
+        .unwrap();
+        let g0 = t.group(GroupId::new(0));
+        assert_eq!(g0.member_rank(n(2)), Some(0));
+        assert_eq!(g0.member_rank(n(0)), Some(1));
+        assert_eq!(g0.member_rank(n(1)), Some(2));
+        assert_eq!(g0.member_rank(n(9)), None);
+        assert_eq!(t.member_slots(), 5);
+        assert_eq!(t.slot_base(GroupId::new(1)), 3);
+        assert_eq!(t.member_slot(GroupId::new(0), n(1)), Some(2));
+        assert_eq!(t.member_slot(GroupId::new(1), n(3)), Some(3));
+        assert_eq!(t.member_slot(GroupId::new(1), n(1)), Some(4));
+        assert_eq!(t.member_slot(GroupId::new(1), n(0)), None);
     }
 
     #[test]

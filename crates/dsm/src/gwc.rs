@@ -30,7 +30,7 @@
 //! atomic insharing suspension (Figures 4–5) and nack-based recovery for
 //! lost sequenced packets.
 
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use sesame_net::{CauseId, NodeId};
 use sesame_sim::CauseOp;
@@ -59,20 +59,45 @@ struct SeqItem {
 }
 
 /// Per-node sharing-interface state.
+///
+/// The hot per-`(group, member)` counter (the next expected sequence
+/// number) lives outside this struct, in [`GwcModel::expected`] —
+/// a dense member-slot-indexed array (see [`GroupTable::member_slot`])
+/// so the apply loop of a 100k-node machine never hashes. What remains
+/// here is cold or genuinely per-node state.
 #[derive(Debug, Default)]
 struct IfaceState {
-    /// Next sequence number to apply, per group (starts at 1).
-    expected: HashMap<GroupId, u64>,
-    /// Out-of-order arrivals awaiting their turn.
-    reorder: HashMap<GroupId, BTreeMap<u64, SeqItem>>,
+    /// Out-of-order arrivals awaiting their turn (cold: populated only
+    /// on loss-induced gaps). `BTreeMap` keeps group iteration order
+    /// deterministic when [`GwcModel::resume`] drains it.
+    reorder: BTreeMap<GroupId, BTreeMap<u64, SeqItem>>,
     /// Whether insharing is suspended (arrivals buffer in `held`).
     suspended: bool,
     /// Arrivals buffered during suspension, in arrival order.
     held: VecDeque<SeqItem>,
-    /// Lock variables with an armed change interrupt.
-    armed: HashSet<VarId>,
-    /// Locks with an outstanding high-level acquire.
-    pending_acquire: HashSet<VarId>,
+    /// Lock variables with an armed change interrupt (sorted; these sets
+    /// hold at most a handful of lock vars, so binary search over a
+    /// contiguous array beats hashing).
+    armed: Vec<VarId>,
+    /// Locks with an outstanding high-level acquire (sorted).
+    pending_acquire: Vec<VarId>,
+}
+
+/// Inserts into / removes from a small sorted set kept as a `Vec`.
+fn sorted_insert(set: &mut Vec<VarId>, var: VarId) {
+    if let Err(i) = set.binary_search(&var) {
+        set.insert(i, var);
+    }
+}
+
+fn sorted_remove(set: &mut Vec<VarId>, var: VarId) -> bool {
+    match set.binary_search(&var) {
+        Ok(i) => {
+            set.remove(i);
+            true
+        }
+        Err(_) => false,
+    }
 }
 
 /// Lock-manager state for one mutex group, kept at the group root.
@@ -148,10 +173,23 @@ pub enum GwcMutation {
 }
 
 /// The group-write-consistency memory model.
+///
+/// Protocol state is index-addressed: root state is a `Vec` indexed by
+/// the dense [`GroupId`]s, and the per-`(group, member)` expected-
+/// sequence counters live in one flat array indexed by
+/// [`GroupTable::member_slot`]. Both layouts are pure functions of the
+/// validated group table, so they cannot perturb event order — the
+/// determinism contract that keeps traces byte-identical.
 #[derive(Debug)]
 pub struct GwcModel {
     ifaces: Vec<IfaceState>,
-    roots: HashMap<GroupId, RootGroup>,
+    /// Root state, indexed by `GroupId::index()` (group ids are dense).
+    roots: Vec<RootGroup>,
+    /// Next sequence number to apply per member slot; `0` means the slot
+    /// was never touched and reads as the protocol's starting value `1`.
+    expected: Vec<u64>,
+    /// `(node index, group)` of each member slot, for the state digest.
+    slot_meta: Vec<(u32, GroupId)>,
     stats: GwcStats,
     /// Grant-watchdog timeout; `None` disables the watchdog (fine on
     /// loss-free fabrics).
@@ -168,31 +206,42 @@ impl GwcModel {
     pub fn new(groups: &GroupTable, nodes: usize) -> Self {
         let roots = groups
             .iter()
-            .map(|g| {
-                (
-                    g.id(),
-                    RootGroup {
-                        next_seq: 1,
-                        history: VecDeque::new(),
-                        history_base: 0,
-                        lock: g.mutex_lock().map(|var| LockState {
-                            var,
-                            holder: None,
-                            queue: VecDeque::new(),
-                        }),
-                        watchdog: None,
-                    },
-                )
+            .map(|g| RootGroup {
+                next_seq: 1,
+                history: VecDeque::new(),
+                history_base: 0,
+                lock: g.mutex_lock().map(|var| LockState {
+                    var,
+                    holder: None,
+                    queue: VecDeque::new(),
+                }),
+                watchdog: None,
             })
             .collect();
+        let mut slot_meta = Vec::with_capacity(groups.member_slots());
+        for g in groups.iter() {
+            for &m in g.members() {
+                slot_meta.push((m.index() as u32, g.id()));
+            }
+        }
         GwcModel {
             ifaces: (0..nodes).map(|_| IfaceState::default()).collect(),
             roots,
+            expected: vec![0; slot_meta.len()],
+            slot_meta,
             stats: GwcStats::default(),
             grant_timeout: None,
             history_window: None,
             mutation: GwcMutation::None,
         }
+    }
+
+    /// The member slot of `(group, node)`, panicking on a protocol
+    /// violation (a sequenced write handled at a non-member).
+    fn slot(groups: &GroupTable, group: GroupId, node: NodeId) -> usize {
+        groups.member_slot(group, node).unwrap_or_else(|| {
+            panic!("{node} handled a sequenced write for {group} it is not a member of")
+        })
     }
 
     /// Plants `mutation` into the protocol (checker regression fixtures).
@@ -222,17 +271,24 @@ impl GwcModel {
                 .hash(h);
         }
         let mut h = std::collections::hash_map::DefaultHasher::new();
+        // Per-iface (group, next-expected-seq) pairs, reconstructed from
+        // the flat slot array; untouched slots (0) are omitted so the
+        // digest matches states where the counter was never advanced.
+        let mut per_iface: Vec<Vec<(u32, u64)>> = vec![Vec::new(); self.ifaces.len()];
+        for (slot, &(node, group)) in self.slot_meta.iter().enumerate() {
+            let seq = self.expected[slot];
+            if seq != 0 {
+                per_iface[node as usize].push((group.get(), seq));
+            }
+        }
         for (i, st) in self.ifaces.iter().enumerate() {
             i.hash(&mut h);
-            let mut expected: Vec<(u32, u64)> =
-                st.expected.iter().map(|(g, s)| (g.get(), *s)).collect();
+            let mut expected = std::mem::take(&mut per_iface[i]);
             expected.sort_unstable();
             expected.hash(&mut h);
-            let mut reorder_groups: Vec<u32> = st.reorder.keys().map(|g| g.get()).collect();
-            reorder_groups.sort_unstable();
-            for g in reorder_groups {
-                g.hash(&mut h);
-                for item in st.reorder[&GroupId::new(g)].values() {
+            for (g, buffer) in &st.reorder {
+                g.get().hash(&mut h);
+                for item in buffer.values() {
                     hash_item(item, &mut h);
                 }
             }
@@ -240,18 +296,13 @@ impl GwcModel {
             for item in &st.held {
                 hash_item(item, &mut h);
             }
-            let mut armed: Vec<u32> = st.armed.iter().map(|v| v.get()).collect();
-            armed.sort_unstable();
+            let armed: Vec<u32> = st.armed.iter().map(|v| v.get()).collect();
             armed.hash(&mut h);
-            let mut pending: Vec<u32> = st.pending_acquire.iter().map(|v| v.get()).collect();
-            pending.sort_unstable();
+            let pending: Vec<u32> = st.pending_acquire.iter().map(|v| v.get()).collect();
             pending.hash(&mut h);
         }
-        let mut group_ids: Vec<GroupId> = self.roots.keys().copied().collect();
-        group_ids.sort_unstable();
-        for gid in group_ids {
-            let rg = &self.roots[&gid];
-            (gid.get(), rg.next_seq, rg.history_base).hash(&mut h);
+        for (i, rg) in self.roots.iter().enumerate() {
+            (i as u32, rg.next_seq, rg.history_base).hash(&mut h);
             for (var, value, origin) in &rg.history {
                 (var.get(), *value, origin.get()).hash(&mut h);
             }
@@ -279,7 +330,7 @@ impl GwcModel {
 
     /// Number of sequenced writes currently retained by `group`'s root.
     pub fn history_len(&self, group: GroupId) -> usize {
-        self.roots.get(&group).map_or(0, |r| r.history.len())
+        self.roots.get(group.index()).map_or(0, |r| r.history.len())
     }
 
     /// Enables the root-side grant watchdog: an issued grant whose holder
@@ -299,7 +350,7 @@ impl GwcModel {
     /// authoritative state.
     pub fn lock_holder(&self, group: GroupId) -> Option<NodeId> {
         self.roots
-            .get(&group)
+            .get(group.index())
             .and_then(|r| r.lock.as_ref())
             .and_then(|l| l.holder)
     }
@@ -307,7 +358,7 @@ impl GwcModel {
     /// Number of requesters queued on `group`'s mutex lock.
     pub fn lock_queue_len(&self, group: GroupId) -> usize {
         self.roots
-            .get(&group)
+            .get(group.index())
             .and_then(|r| r.lock.as_ref())
             .map_or(0, |l| l.queue.len())
     }
@@ -351,7 +402,7 @@ impl GwcModel {
         origin: NodeId,
         mx: &mut Mx<'_, '_>,
     ) {
-        let rg = self.roots.get_mut(&group).expect("known group");
+        let rg = &mut self.roots[group.index()];
         let seq = rg.next_seq;
         rg.next_seq += 1;
         if mx.tracing() {
@@ -372,7 +423,7 @@ impl GwcModel {
         // (and every member apply) chains from it.
         let root = mx.groups().group(group).root();
         mx.cause_point(root, CauseOp::Seq);
-        let rg = self.roots.get_mut(&group).expect("known group");
+        let rg = &mut self.roots[group.index()];
         rg.history.push_back((var, value, origin));
         if let Some(window) = self.history_window {
             while rg.history.len() as u64 > window {
@@ -409,14 +460,14 @@ impl GwcModel {
             "GwcToRoot delivered to non-root"
         );
         // Any traffic from the current holder proves the grant arrived.
-        if let Some(rg) = self.roots.get_mut(&group) {
+        if let Some(rg) = self.roots.get_mut(group.index()) {
             if rg.watchdog.is_some_and(|w| w.holder == origin) {
                 rg.watchdog = None;
             }
         }
         let is_lock = self
             .roots
-            .get(&group)
+            .get(group.index())
             .and_then(|r| r.lock.as_ref())
             .is_some_and(|l| l.var == var);
         if is_lock {
@@ -426,7 +477,7 @@ impl GwcModel {
         // Data write: mutex groups accept data only from the lock holder.
         let holder = self
             .roots
-            .get(&group)
+            .get(group.index())
             .and_then(|r| r.lock.as_ref())
             .map(|l| l.holder);
         if let Some(holder) = holder {
@@ -486,10 +537,7 @@ impl GwcModel {
             );
         }
         let outcome = {
-            let lock = self
-                .roots
-                .get_mut(&group)
-                .expect("known group")
+            let lock = self.roots[group.index()]
                 .lock
                 .as_mut()
                 .expect("mutex group");
@@ -529,10 +577,7 @@ impl GwcModel {
             // Canonical queue-depth event after every root lock operation;
             // telemetry turns it into a time-weighted root-queue-depth
             // signal per lock.
-            let qlen = self
-                .roots
-                .get(&group)
-                .expect("known group")
+            let qlen = self.roots[group.index()]
                 .lock
                 .as_ref()
                 .expect("mutex group")
@@ -571,7 +616,7 @@ impl GwcModel {
                 mx.cause_point(root, CauseOp::Grant);
                 self.sequence_and_multicast(group, var, lockval::grant(holder), root, mx);
                 if let Some(timeout) = self.grant_timeout {
-                    let rg = self.roots.get_mut(&group).expect("known group");
+                    let rg = &mut self.roots[group.index()];
                     let seq = rg.next_seq - 1;
                     rg.watchdog = Some(GrantWatchdog { seq, holder });
                     mx.set_model_timer(root, timeout, watchdog_tag(group, seq));
@@ -581,7 +626,7 @@ impl GwcModel {
                 if mx.tracing() {
                     mx.trace(root, "lock-free", TraceDetail::text(var.to_string()));
                 }
-                self.roots.get_mut(&group).expect("known group").watchdog = None;
+                self.roots[group.index()].watchdog = None;
                 self.sequence_and_multicast(group, var, lockval::FREE, root, mx);
             }
             Outcome::Queued => {
@@ -598,11 +643,12 @@ impl GwcModel {
     }
 
     fn apply_chain(&mut self, node: NodeId, group: GroupId, mx: &mut Mx<'_, '_>) {
+        let slot = Self::slot(mx.groups(), group, node);
         loop {
             if self.ifaces[node.index()].suspended && mx.config().insharing_suspension {
                 return;
             }
-            let expected = *self.ifaces[node.index()].expected.entry(group).or_insert(1);
+            let expected = self.expected[slot].max(1);
             let next = self.ifaces[node.index()]
                 .reorder
                 .get_mut(&group)
@@ -617,8 +663,8 @@ impl GwcModel {
     /// Applies one in-order sequenced write at `node`, advancing the
     /// expected counter.
     fn apply_item(&mut self, node: NodeId, item: SeqItem, mx: &mut Mx<'_, '_>) {
+        self.expected[Self::slot(mx.groups(), item.group, node)] = item.seq + 1;
         let st = &mut self.ifaces[node.index()];
-        *st.expected.entry(item.group).or_insert(1) = item.seq + 1;
         let g = mx.groups().group(item.group);
         let is_lock_var = g.mutex_lock() == Some(item.var);
         // Canonical in-order receipt event for the checkers; `mode` says
@@ -656,8 +702,7 @@ impl GwcModel {
 
         // Armed lock interrupt: suspend insharing atomically with delivery
         // (Figure 5 line P1).
-        if st.armed.contains(&item.var) {
-            st.armed.remove(&item.var);
+        if sorted_remove(&mut st.armed, item.var) {
             if mx.config().insharing_suspension {
                 st.suspended = true;
             }
@@ -681,8 +726,7 @@ impl GwcModel {
         }
         mx.cause_point(node, CauseOp::Apply);
         mx.mem(node).write(item.var, item.value);
-        if st.pending_acquire.contains(&item.var) && item.value == lockval::grant(node) {
-            st.pending_acquire.remove(&item.var);
+        if item.value == lockval::grant(node) && sorted_remove(&mut st.pending_acquire, item.var) {
             mx.deliver(node, AppEvent::Acquired { lock: item.var });
         } else {
             mx.deliver(
@@ -699,12 +743,13 @@ impl GwcModel {
     /// Member-side arrival of a sequenced write: buffer under suspension,
     /// reorder on gaps (with a nack to the root), apply in order otherwise.
     fn member_receive(&mut self, node: NodeId, item: SeqItem, mx: &mut Mx<'_, '_>) {
+        let slot = Self::slot(mx.groups(), item.group, node);
         let st = &mut self.ifaces[node.index()];
         if st.suspended && mx.config().insharing_suspension {
             st.held.push_back(item);
             return;
         }
-        let expected = *st.expected.entry(item.group).or_insert(1);
+        let expected = self.expected[slot].max(1);
         if item.seq < expected {
             return; // duplicate retransmission
         }
@@ -776,7 +821,7 @@ impl Model for GwcModel {
                 mx.mem(node).write(var, value);
             }
             ModelAction::Acquire { lock } => {
-                self.ifaces[node.index()].pending_acquire.insert(lock);
+                sorted_insert(&mut self.ifaces[node.index()].pending_acquire, lock);
                 mx.mem(node).write(lock, lockval::request(node));
                 self.forward_to_root(node, lock, lockval::request(node), mx);
             }
@@ -792,10 +837,10 @@ impl Model for GwcModel {
                 mx.deliver(node, AppEvent::ValueReady { var, value });
             }
             ModelAction::ArmLockInterrupt { var } => {
-                self.ifaces[node.index()].armed.insert(var);
+                sorted_insert(&mut self.ifaces[node.index()].armed, var);
             }
             ModelAction::DisarmLockInterrupt { var } => {
-                self.ifaces[node.index()].armed.remove(&var);
+                sorted_remove(&mut self.ifaces[node.index()].armed, var);
             }
             ModelAction::SuspendInsharing => {
                 self.ifaces[node.index()].suspended = true;
@@ -832,7 +877,7 @@ impl Model for GwcModel {
                 mx,
             ),
             PacketKind::GwcNack { group, have } => {
-                let rg = self.roots.get(&group).expect("known group");
+                let rg = &self.roots[group.index()];
                 let member = pkt.from;
                 assert!(
                     have >= rg.history_base,
@@ -881,7 +926,7 @@ impl Model for GwcModel {
     fn on_timer(&mut self, node: NodeId, tag: u64, mx: &mut Mx<'_, '_>) {
         let group = GroupId::new((tag & 0xffff) as u32);
         let seq = tag >> 16;
-        let Some(rg) = self.roots.get_mut(&group) else {
+        let Some(rg) = self.roots.get_mut(group.index()) else {
             return;
         };
         let Some(w) = rg.watchdog else {

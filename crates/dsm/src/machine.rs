@@ -14,9 +14,9 @@
 //! [`Packet`](crate::Packet) wire protocol, so identical programs run under
 //! every model.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
-use sesame_net::{CauseId, Fabric, LinkTiming, NodeId, SpanningTree, Topology};
+use sesame_net::{CauseId, Fabric, LinkTiming, MulticastRoute, NodeId, SpanningTree, Topology};
 use sesame_sim::{
     Actor, ActorId, CauseOp, Context, RunOutcome, SimDur, SimTime, Simulation, TimeWeighted,
     TraceDetail, TraceRecorder,
@@ -53,6 +53,18 @@ pub enum DsmEvent {
         /// Correlation tag from [`Mx::set_model_timer`].
         tag: u64,
     },
+    /// One wavefront of a pruned-multicast fan-out: the same payload
+    /// arriving at several members at one instant, delivered as a single
+    /// queue event instead of one event per member
+    /// ([`MachineConfig::pruned_multicast`]). Members are processed in
+    /// declared group-member order, each with its own application-event
+    /// cascade, exactly as if they had been separate events at this time.
+    McastBatch {
+        /// The members this wavefront reaches, in declared member order.
+        members: Vec<NodeId>,
+        /// The shared packet; [`Packet::to`] is overridden per member.
+        pkt: Packet,
+    },
 }
 
 /// The message type of the machine actor.
@@ -67,6 +79,19 @@ pub struct MachineConfig {
     /// Honor insharing suspension requests (Figure 4/5); disabling it
     /// demonstrates the lost-update hazard the paper describes.
     pub insharing_suspension: bool,
+    /// Route group multicasts over member-pruned
+    /// [`MulticastRoute`]s instead of flooding the full per-root
+    /// [`SpanningTree`], and batch same-instant member deliveries into one
+    /// [`DsmEvent::McastBatch`] queue event.
+    ///
+    /// Off by default: under cut-through timing member arrival *times* are
+    /// identical either way, but the traffic accounting differs (pruned
+    /// routes bill only member-path edges to `link_traversals`/`ser_ns`,
+    /// the flood bills every topology edge) and batching changes the event
+    /// count — so the default stays byte-compatible with recorded
+    /// baselines. Turn it on for large sparse meshes (the 100k-node
+    /// scenario), where per-group flooding is quadratic in machine size.
+    pub pruned_multicast: bool,
 }
 
 impl Default for MachineConfig {
@@ -74,6 +99,7 @@ impl Default for MachineConfig {
         MachineConfig {
             hw_block: true,
             insharing_suspension: true,
+            pruned_multicast: false,
         }
     }
 }
@@ -87,7 +113,8 @@ pub struct Mx<'a, 'b> {
     mems: &'a mut [LocalMemory],
     groups: &'a GroupTable,
     topo: &'a dyn Topology,
-    trees: &'a HashMap<GroupId, SpanningTree>,
+    trees: &'a mut HashMap<NodeId, SpanningTree>,
+    routes: &'a mut HashMap<GroupId, MulticastRoute>,
     fabric: &'a mut Fabric,
     cfg: &'a MachineConfig,
     ctx: &'a mut Context<'b, MachineMsg>,
@@ -159,15 +186,33 @@ impl Mx<'_, '_> {
             .send_at(target, at, (pkt.to, DsmEvent::Packet(pkt)));
     }
 
-    /// Multicasts one sequenced write down `group`'s spanning tree to every
-    /// member; each member's copy arrives at its tree-depth-determined
+    /// Multicasts one sequenced write down `group`'s multicast route to
+    /// every member; each member's copy arrives at its hop-depth-determined
     /// time. The root member (if any) receives its echo immediately.
+    ///
+    /// Routing structures are built lazily on a group's first multicast and
+    /// cached: full [`SpanningTree`]s are shared between all groups with
+    /// the same root (the default), member-pruned [`MulticastRoute`]s are
+    /// per group ([`MachineConfig::pruned_multicast`]). Both are pure
+    /// functions of the topology and the validated group specs, so lazy
+    /// construction cannot perturb determinism.
     pub fn multicast(&mut self, group: GroupId, bytes: u32, kind: PacketKind) {
         let g = self.groups.group(group);
-        let tree = &self.trees[&group];
-        let arrivals = self.fabric.multicast(self.now, tree, bytes, g.members());
-        let target = self.ctx.self_id();
         let root = g.root();
+        let arrivals = if self.cfg.pruned_multicast {
+            let route = self
+                .routes
+                .entry(group)
+                .or_insert_with(|| MulticastRoute::build(self.topo, root, g.members()));
+            self.fabric.multicast_route(self.now, route, bytes)
+        } else {
+            let tree = self
+                .trees
+                .entry(root)
+                .or_insert_with(|| SpanningTree::build(self.topo, root));
+            self.fabric.multicast(self.now, tree, bytes, g.members())
+        };
+        let target = self.ctx.self_id();
         if self.ctx.tracing() {
             // Canonical multicast event: `last_ns` is the latest member
             // arrival, the end of the whole fan-out interval.
@@ -186,21 +231,54 @@ impl Mx<'_, '_> {
         // One mcast id covers the whole fan-out: every member's packet
         // carries it, so each arrival chains back to this decision.
         let cause = self.causes.stage(self.ctx, root, CauseOp::Mcast);
-        for (member, at) in arrivals {
-            // Per-member loss (the root's own echo is a local operation and
-            // never lost); members recover via nack-triggered retransmission.
-            if member != root && self.fabric.roll_loss() {
-                continue;
+        if self.cfg.pruned_multicast {
+            // Batch the fan-out: members at the same hop depth share one
+            // arrival instant, so a 100k-member wave costs O(depths) queue
+            // events instead of O(members). BTreeMap keeps wavefronts in
+            // time order; within one wavefront members stay in declared
+            // order (the order `arrivals` was produced in).
+            let mut waves: BTreeMap<SimTime, Vec<NodeId>> = BTreeMap::new();
+            for (member, at) in arrivals {
+                // Per-member loss, rolled in the same declared-member order
+                // as the unbatched path so loss RNG streams line up.
+                if member != root && self.fabric.roll_loss() {
+                    continue;
+                }
+                waves.entry(at).or_default().push(member);
             }
-            let pkt = Packet {
-                from: root,
-                to: member,
-                bytes,
-                kind,
-                cause,
-            };
-            self.ctx
-                .send_at(target, at, (member, DsmEvent::Packet(pkt)));
+            for (at, members) in waves {
+                let pkt = Packet {
+                    from: root,
+                    to: members[0],
+                    bytes,
+                    kind,
+                    cause,
+                };
+                let ev = if members.len() == 1 {
+                    DsmEvent::Packet(pkt)
+                } else {
+                    DsmEvent::McastBatch { members, pkt }
+                };
+                self.ctx.send_at(target, at, (pkt.to, ev));
+            }
+        } else {
+            for (member, at) in arrivals {
+                // Per-member loss (the root's own echo is a local operation
+                // and never lost); members recover via nack-triggered
+                // retransmission.
+                if member != root && self.fabric.roll_loss() {
+                    continue;
+                }
+                let pkt = Packet {
+                    from: root,
+                    to: member,
+                    bytes,
+                    kind,
+                    cause,
+                };
+                self.ctx
+                    .send_at(target, at, (member, DsmEvent::Packet(pkt)));
+            }
         }
     }
 
@@ -357,7 +435,12 @@ pub struct Machine<M: Model> {
     topo: Box<dyn Topology>,
     fabric: Fabric,
     groups: GroupTable,
-    trees: HashMap<GroupId, SpanningTree>,
+    /// Full spanning trees, built lazily on first multicast and shared by
+    /// every group with the same root (a tree depends only on the root).
+    trees: HashMap<NodeId, SpanningTree>,
+    /// Member-pruned routes, built lazily per group when
+    /// [`MachineConfig::pruned_multicast`] is on.
+    routes: HashMap<GroupId, MulticastRoute>,
     mems: Vec<LocalMemory>,
     cpus: Vec<CpuMeter>,
     programs: Vec<Box<dyn Program>>,
@@ -396,16 +479,24 @@ impl<M: Model> Machine<M> {
             topo.len(),
             "one program per CPU node is required"
         );
-        let trees = groups
-            .iter()
-            .map(|g| (g.id(), SpanningTree::build(topo.as_ref(), g.root())))
-            .collect();
+        // Trees and routes are built lazily (on a group's first multicast),
+        // but root validity is still checked eagerly so a bad group spec
+        // fails at assembly, not mid-run.
+        for g in groups.iter() {
+            assert!(
+                g.root().index() < topo.positions(),
+                "group {} root {} is not a valid topology position",
+                g.id(),
+                g.root()
+            );
+        }
         let n = topo.len();
         Machine {
             topo,
             fabric: Fabric::new(timing),
             groups,
-            trees,
+            trees: HashMap::new(),
+            routes: HashMap::new(),
             mems: vec![LocalMemory::new(); n],
             cpus: vec![CpuMeter::default(); n],
             programs,
@@ -529,6 +620,7 @@ impl<M: Model> Machine<M> {
             fabric,
             groups,
             trees,
+            routes,
             mems,
             model,
             cfg,
@@ -541,6 +633,7 @@ impl<M: Model> Machine<M> {
             groups,
             topo: topo.as_ref(),
             trees,
+            routes,
             fabric,
             cfg,
             ctx,
@@ -735,6 +828,19 @@ impl<M: Model> Actor for Machine<M> {
                 // The packet carried its sender's causal context.
                 self.causes.set_current(pkt.cause);
                 self.with_mx(ctx, &mut app_q, |model, mx| model.on_packet(node, pkt, mx));
+            }
+            DsmEvent::McastBatch { members, pkt } => {
+                // One queue event carries a whole fan-out wavefront; each
+                // member still gets its own packet delivery and cascade, in
+                // declared member order, as if they were separate events at
+                // this instant.
+                for &m in &members {
+                    self.causes.set_current(pkt.cause);
+                    let p = Packet { to: m, ..pkt };
+                    self.with_mx(ctx, &mut app_q, |model, mx| model.on_packet(m, p, mx));
+                    let q = std::mem::take(&mut app_q);
+                    self.drain(q, ctx);
+                }
             }
             DsmEvent::ModelTimer { tag } => {
                 self.causes.resume_model_timer(node, tag);

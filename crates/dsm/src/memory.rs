@@ -1,16 +1,22 @@
 //! Per-node local memory holding the node's copy of every shared variable.
 
-use std::collections::HashMap;
-
 use crate::{VarId, Word};
 
 /// One node's local copies of shared variables.
 ///
 /// Variables read before any write return the configurable default (zero
 /// unless set), mirroring zero-initialized shared segments.
+///
+/// Storage is a single sorted `Vec<(VarId, Word)>` probed by binary
+/// search: no hashing, no per-entry allocation, and cache-line-friendly
+/// scans — the layout that keeps a 100k-node machine's per-node memories
+/// cheap. Lookups are `O(log n)`; a first write to a new variable is
+/// `O(n)` (sorted insert), but the variable set of a run is small and
+/// fixed after warm-up.
 #[derive(Debug, Clone, Default)]
 pub struct LocalMemory {
-    words: HashMap<VarId, Word>,
+    /// `(var, value)` pairs sorted by `var` (unique keys).
+    words: Vec<(VarId, Word)>,
     writes: u64,
 }
 
@@ -22,13 +28,22 @@ impl LocalMemory {
 
     /// Reads the local copy of `var` (zero if never written).
     pub fn read(&self, var: VarId) -> Word {
-        self.words.get(&var).copied().unwrap_or(0)
+        match self.words.binary_search_by_key(&var, |&(v, _)| v) {
+            Ok(i) => self.words[i].1,
+            Err(_) => 0,
+        }
     }
 
     /// Writes the local copy of `var`, returning the previous value.
     pub fn write(&mut self, var: VarId, value: Word) -> Word {
         self.writes += 1;
-        self.words.insert(var, value).unwrap_or(0)
+        match self.words.binary_search_by_key(&var, |&(v, _)| v) {
+            Ok(i) => std::mem::replace(&mut self.words[i].1, value),
+            Err(i) => {
+                self.words.insert(i, (var, value));
+                0
+            }
+        }
     }
 
     /// Number of writes ever applied (local stores plus applied remote
@@ -47,9 +62,9 @@ impl LocalMemory {
         self.words.is_empty()
     }
 
-    /// Iterates over `(var, value)` pairs in unspecified order.
+    /// Iterates over `(var, value)` pairs in ascending variable order.
     pub fn iter(&self) -> impl Iterator<Item = (VarId, Word)> + '_ {
-        self.words.iter().map(|(&v, &w)| (v, w))
+        self.words.iter().copied()
     }
 }
 
@@ -86,5 +101,15 @@ mod tests {
         assert_eq!(m.read(v(1)), 5);
         assert_eq!(m.read(v(2)), 6);
         assert_eq!(m.iter().count(), 2);
+    }
+
+    #[test]
+    fn iter_is_sorted_by_var() {
+        let mut m = LocalMemory::new();
+        m.write(v(7), 1);
+        m.write(v(2), 2);
+        m.write(v(5), 3);
+        let vars: Vec<u32> = m.iter().map(|(var, _)| var.get()).collect();
+        assert_eq!(vars, vec![2, 5, 7]);
     }
 }

@@ -18,7 +18,7 @@ use std::collections::HashMap;
 
 use sesame_sim::{DetRng, SimTime};
 
-use crate::{LinkId, LinkTiming, NodeId, SpanningTree, Topology};
+use crate::{LinkId, LinkTiming, MulticastRoute, NodeId, SpanningTree, Topology};
 
 /// How the fabric accounts for link occupancy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -258,6 +258,60 @@ impl Fabric {
             }
         }
         members.iter().map(|&m| (m, arrival[m.index()])).collect()
+    }
+
+    /// Propagates one packet down a member-pruned [`MulticastRoute`],
+    /// returning arrival times in the route's declared member order.
+    ///
+    /// Semantics match [`Fabric::multicast`] over the full spanning tree —
+    /// under cut-through timing each member's arrival depends only on its
+    /// shortest-path depth, so the two produce identical arrival lists —
+    /// but only the pruned edge set is traversed (and billed to
+    /// [`FabricStats::link_traversals`] / [`FabricStats::ser_ns`]): work is
+    /// `O(route nodes)` instead of `O(topology positions)`. The root
+    /// "receives" its own echo at `now`.
+    pub fn multicast_route(
+        &mut self,
+        now: SimTime,
+        route: &MulticastRoute,
+        bytes: u32,
+    ) -> Vec<(NodeId, SimTime)> {
+        self.stats.packets += 1;
+        self.stats.bytes += bytes as u64;
+        let edges = route.edge_count() as u64;
+        let ser = self.timing.serialization(bytes);
+        self.stats.link_traversals += edges;
+        self.stats.ser_ns += edges * ser.as_nanos();
+        // Local index 0 is the root; every parent precedes its children, so
+        // one forward pass finalizes arrivals wave by wave.
+        let mut arrival: Vec<SimTime> = Vec::with_capacity(route.len());
+        arrival.push(now);
+        for i in 1..route.len() {
+            let p = route.parent_of(i);
+            let t_here = arrival[p];
+            let at = match self.contention {
+                // Cut-through: the root clocks the packet out once, then the
+                // wavefront advances one hop latency per route edge.
+                ContentionModel::None => {
+                    let base = if p == 0 { t_here + ser } else { t_here };
+                    base + self.timing.hop_latency
+                }
+                // Store-and-forward: every route edge re-serializes and
+                // queues behind earlier traffic on that link.
+                ContentionModel::StoreAndForward => {
+                    let link = LinkId::between(route.node(p), route.node(i));
+                    let free = self.busy_until.get(&link).copied().unwrap_or(SimTime::ZERO);
+                    let start = t_here.max(free);
+                    self.busy_until.insert(link, start + ser);
+                    start + ser + self.timing.hop_latency
+                }
+            };
+            arrival.push(at);
+        }
+        route
+            .member_indices()
+            .map(|i| (route.node(i), arrival[i]))
+            .collect()
     }
 }
 

@@ -1,0 +1,255 @@
+//! Member-pruned multicast routes, built incrementally from unicast paths.
+//!
+//! [`SpanningTree`](crate::SpanningTree) materializes a full BFS tree over
+//! *every* position of the topology — `O(positions)` memory per distinct
+//! root, and `O(positions)` work per multicast to walk it. That is the
+//! right structure when a group spans the whole machine, but a 100k-node
+//! mesh hosting thousands of small groups would spend almost all of its
+//! memory and multicast time on positions that never receive anything.
+//!
+//! [`MulticastRoute`] is the pruned alternative: the union of the
+//! topology's deterministic shortest paths from the root to each *member*,
+//! stored over a compact local index space that contains only the positions
+//! those paths touch. Construction costs `O(sum of member path lengths)`
+//! and a multicast walks exactly the pruned edge set.
+//!
+//! # Determinism and equivalence
+//!
+//! * Construction is a pure function of `(topology, root, member order)`:
+//!   [`Topology::route`] is deterministic, members are walked in declared
+//!   order, and first-wins parent assignment breaks any tie the same way
+//!   every run. No hashing, no RNG.
+//! * Under cut-through timing (the paper's model) a member's arrival time
+//!   depends only on its hop depth, and every route is a shortest path — so
+//!   arrival times equal what [`Fabric::multicast`](crate::Fabric::multicast)
+//!   computes over the full BFS tree. Only the *traffic accounting*
+//!   differs: the pruned route traverses (and bills) only edges that lead
+//!   to members, while the full tree floods every position.
+
+use crate::{NodeId, Topology};
+
+/// The union of deterministic shortest paths from one root to each group
+/// member, indexed compactly over just the positions those paths visit.
+///
+/// Local index `0` is always the root; every other node's parent appears
+/// at a smaller local index, so walking `1..len` visits parents before
+/// children — the order a downstream multicast wave advances.
+///
+/// ```
+/// use sesame_net::{MeshTorus2d, MulticastRoute, NodeId};
+///
+/// let topo = MeshTorus2d::new(32, 32); // 1024 positions
+/// let members = [NodeId::new(0), NodeId::new(1), NodeId::new(2)];
+/// let route = MulticastRoute::build(&topo, NodeId::new(0), &members);
+/// // Only the positions on the root->member paths are materialized.
+/// assert_eq!(route.len(), 3);
+/// assert_eq!(route.edge_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MulticastRoute {
+    root: NodeId,
+    /// Local index -> position. `nodes[0]` is the root.
+    nodes: Vec<NodeId>,
+    /// Sorted `(position, local index)` pairs for membership lookup.
+    index: Vec<(NodeId, u32)>,
+    /// Local parent index; `parent[0] == 0` (the root is its own parent).
+    parent: Vec<u32>,
+    /// Hop depth from the root (equals the topology's shortest-path hops).
+    depth: Vec<u32>,
+    /// Local indices of the group members, in declared member order.
+    members: Vec<u32>,
+}
+
+impl MulticastRoute {
+    /// Builds the pruned route for `members` rooted at `root` by walking
+    /// `topo`'s deterministic shortest path to each member in declared
+    /// order and unioning the paths (first-wins parent assignment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` or a member is not a valid topology position, or if
+    /// a route step is inconsistent with the path walked so far (both
+    /// indicate a broken [`Topology::route`] implementation).
+    pub fn build(topo: &dyn Topology, root: NodeId, members: &[NodeId]) -> Self {
+        assert!(root.index() < topo.positions(), "root out of range");
+        let mut route = MulticastRoute {
+            root,
+            nodes: vec![root],
+            index: vec![(root, 0)],
+            parent: vec![0],
+            depth: vec![0],
+            members: Vec::with_capacity(members.len()),
+        };
+        for &m in members {
+            route.add_member(topo, m);
+        }
+        route
+    }
+
+    /// Adds one member, extending the route union with any positions its
+    /// shortest path introduces. Called in declared member order by
+    /// [`MulticastRoute::build`]; exposed for incremental construction.
+    pub fn add_member(&mut self, topo: &dyn Topology, member: NodeId) {
+        assert!(member.index() < topo.positions(), "member out of range");
+        let mut at = 0u32; // local index of the walk position (starts at root)
+        for link in topo.route(self.root, member) {
+            debug_assert_eq!(link.from_node(), self.nodes[at as usize]);
+            let next = link.to_node();
+            at = match self.local_index(next) {
+                Some(existing) => {
+                    // Already reached along an earlier member's path. Both
+                    // paths are shortest, so the depths must agree.
+                    debug_assert_eq!(self.depth[existing as usize], self.depth[at as usize] + 1);
+                    existing
+                }
+                None => {
+                    let idx = self.nodes.len() as u32;
+                    self.nodes.push(next);
+                    self.parent.push(at);
+                    self.depth.push(self.depth[at as usize] + 1);
+                    let pos = self
+                        .index
+                        .binary_search_by_key(&next, |&(n, _)| n)
+                        .unwrap_err();
+                    self.index.insert(pos, (next, idx));
+                    idx
+                }
+            };
+        }
+        self.members.push(at);
+    }
+
+    fn local_index(&self, n: NodeId) -> Option<u32> {
+        self.index
+            .binary_search_by_key(&n, |&(m, _)| m)
+            .ok()
+            .map(|i| self.index[i].1)
+    }
+
+    /// The route's root (the group's sequencing arbiter).
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of positions the pruned route materializes (root included).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the route is empty (never true: the root is always present).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of directed edges a multicast traverses — one per non-root
+    /// position, since the union of root-anchored paths is a tree.
+    pub fn edge_count(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Number of members the route delivers to.
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The position at local index `i` (`0` is the root).
+    pub fn node(&self, i: usize) -> NodeId {
+        self.nodes[i]
+    }
+
+    /// The local parent index of local index `i`; parents always have
+    /// smaller indices, so `1..len` walks parents before children.
+    pub fn parent_of(&self, i: usize) -> usize {
+        self.parent[i] as usize
+    }
+
+    /// Hop depth of local index `i` from the root (equals the topology's
+    /// shortest-path distance).
+    pub fn depth_of(&self, i: usize) -> u32 {
+        self.depth[i]
+    }
+
+    /// The members' local indices in declared member order — the order
+    /// arrival lists are produced in, mirroring
+    /// [`Fabric::multicast`](crate::Fabric::multicast)'s member order.
+    pub fn member_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.members.iter().map(|&i| i as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fabric, LinkTiming, MeshTorus2d, Ring, SpanningTree, Star};
+    use sesame_sim::SimTime;
+
+    fn n(id: u32) -> NodeId {
+        NodeId::new(id)
+    }
+
+    #[test]
+    fn union_of_paths_is_a_tree_with_shortest_depths() {
+        let topo = MeshTorus2d::new(6, 6);
+        let members: Vec<NodeId> = [0u32, 7, 14, 21, 35].map(n).to_vec();
+        let route = MulticastRoute::build(&topo, n(0), &members);
+        assert_eq!(route.edge_count(), route.len() - 1);
+        for i in 0..route.len() {
+            assert_eq!(
+                route.depth_of(i),
+                topo.hops(n(0), route.node(i)),
+                "node {}",
+                route.node(i)
+            );
+            if i > 0 {
+                assert!(route.parent_of(i) < i, "parents precede children");
+                assert_eq!(route.depth_of(route.parent_of(i)) + 1, route.depth_of(i));
+            }
+        }
+    }
+
+    #[test]
+    fn prunes_positions_off_the_member_paths() {
+        let topo = MeshTorus2d::new(32, 32);
+        // A row-local group touches only its own row.
+        let members: Vec<NodeId> = (0..4).map(n).collect();
+        let route = MulticastRoute::build(&topo, n(0), &members);
+        assert_eq!(route.len(), 4);
+        assert_eq!(route.member_count(), 4);
+        assert!(route.len() < topo.positions());
+    }
+
+    #[test]
+    fn arrival_times_match_full_tree_multicast() {
+        for topo in [
+            &MeshTorus2d::new(5, 4) as &dyn Topology,
+            &Ring::new(9),
+            &Star::new(7),
+        ] {
+            let root = n(1);
+            let members: Vec<NodeId> = (0..topo.len() as u32).step_by(2).map(n).collect();
+            let tree = SpanningTree::build(topo, root);
+            let route = MulticastRoute::build(topo, root, &members);
+
+            let mut full = Fabric::new(LinkTiming::paper_1994());
+            let want = full.multicast(SimTime::ZERO, &tree, 125, &members);
+            let mut pruned = Fabric::new(LinkTiming::paper_1994());
+            let got = pruned.multicast_route(SimTime::ZERO, &route, 125);
+
+            assert_eq!(got, want, "topo {topo:?}");
+            // The pruned route never traverses more edges than the flood.
+            assert!(
+                pruned.stats().link_traversals <= full.stats().link_traversals,
+                "topo {topo:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn root_member_is_depth_zero() {
+        let topo = Ring::new(6);
+        let route = MulticastRoute::build(&topo, n(2), &[n(2), n(4)]);
+        let idxs: Vec<usize> = route.member_indices().collect();
+        assert_eq!(idxs[0], 0);
+        assert_eq!(route.depth_of(idxs[0]), 0);
+    }
+}

@@ -2,7 +2,8 @@
 //!
 //! [`EventQueue`] is a priority queue ordered by event time. Events scheduled
 //! for the same instant pop in the order they were pushed (FIFO), which makes
-//! every simulation run bit-for-bit reproducible regardless of heap layout.
+//! every simulation run bit-for-bit reproducible regardless of internal
+//! layout.
 //!
 //! ```
 //! use sesame_sim::{EventQueue, SimTime};
@@ -16,11 +17,55 @@
 //! assert_eq!(q.pop(), Some((SimTime::from_nanos(20), "late")));
 //! assert_eq!(q.pop(), None);
 //! ```
+//!
+//! ## Calendar layout
+//!
+//! Internally the queue is a three-tier calendar (ladder) queue rather
+//! than a single binary heap, so enqueue/dequeue stay O(1) amortized even
+//! with hundreds of thousands of events pending:
+//!
+//! * the **cursor** — a small binary heap holding every event whose
+//!   *day* (`time >> width_shift`) is at or before the calendar's current
+//!   day; all pops come from here;
+//! * the **near ring** — `bucket_count` (a power of two) buckets, one day
+//!   per bucket, covering the window of days just after the cursor; a
+//!   push lands in its day's bucket in O(1) and the bucket is drained
+//!   into the cursor when the calendar reaches that day. Bucket contents
+//!   live in one contiguous slab of slots chained through intrusive
+//!   free lists, so ring traffic never touches the allocator in steady
+//!   state;
+//! * the **overflow rung** — a sorted (binary-heap) rung for events past
+//!   the ring's window; as the window slides forward, due overflow events
+//!   migrate into the ring.
+//!
+//! `bucket_count` and the bucket width `1 << width_shift` adapt to the
+//! live event population (count and time span) with rebuilds amortized
+//! against the operations since the last rebuild.
+//!
+//! **Determinism invariant:** every event in the cursor is strictly
+//! earlier than every event in the ring, which is strictly earlier than
+//! every event in the overflow rung (they occupy disjoint, increasing day
+//! ranges), and each tier orders events by `(time, seq)` with `seq` the
+//! monotone push counter. The pop sequence is therefore *exactly* the
+//! `(time, seq)` ascending order — byte-identical to the previous
+//! `BinaryHeap` implementation, ties resolved FIFO, regardless of bucket
+//! geometry, slab slot placement, or when rebuilds happen.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::SimTime;
+
+/// Fewest ring buckets the calendar keeps (small queues degenerate to a
+/// plain binary heap plus a handful of buckets).
+const MIN_BUCKETS: usize = 16;
+
+/// Most ring buckets the calendar grows to; beyond this, buckets simply
+/// hold more than one event each (still O(1) amortized per operation).
+const MAX_BUCKETS: usize = 1 << 20;
+
+/// Sentinel slot index terminating a bucket chain or the free list.
+const NIL: u32 = u32::MAX;
 
 /// A pending event: its due time, a monotone tie-break sequence number, and
 /// the caller's payload.
@@ -56,13 +101,53 @@ impl<T> Ord for Pending<T> {
     }
 }
 
-/// A deterministic min-priority queue of timestamped events.
+/// One slab slot of the near ring: an occupied slot holds a pending event
+/// and the next slot of its bucket's chain; a vacant slot holds the next
+/// slot of the free list.
+#[derive(Debug)]
+struct Slot<T> {
+    item: Option<Pending<T>>,
+    next: u32,
+}
+
+/// A deterministic min-priority queue of timestamped events, backed by a
+/// calendar queue (see the module docs for the tier layout and the
+/// determinism invariant).
 ///
 /// Same-time events are delivered in push order; the module documentation
 /// shows an example.
 #[derive(Debug)]
 pub struct EventQueue<T> {
-    heap: BinaryHeap<Pending<T>>,
+    /// Events with `day <= cur_day`, kept as an inverted-order binary
+    /// min-heap; the only tier pops read from.
+    cursor: BinaryHeap<Pending<T>>,
+    /// Head slot (into `slots`) of each ring bucket's chain; bucket
+    /// `d & mask` holds exactly the events of day `d` for days in
+    /// `(cur_day, cur_day + heads.len()]`.
+    heads: Vec<u32>,
+    /// The ring's slab: every near-tier event lives in one of these
+    /// slots; vacant slots chain into `free`.
+    slots: Vec<Slot<T>>,
+    /// Head of the vacant-slot free list.
+    free: u32,
+    /// `heads.len() - 1`; bucket count is always a power of two.
+    mask: u64,
+    /// Bucket width is `1 << width_shift` nanoseconds: an event's day is
+    /// `time >> width_shift`.
+    width_shift: u32,
+    /// The calendar's current day: the cursor owns everything at or
+    /// before it.
+    cur_day: u64,
+    /// Number of events currently in the near ring.
+    near: usize,
+    /// Far-future events (day beyond the ring window), sorted rung.
+    overflow: BinaryHeap<Pending<T>>,
+    /// Total pending events across all three tiers.
+    count: usize,
+    /// Push/pop operations since the last geometry rebuild; rebuilds are
+    /// only allowed once this exceeds the rebuild's cost, keeping them
+    /// amortized O(1).
+    ops_since_rebuild: u64,
     next_seq: u64,
     pushed: u64,
     popped: u64,
@@ -78,27 +163,88 @@ impl<T> EventQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            cursor: BinaryHeap::new(),
+            heads: vec![NIL; MIN_BUCKETS],
+            slots: Vec::new(),
+            free: NIL,
+            mask: (MIN_BUCKETS - 1) as u64,
+            width_shift: 0,
+            cur_day: 0,
+            near: 0,
+            overflow: BinaryHeap::new(),
+            count: 0,
+            ops_since_rebuild: 0,
             next_seq: 0,
             pushed: 0,
             popped: 0,
         }
     }
 
-    /// Creates an empty queue with room for `capacity` pending events
-    /// before the backing heap reallocates.
+    /// Creates an empty queue sized for roughly `capacity` pending
+    /// events: the near ring starts at `capacity.next_power_of_two()`
+    /// buckets so a backlog of that size builds up without any geometry
+    /// rebuilds. A hint only — the calendar re-tunes itself either way.
     pub fn with_capacity(capacity: usize) -> Self {
-        EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
-            next_seq: 0,
-            pushed: 0,
-            popped: 0,
-        }
+        let mut q = Self::new();
+        let nb = capacity.next_power_of_two().clamp(MIN_BUCKETS, MAX_BUCKETS);
+        q.heads.resize(nb, NIL);
+        q.mask = (nb - 1) as u64;
+        q.slots.reserve(capacity);
+        q
     }
 
-    /// Reserves room for at least `additional` more pending events.
+    /// Reserves slab room for at least `additional` more pending events.
     pub fn reserve(&mut self, additional: usize) {
-        self.heap.reserve(additional);
+        self.slots.reserve(additional);
+    }
+
+    /// The day (bucket index space) of `time` under the current width.
+    #[inline]
+    fn day(&self, time: SimTime) -> u64 {
+        time.as_nanos() >> self.width_shift
+    }
+
+    /// Last day (inclusive) the near ring covers.
+    #[inline]
+    fn window_end(&self) -> u64 {
+        self.cur_day.saturating_add(self.heads.len() as u64)
+    }
+
+    /// Links `p` into ring bucket `b`, reusing a vacant slab slot when
+    /// one exists.
+    #[inline]
+    fn ring_insert(&mut self, b: usize, p: Pending<T>) {
+        let s = if self.free != NIL {
+            let s = self.free;
+            let slot = &mut self.slots[s as usize];
+            self.free = slot.next;
+            slot.item = Some(p);
+            slot.next = self.heads[b];
+            s
+        } else {
+            let s = self.slots.len() as u32;
+            self.slots.push(Slot {
+                item: Some(p),
+                next: self.heads[b],
+            });
+            s
+        };
+        self.heads[b] = s;
+        self.near += 1;
+    }
+
+    /// Files `p` into the tier its day belongs to. Does not touch any
+    /// counter; push and rebuild share this.
+    #[inline]
+    fn place(&mut self, p: Pending<T>) {
+        let d = self.day(p.time);
+        if d <= self.cur_day {
+            self.cursor.push(p);
+        } else if d <= self.window_end() {
+            self.ring_insert((d & self.mask) as usize, p);
+        } else {
+            self.overflow.push(p);
+        }
     }
 
     /// Schedules `payload` for `time`.
@@ -106,39 +252,163 @@ impl<T> EventQueue<T> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.pushed += 1;
-        self.heap.push(Pending { time, seq, payload });
+        self.count += 1;
+        self.ops_since_rebuild += 1;
+        self.place(Pending { time, seq, payload });
+        let nb = self.heads.len();
+        if (self.count > nb * 2 && nb < MAX_BUCKETS)
+            || (self.overflow.len() > self.count / 4
+                && self.count > MIN_BUCKETS * 4
+                && self.ops_since_rebuild as usize > nb.max(self.count))
+        {
+            self.rebuild();
+        }
+    }
+
+    /// Migrates overflow events whose day has entered the ring window
+    /// (or reached the cursor) out of the overflow rung.
+    fn pull_overflow(&mut self) {
+        let end = self.window_end();
+        while let Some(p) = self.overflow.peek() {
+            if self.day(p.time) > end {
+                break;
+            }
+            let p = self.overflow.pop().expect("peeked");
+            let d = self.day(p.time);
+            if d <= self.cur_day {
+                self.cursor.push(p);
+            } else {
+                self.ring_insert((d & self.mask) as usize, p);
+            }
+        }
+    }
+
+    /// Drains ring bucket `b`'s chain into the cursor heap, returning the
+    /// slots to the free list.
+    fn drain_bucket(&mut self, b: usize) {
+        let mut s = self.heads[b];
+        self.heads[b] = NIL;
+        while s != NIL {
+            let slot = &mut self.slots[s as usize];
+            let next = slot.next;
+            let p = slot.item.take().expect("occupied ring slot");
+            slot.next = self.free;
+            self.free = s;
+            self.cursor.push(p);
+            self.near -= 1;
+            s = next;
+        }
+    }
+
+    /// Advances the calendar until the cursor holds the earliest pending
+    /// event (no-op when the queue is empty). Only moves events between
+    /// tiers; the observable pop order is unaffected.
+    fn advance(&mut self) {
+        while self.cursor.is_empty() {
+            if self.near == 0 {
+                if self.overflow.is_empty() {
+                    return;
+                }
+                // Jump straight to the overflow's first day and refill
+                // the window from the rung.
+                let first = self.overflow.peek().expect("non-empty");
+                self.cur_day = self.day(first.time);
+                self.pull_overflow();
+            } else {
+                // Slide the window one day: drain that day's bucket into
+                // the cursor, then admit newly eligible overflow events
+                // into the bucket the window just freed.
+                self.cur_day += 1;
+                let b = (self.cur_day & self.mask) as usize;
+                if self.heads[b] != NIL {
+                    self.drain_bucket(b);
+                }
+                self.pull_overflow();
+            }
+        }
     }
 
     /// Removes and returns the earliest event, or `None` when empty.
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
-        let p = self.heap.pop()?;
+        if self.cursor.is_empty() {
+            self.advance();
+        }
+        let p = self.cursor.pop()?;
+        self.count -= 1;
         self.popped += 1;
+        self.ops_since_rebuild += 1;
+        let nb = self.heads.len();
+        if nb > MIN_BUCKETS
+            && self.count * 8 < nb
+            && self.ops_since_rebuild as usize > nb.max(self.count)
+        {
+            // The ring got sparse relative to its population: shrink so
+            // window slides don't walk long runs of empty buckets.
+            self.rebuild();
+        }
         Some((p.time, p.payload))
     }
 
     /// Removes and returns the earliest event if it is due strictly before
-    /// `limit`. One heap inspection replaces the `peek_time` + `pop` pair
+    /// `limit`. One cursor inspection replaces the `peek_time` + `pop` pair
     /// on the engine's hot loop.
     pub fn pop_if_before(&mut self, limit: SimTime) -> Option<(SimTime, T)> {
-        if self.heap.peek()?.time >= limit {
+        if self.cursor.is_empty() {
+            self.advance();
+        }
+        if self.cursor.peek()?.time >= limit {
             return None;
         }
         self.pop()
     }
 
     /// The due time of the earliest pending event, if any.
+    ///
+    /// Cold path: may scan the ring's buckets (the hot loop uses
+    /// [`EventQueue::pop_if_before`], which advances the calendar
+    /// instead).
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|p| p.time)
+        if let Some(p) = self.cursor.peek() {
+            return Some(p.time);
+        }
+        if self.near > 0 {
+            // Each bucket holds exactly one day's events, so the first
+            // non-empty bucket in day order holds the earliest.
+            for off in 1..=self.heads.len() as u64 {
+                let Some(d) = self.cur_day.checked_add(off) else {
+                    break;
+                };
+                let b = (d & self.mask) as usize;
+                let min = self.bucket_iter(b).map(|p| p.time).min();
+                if let Some(min) = min {
+                    return Some(min);
+                }
+            }
+        }
+        self.overflow.peek().map(|p| p.time)
+    }
+
+    /// Iterates the pending events chained into ring bucket `b`.
+    fn bucket_iter(&self, b: usize) -> impl Iterator<Item = &Pending<T>> {
+        let mut s = self.heads[b];
+        std::iter::from_fn(move || {
+            if s == NIL {
+                return None;
+            }
+            let slot = &self.slots[s as usize];
+            s = slot.next;
+            Some(slot.item.as_ref().expect("occupied ring slot"))
+        })
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.count
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.count == 0
     }
 
     /// Total number of events ever pushed.
@@ -151,9 +421,57 @@ impl<T> EventQueue<T> {
         self.popped
     }
 
-    /// Drops all pending events.
+    /// Drops all pending events (push/pop totals and the tie-break
+    /// sequence keep counting).
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.cursor.clear();
+        self.heads.fill(NIL);
+        self.slots.clear();
+        self.free = NIL;
+        self.overflow.clear();
+        self.near = 0;
+        self.count = 0;
+    }
+
+    /// Recomputes the calendar geometry (bucket count and width) from the
+    /// live event population and refiles every event. O(count + buckets);
+    /// callers gate it on `ops_since_rebuild` so it amortizes to O(1).
+    fn rebuild(&mut self) {
+        self.ops_since_rebuild = 0;
+        let mut items: Vec<Pending<T>> = Vec::with_capacity(self.count);
+        items.extend(std::mem::take(&mut self.cursor).into_vec());
+        items.extend(self.slots.iter_mut().filter_map(|s| s.item.take()));
+        items.extend(std::mem::take(&mut self.overflow).into_vec());
+        self.slots.clear();
+        self.free = NIL;
+        self.near = 0;
+
+        let nb = items
+            .len()
+            .next_power_of_two()
+            .clamp(MIN_BUCKETS, MAX_BUCKETS);
+        if nb != self.heads.len() {
+            self.heads.resize(nb, NIL);
+        }
+        self.heads.fill(NIL);
+        self.mask = (nb - 1) as u64;
+        // Pick the bucket width so the population's whole time span fits
+        // in *half* the ring window: smallest power of two with
+        // span / width < bucket_count / 2. The slack absorbs horizon
+        // growth (steady-state churn keeps pushing one span ahead of the
+        // cursor) without routing fresh pushes through the overflow rung.
+        let min = items.iter().map(|p| p.time.as_nanos()).min().unwrap_or(0);
+        let max = items.iter().map(|p| p.time.as_nanos()).max().unwrap_or(0);
+        let span = max - min;
+        let mut shift = 0u32;
+        while shift < 48 && (span >> shift) >= (nb / 2) as u64 {
+            shift += 1;
+        }
+        self.width_shift = shift;
+        self.cur_day = min >> shift;
+        for p in items {
+            self.place(p);
+        }
     }
 
     /// Enumerates every pending event in deterministic `(time, seq)` order —
@@ -162,8 +480,10 @@ impl<T> EventQueue<T> {
     /// doubles as a persistent event identity.
     pub fn pending_sorted(&self) -> Vec<(SimTime, u64, &T)> {
         let mut v: Vec<(SimTime, u64, &T)> = self
-            .heap
+            .cursor
             .iter()
+            .chain(self.slots.iter().filter_map(|s| s.item.as_ref()))
+            .chain(self.overflow.iter())
             .map(|p| (p.time, p.seq, &p.payload))
             .collect();
         v.sort_by_key(|&(time, seq, _)| (time, seq));
@@ -171,22 +491,64 @@ impl<T> EventQueue<T> {
     }
 
     /// Removes the pending event with push-sequence `seq`, or `None` if no
-    /// such event is pending. O(n) heap rebuild — acceptable at the scales
+    /// such event is pending. O(n) tier scan — acceptable at the scales
     /// the explorer runs (tens of pending events), never on the hot path.
     pub fn remove_seq(&mut self, seq: u64) -> Option<(SimTime, T)> {
-        let items = std::mem::take(&mut self.heap).into_vec();
         let mut found = None;
-        let mut rest = Vec::with_capacity(items.len());
-        for p in items {
-            if p.seq == seq && found.is_none() {
+        if self.cursor.iter().any(|p| p.seq == seq) {
+            let items = std::mem::take(&mut self.cursor).into_vec();
+            let mut rest = Vec::with_capacity(items.len());
+            for p in items {
+                if p.seq == seq && found.is_none() {
+                    found = Some((p.time, p.payload));
+                } else {
+                    rest.push(p);
+                }
+            }
+            self.cursor = BinaryHeap::from(rest);
+        }
+        if found.is_none() {
+            let hit = self
+                .slots
+                .iter()
+                .position(|s| s.item.as_ref().is_some_and(|p| p.seq == seq));
+            if let Some(s) = hit {
+                let p = self.slots[s].item.take().expect("occupied ring slot");
+                // Unlink the vacated slot from its bucket chain, then
+                // return it to the free list.
+                let b = (self.day(p.time) & self.mask) as usize;
+                let s = s as u32;
+                if self.heads[b] == s {
+                    self.heads[b] = self.slots[s as usize].next;
+                } else {
+                    let mut prev = self.heads[b];
+                    while self.slots[prev as usize].next != s {
+                        prev = self.slots[prev as usize].next;
+                    }
+                    self.slots[prev as usize].next = self.slots[s as usize].next;
+                }
+                self.slots[s as usize].next = self.free;
+                self.free = s;
+                self.near -= 1;
                 found = Some((p.time, p.payload));
-            } else {
-                rest.push(p);
             }
         }
-        self.heap = BinaryHeap::from(rest);
+        if found.is_none() && self.overflow.iter().any(|p| p.seq == seq) {
+            let items = std::mem::take(&mut self.overflow).into_vec();
+            let mut rest = Vec::with_capacity(items.len());
+            for p in items {
+                if p.seq == seq && found.is_none() {
+                    found = Some((p.time, p.payload));
+                } else {
+                    rest.push(p);
+                }
+            }
+            self.overflow = BinaryHeap::from(rest);
+        }
         if found.is_some() {
+            self.count -= 1;
             self.popped += 1;
+            self.ops_since_rebuild += 1;
         }
         found
     }
@@ -244,6 +606,18 @@ mod tests {
     }
 
     #[test]
+    fn peek_time_sees_into_ring_and_overflow() {
+        let mut q = EventQueue::new();
+        q.push(t(1), ());
+        assert_eq!(q.pop(), Some((t(1), ())));
+        // Ring event (near future) and overflow event (far future).
+        q.push(t(1_000_000_000_000), ());
+        assert_eq!(q.peek_time(), Some(t(1_000_000_000_000)));
+        q.push(t(40), ());
+        assert_eq!(q.peek_time(), Some(t(40)));
+    }
+
+    #[test]
     fn pop_if_before_respects_the_strict_bound() {
         let mut q = EventQueue::new();
         q.push(t(10), "a");
@@ -285,6 +659,39 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn far_future_events_sort_across_the_overflow_rung() {
+        let mut q = EventQueue::new();
+        q.push(t(u64::MAX - 1), "max-1");
+        q.push(t(0), "zero");
+        q.push(t(1_000_000_000_000_000_000), "exa");
+        q.push(t(u64::MAX), "max");
+        q.push(t(1_000_000), "milli");
+        assert_eq!(q.pop(), Some((t(0), "zero")));
+        assert_eq!(q.pop(), Some((t(1_000_000), "milli")));
+        assert_eq!(q.pop(), Some((t(1_000_000_000_000_000_000), "exa")));
+        assert_eq!(q.pop(), Some((t(u64::MAX - 1), "max-1")));
+        assert_eq!(q.pop(), Some((t(u64::MAX), "max")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pushes_earlier_than_the_calendar_cursor_still_sort_first() {
+        let mut q = EventQueue::new();
+        for i in 0..100u64 {
+            q.push(t(1000 + i), i);
+        }
+        assert_eq!(q.pop(), Some((t(1000), 0)));
+        assert_eq!(q.pop(), Some((t(1001), 1)));
+        // The calendar has advanced past day(5); an earlier push must
+        // still pop before everything pending.
+        q.push(t(5), 500);
+        q.push(t(5), 501);
+        assert_eq!(q.pop(), Some((t(5), 500)));
+        assert_eq!(q.pop(), Some((t(5), 501)));
+        assert_eq!(q.pop(), Some((t(1002), 2)));
     }
 
     /// Property test: under arbitrary interleavings of pushes and
@@ -338,6 +745,103 @@ mod tests {
         }
     }
 
+    /// A reference implementation with the queue's exact contract: a
+    /// `BinaryHeap` over inverted `(time, seq)`.
+    struct RefQueue {
+        heap: BinaryHeap<std::cmp::Reverse<(SimTime, u64)>>,
+        payloads: std::collections::HashMap<u64, u64>,
+        next_seq: u64,
+    }
+
+    impl RefQueue {
+        fn new() -> Self {
+            RefQueue {
+                heap: BinaryHeap::new(),
+                payloads: Default::default(),
+                next_seq: 0,
+            }
+        }
+        fn push(&mut self, time: SimTime, payload: u64) {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap.push(std::cmp::Reverse((time, seq)));
+            self.payloads.insert(seq, payload);
+        }
+        fn pop(&mut self) -> Option<(SimTime, u64)> {
+            let std::cmp::Reverse((time, seq)) = self.heap.pop()?;
+            Some((time, self.payloads.remove(&seq).expect("payload")))
+        }
+        fn pop_if_before(&mut self, limit: SimTime) -> Option<(SimTime, u64)> {
+            if self.heap.peek()?.0 .0 >= limit {
+                return None;
+            }
+            self.pop()
+        }
+        fn remove_seq(&mut self, seq: u64) -> Option<(SimTime, u64)> {
+            let pos = self.heap.iter().find(|r| r.0 .1 == seq)?.0 .0;
+            self.heap.retain(|r| r.0 .1 != seq);
+            Some((pos, self.payloads.remove(&seq).expect("payload")))
+        }
+    }
+
+    /// Property test (the ISSUE 9 acceptance bar): the calendar queue and
+    /// a reference `BinaryHeap` pop identical `(time, seq)` streams under
+    /// randomized workloads — tight same-timestamp ties, far-future
+    /// overflow events, churn past the grow/shrink rebuild thresholds,
+    /// interleaved `pop_if_before` bounds, and explorer-style
+    /// `remove_seq` extractions.
+    #[test]
+    fn property_calendar_matches_reference_heap() {
+        let mut rng = crate::DetRng::new(0xca1e);
+        for round in 0..60 {
+            let mut cal = EventQueue::new();
+            let mut reference = RefQueue::new();
+            let mut now = 0u64;
+            let mut id = 0u64;
+            let ops = rng.next_range(50, 3000);
+            for _ in 0..ops {
+                let roll = rng.next_range(0, 100);
+                if roll < 55 || cal.is_empty() {
+                    // Mix of tie-heavy near pushes and far-future jumps
+                    // that must land in the overflow rung.
+                    let time = match rng.next_range(0, 10) {
+                        0..=5 => now + rng.next_range(0, 8),
+                        6..=7 => now + rng.next_range(0, 5_000),
+                        8 => now + rng.next_range(0, 50_000_000),
+                        _ => now + rng.next_range(0, 4) * 1_000_000_000_000,
+                    };
+                    cal.push(t(time), id);
+                    reference.push(t(time), id);
+                    id += 1;
+                } else if roll < 90 {
+                    let limit = now + rng.next_range(0, 2_000);
+                    let got = cal.pop_if_before(t(limit));
+                    assert_eq!(got, reference.pop_if_before(t(limit)), "round {round}");
+                    if let Some((time, _)) = got {
+                        now = now.max(time.as_nanos());
+                    }
+                } else if id > 0 {
+                    // Remove a random seq (may or may not be pending).
+                    let seq = rng.next_range(0, id);
+                    assert_eq!(
+                        cal.remove_seq(seq),
+                        reference.remove_seq(seq),
+                        "round {round}: remove_seq({seq})"
+                    );
+                }
+            }
+            assert_eq!(cal.len(), reference.heap.len(), "round {round}");
+            loop {
+                let got = cal.pop();
+                assert_eq!(got, reference.pop(), "round {round}: drain");
+                if got.is_none() {
+                    break;
+                }
+            }
+            assert_eq!(cal.total_pushed(), id, "round {round}");
+        }
+    }
+
     #[test]
     fn pending_sorted_orders_by_time_then_seq() {
         let mut q = EventQueue::new();
@@ -366,6 +870,24 @@ mod tests {
         assert_eq!(q.pop(), Some((t(10), "a")));
         assert!(q.is_empty());
         assert_eq!(q.total_popped(), 3, "remove_seq counts as a pop");
+    }
+
+    #[test]
+    fn remove_seq_unlinks_from_a_shared_ring_bucket() {
+        // Three same-day ring events chained in one bucket: removing the
+        // middle and head of the chain must keep the rest poppable.
+        let mut q = EventQueue::new();
+        q.push(t(0), 0u32);
+        let _ = q.pop();
+        q.push(t(3), 1); // seq 1
+        q.push(t(3), 2); // seq 2
+        q.push(t(3), 3); // seq 3
+        assert_eq!(q.remove_seq(2), Some((t(3), 2)));
+        assert_eq!(q.remove_seq(1), Some((t(3), 1)));
+        q.push(t(3), 4); // seq 4, reuses a freed slot
+        assert_eq!(q.pop(), Some((t(3), 3)));
+        assert_eq!(q.pop(), Some((t(3), 4)));
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //!   shared queue (one producer, `N−1` consumers);
 //! * [`pipeline`] — Figure 8, the linear pipeline comparing optimistic
 //!   GWC, non-optimistic GWC, and entry consistency;
+//! * [`bigmesh`] — the 100k-node scaling scenario: independent per-row
+//!   token pipelines with row-local mutex groups and pruned multicast;
 //! * [`canonical`] — tiny deterministic configurations explored
 //!   exhaustively by the `sesame-check` model checker;
 //! * [`contention`] — rollback / contention sweeps (the Figure 7 regime at
@@ -21,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bigmesh;
 pub mod canonical;
 pub mod contention;
 pub mod experiments;
