@@ -89,11 +89,18 @@ if cargo run -q --release -p sesame-cli -- explain --scenario contention \
     exit 1
 fi
 
-echo "==> bench smoke (queue micro-bench, JSON line output)"
+echo "==> bench smoke (queue micro-bench + hostprof phase/alloc rows)"
 cargo bench -q -p sesame-bench --bench queue -- --bench-out "$tmpdir/bench.json" \
     >/dev/null
 grep -q '"group":"queue"' "$tmpdir/bench.json"
 grep -q '"events_per_sec"' "$tmpdir/bench.json"
+# The hostprof bench appends phase-timer and allocation-trajectory rows
+# (same JSON-lines file, group "hostprof").
+cargo bench -q -p sesame-bench --features hostprof --bench hostprof -- \
+    --bench-out "$tmpdir/bench.json" >/dev/null
+grep -q '"case":"contention/dispatch"' "$tmpdir/bench.json"
+grep -q '"case":"contention/alloc_bytes"' "$tmpdir/bench.json"
+grep -q '"case":"contention/alloc_count"' "$tmpdir/bench.json"
 
 echo "==> time-series determinism smoke (serial vs --jobs 4 byte-identical)"
 cargo run -q --release -p sesame-cli -- run --scenario contention \
@@ -123,13 +130,17 @@ grep -q "REGRESSED" "$tmpdir/diff.out"
 cargo run -q --release -p sesame-cli -- bench diff \
     crates/bench/testdata/diff_base.json \
     crates/bench/testdata/diff_base.json >/dev/null
-# The queue bench from the smoke above, gated against the committed
-# reference at 1.5x: the queue group is pure in-process CPU work, so this
-# headroom absorbs host variance but fails a real kernel regression (the
-# BinaryHeap the calendar queue replaced was 2.5x slower at 100k pending,
-# so an accidental revert cannot pass).
+# The queue + hostprof benches from the smoke above, gated against the
+# committed reference at 1.5x: both groups are pure in-process CPU work,
+# so this headroom absorbs host variance but fails a real kernel
+# regression (the BinaryHeap the calendar queue replaced was 2.5x slower
+# at 100k pending, so an accidental revert cannot pass). The hostprof
+# group also carries the contention scenario's alloc_bytes/alloc_count
+# rows, so a change that reintroduces per-event allocation fails here
+# even when the timers stay flat.
 cargo run -q --release -p sesame-cli -- bench diff \
-    BENCH_sweep.json "$tmpdir/bench.json" --groups queue --threshold 1.5 \
+    BENCH_sweep.json "$tmpdir/bench.json" --groups queue,hostprof \
+    --thresholds queue=1.5,hostprof=1.5 \
     >/dev/null
 
 echo "==> docs link check (every crate named in docs/architecture.md exists)"
@@ -160,6 +171,22 @@ echo "==> 100k-node bigmesh smoke (completes under a 60M-event work budget)"
 cargo run -q --release -p sesame-cli -- bigmesh --event-limit 60000000 \
     > "$tmpdir/bigmesh.out"
 grep -q "nodes 100000 in 316 rows; 100000 token visits" "$tmpdir/bigmesh.out"
+
+echo "==> 250k-node bigmesh smoke (explicit geometry, event budget, throughput floor)"
+# A quarter-million nodes in narrow rows (25000x10): exercises the
+# --rows/--cols geometry path and the static-wave dispatch fast path at
+# scale, under a hard event budget. The exact-integer `throughput` line
+# doubles as a host-speed floor: 100k events/s is ~10x below what the
+# flattened dispatch path sustains, so only a genuine hot-path regression
+# (or a hopelessly overloaded host) trips it.
+cargo run -q --release -p sesame-cli -- bigmesh --rows 25000 --cols 10 \
+    --event-limit 40000000 > "$tmpdir/bigmesh250k.out"
+grep -q "nodes 250000 in 25000 rows; 250000 token visits" "$tmpdir/bigmesh250k.out"
+thr=$(grep -o 'throughput [0-9]*' "$tmpdir/bigmesh250k.out" | cut -d' ' -f2)
+if [ "${thr:-0}" -lt 100000 ]; then
+    echo "bigmesh 250k throughput floor: got ${thr:-none} events/s, want >= 100000" >&2
+    exit 1
+fi
 
 echo "==> hostprof smoke (feature-gated profiler, sim tests both ways)"
 cargo test -q -p sesame-sim --features hostprof >/dev/null

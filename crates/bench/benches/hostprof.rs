@@ -6,6 +6,14 @@
 //! `sesame bench diff` gate can catch a single phase regressing even
 //! when the end-to-end bench medians stay inside their thresholds.
 //!
+//! The same group also carries the allocation trajectory of the run:
+//! `contention/alloc_bytes` and `contention/alloc_count` record the
+//! scenario's cumulative heap traffic (counted by the sim kernel's
+//! [`sesame_sim::hostprof::CountingAlloc`], installed as this binary's
+//! global allocator). The value rides in `median_ns` — the diff gate
+//! compares medians dimensionlessly, so a 1.5x threshold on the group
+//! catches allocation regressions exactly like time regressions.
+//!
 //! Requires the sim kernel's `hostprof` feature:
 //! `cargo bench --features hostprof --bench hostprof`. Without it the
 //! binary prints a notice and exits cleanly so plain `cargo bench` runs
@@ -28,8 +36,13 @@ mod with_profiler {
     use sesame_workloads::telemetry::{run_with_telemetry, Scenario, ScenarioOptions};
     use std::path::PathBuf;
 
+    // Count this binary's heap traffic so the alloc_* rows are real.
+    #[global_allocator]
+    static ALLOC: hostprof::CountingAlloc = hostprof::CountingAlloc;
+
     const SAMPLES: u32 = 10;
     const PHASES: [&str; 4] = ["pop", "dispatch", "trace", "observer"];
+    const ALLOC_METRICS: [&str; 2] = ["alloc_bytes", "alloc_count"];
 
     fn phase_ns(r: &hostprof::HostProfReport, phase: &str) -> u64 {
         match phase {
@@ -78,6 +91,39 @@ mod with_profiler {
             };
             println!(
                 "hostprof/{}: {}ns median (min {}ns .. max {}ns, n={SAMPLES}) | {events} events",
+                record.case, record.median_ns, record.min_ns, record.max_ns
+            );
+            if let Some(path) = &out {
+                append_record(path, &record);
+            }
+        }
+
+        // Allocation trajectory: the scenario's cumulative heap traffic,
+        // medianed across the same samples as the phase timers. These are
+        // counts, not times — `events_per_sec` stays unset so the diff
+        // gate only compares the medians.
+        for metric in ALLOC_METRICS {
+            let mut values: Vec<u64> = samples
+                .iter()
+                .map(|r| match metric {
+                    "alloc_bytes" => r.alloc_bytes,
+                    "alloc_count" => r.allocations,
+                    _ => unreachable!("unknown alloc metric {metric}"),
+                })
+                .collect();
+            values.sort_unstable();
+            let record = BenchRecord {
+                group: "hostprof".to_string(),
+                case: format!("contention/{metric}"),
+                samples: SAMPLES,
+                median_ns: values[values.len() / 2],
+                min_ns: values[0],
+                max_ns: values[values.len() - 1],
+                events: Some(events),
+                events_per_sec: None,
+            };
+            println!(
+                "hostprof/{}: {} median (min {} .. max {}, n={SAMPLES}) | {events} events",
                 record.case, record.median_ns, record.min_ns, record.max_ns
             );
             if let Some(path) = &out {

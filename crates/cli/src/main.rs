@@ -8,7 +8,7 @@
 //! sesame fig2 [--sizes 3,5,9] [--tasks N] [--exec-us N] [--ratio F] [--jobs N]
 //! sesame fig7
 //! sesame fig8 [--sizes 2,4,8] [--visits N] [--local-us N] [--jobs N]
-//! sesame bigmesh [--nodes N] [--laps N] [--local-us N] [--shared-words N]
+//! sesame bigmesh [--nodes N | --rows N --cols N] [--laps N] [--local-us N]
 //! sesame contention [--contenders N] [--rounds N] [--think-us N]
 //! sesame run --scenario contention --metrics-out m.json --timeline-out t.trace.json
 //! sesame report --metrics-in m.json
@@ -68,10 +68,13 @@ COMMANDS:
     bigmesh       100k-node scaling scenario: per-row token pipelines with
                   row-local mutexes over pruned multicast routes
                     --nodes <N=100000>  --laps <N=1>  --local-us <N=5>
+                    --rows <N> --cols <N>  explicit mesh geometry (overrides
+                                      --nodes; 100000x10 is the 1M-node run)
                     --shared-words <N=1>  --event-limit <N=500000000>
                     --hostprof-out <file.json>  host-side simulator profile
                                       (needs a build with --features hostprof)
-                  exits nonzero unless the run drains with every visit done
+                  exits nonzero unless the run drains with every visit done;
+                  prints an exact `throughput N events/s` line for CI floors
     contention    optimistic vs regular locking across think times
                     --contenders <N=6>  --rounds <N=50>  --think-us <N=50>
     run           run one scenario with telemetry and export metrics
@@ -289,8 +292,17 @@ fn cmd_bigmesh(args: &Args) -> Result<(), String> {
         event_limit: args
             .get_or("--event-limit", defaults.event_limit, "integer")
             .map_err(|e| e.to_string())?,
+        rows: args
+            .get_or("--rows", defaults.rows, "integer")
+            .map_err(|e| e.to_string())?,
+        cols: args
+            .get_or("--cols", defaults.cols, "integer")
+            .map_err(|e| e.to_string())?,
         ..defaults
     };
+    if (cfg.rows == 0) != (cfg.cols == 0) {
+        return Err("--rows and --cols must be given together".to_string());
+    }
     let hostprof_out = args.get_str("--hostprof-out");
     #[cfg(not(feature = "hostprof"))]
     if hostprof_out.is_some() {
@@ -330,6 +342,11 @@ fn cmd_bigmesh(args: &Args) -> Result<(), String> {
         "host: {:.2}s wall, {:.1}M events/s",
         wall.as_secs_f64(),
         run.events as f64 / wall.as_secs_f64() / 1e6
+    );
+    // Exact-integer line for CI floors to grep.
+    println!(
+        "throughput {} events/s",
+        (run.events as f64 / wall.as_secs_f64()) as u64
     );
     let expected = cfg.laps as u64 * run.nodes as u64;
     if run.outcome != sesame_sim::RunOutcome::Drained || run.visits != expected {
@@ -1002,6 +1019,8 @@ fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
         "bigmesh" => (
             &[
                 "--nodes",
+                "--rows",
+                "--cols",
                 "--laps",
                 "--local-us",
                 "--shared-words",

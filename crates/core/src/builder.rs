@@ -220,6 +220,7 @@ impl From<GroupConfigError> for BuildError {
 pub struct SystemBuilder {
     nodes: usize,
     topology: TopologyChoice,
+    topo_override: Option<Box<dyn Topology>>,
     timing: LinkTiming,
     model: ModelChoice,
     config: MachineConfig,
@@ -246,6 +247,7 @@ impl SystemBuilder {
         SystemBuilder {
             nodes,
             topology: TopologyChoice::default(),
+            topo_override: None,
             timing: LinkTiming::paper_1994(),
             model: ModelChoice::default(),
             config: MachineConfig::default(),
@@ -258,6 +260,15 @@ impl SystemBuilder {
     /// Selects the interconnect geometry.
     pub fn topology(mut self, topology: TopologyChoice) -> Self {
         self.topology = topology;
+        self
+    }
+
+    /// Installs a concrete topology instance, overriding
+    /// [`SystemBuilder::topology`] — for geometries a [`TopologyChoice`]
+    /// cannot express, such as a deliberately non-square mesh torus
+    /// (`sesame bigmesh --rows/--cols`).
+    pub fn topology_instance(mut self, topo: Box<dyn Topology>) -> Self {
+        self.topo_override = Some(topo);
         self
     }
 
@@ -367,7 +378,10 @@ impl SystemBuilder {
             ModelChoice::Release => ModelInstance::Release(ReleaseModel::new(&groups, self.nodes)),
             ModelChoice::Weak => ModelInstance::Release(ReleaseModel::weak(&groups, self.nodes)),
         };
-        let topo = self.topology.instantiate(self.nodes);
+        let topo = match self.topo_override {
+            Some(topo) => topo,
+            None => self.topology.instantiate(self.nodes),
+        };
         // Topologies that round the CPU count up (hypercubes) get idle
         // programs on the extra vertices.
         let mut programs: Vec<Box<dyn Program>> = self
@@ -379,9 +393,7 @@ impl SystemBuilder {
             programs.push(Box::new(sesame_dsm::IdleProgram));
         }
         let mut machine = Machine::new(topo, self.timing, groups, programs, model, self.config);
-        for (var, value) in self.init {
-            machine.init_var(var, value);
-        }
+        machine.init_image(&self.init);
         Ok(machine)
     }
 }

@@ -79,6 +79,12 @@ pub struct SharingGroup {
     /// queries without touching the declared member order (which the
     /// multicast fan-out depends on).
     member_ranks: Vec<(NodeId, u32)>,
+    /// When the declared member list is one ascending run
+    /// `first, first+1, ..`, its first node id: rank queries become one
+    /// subtraction instead of a binary search. The common shape for
+    /// machine-generated groups (e.g. the bigmesh row groups), and the
+    /// rank lookup sits on the per-delivery protocol hot path.
+    contig_first: Option<u32>,
     vars: Vec<VarId>,
     mutex_lock: Option<VarId>,
 }
@@ -111,6 +117,10 @@ impl SharingGroup {
     /// the invariant that keeps slot-indexed protocol state (see
     /// [`GroupTable::member_slot`]) deterministic.
     pub fn member_rank(&self, node: NodeId) -> Option<u32> {
+        if let Some(first) = self.contig_first {
+            let rank = node.get().wrapping_sub(first);
+            return ((rank as usize) < self.members.len()).then_some(rank);
+        }
         self.member_ranks
             .binary_search_by_key(&node, |&(n, _)| n)
             .ok()
@@ -186,6 +196,13 @@ impl GroupTable {
                 .map(|(rank, &n)| (n, rank as u32))
                 .collect();
             member_ranks.sort_unstable_by_key(|&(n, _)| n);
+            let first = spec.members[0].get();
+            let contig_first = spec
+                .members
+                .iter()
+                .enumerate()
+                .all(|(rank, &m)| m.get().wrapping_sub(first) == rank as u32)
+                .then_some(first);
             table.slot_base.push(table.member_slots);
             table.member_slots += spec.members.len() as u32;
             table.groups.push(SharingGroup {
@@ -193,6 +210,7 @@ impl GroupTable {
                 root: spec.root,
                 members: spec.members,
                 member_ranks,
+                contig_first,
                 vars: spec.vars,
                 mutex_lock: spec.mutex_lock,
             });
@@ -337,6 +355,19 @@ mod tests {
         assert_eq!(t.member_slot(GroupId::new(1), n(3)), Some(3));
         assert_eq!(t.member_slot(GroupId::new(1), n(1)), Some(4));
         assert_eq!(t.member_slot(GroupId::new(1), n(0)), None);
+    }
+
+    #[test]
+    fn contiguous_member_runs_rank_like_any_other_group() {
+        let t = GroupTable::new(vec![spec(5, &[5, 6, 7, 8], &[0], None)]).unwrap();
+        let g = t.group(GroupId::new(0));
+        for (rank, id) in (5..9).enumerate() {
+            assert_eq!(g.member_rank(n(id)), Some(rank as u32));
+        }
+        assert_eq!(g.member_rank(n(4)), None);
+        assert_eq!(g.member_rank(n(9)), None);
+        assert_eq!(g.member_rank(n(0)), None);
+        assert_eq!(t.member_slot(GroupId::new(0), n(7)), Some(2));
     }
 
     #[test]

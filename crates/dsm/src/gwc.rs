@@ -642,8 +642,12 @@ impl GwcModel {
         }
     }
 
-    fn apply_chain(&mut self, node: NodeId, group: GroupId, mx: &mut Mx<'_, '_>) {
-        let slot = Self::slot(mx.groups(), group, node);
+    fn apply_chain(&mut self, node: NodeId, group: GroupId, slot: usize, mx: &mut Mx<'_, '_>) {
+        if self.ifaces[node.index()].reorder.is_empty() {
+            // Nothing was ever buffered out of order at this node (the
+            // steady state of loss-free runs) — skip the per-group probe.
+            return;
+        }
         loop {
             if self.ifaces[node.index()].suspended && mx.config().insharing_suspension {
                 return;
@@ -654,7 +658,7 @@ impl GwcModel {
                 .get_mut(&group)
                 .and_then(|b| b.remove(&expected));
             match next {
-                Some(item) => self.apply_item(node, item, mx),
+                Some(item) => self.apply_item(node, slot, item, mx),
                 None => return,
             }
         }
@@ -662,8 +666,8 @@ impl GwcModel {
 
     /// Applies one in-order sequenced write at `node`, advancing the
     /// expected counter.
-    fn apply_item(&mut self, node: NodeId, item: SeqItem, mx: &mut Mx<'_, '_>) {
-        self.expected[Self::slot(mx.groups(), item.group, node)] = item.seq + 1;
+    fn apply_item(&mut self, node: NodeId, slot: usize, item: SeqItem, mx: &mut Mx<'_, '_>) {
+        self.expected[slot] = item.seq + 1;
         let st = &mut self.ifaces[node.index()];
         let g = mx.groups().group(item.group);
         let is_lock_var = g.mutex_lock() == Some(item.var);
@@ -756,7 +760,7 @@ impl GwcModel {
         if item.seq > expected {
             if self.mutation == GwcMutation::SeqGap {
                 // PLANTED BUG: apply over the gap instead of buffering.
-                self.apply_item(node, item, mx);
+                self.apply_item(node, slot, item, mx);
                 return;
             }
             st.reorder
@@ -777,8 +781,8 @@ impl GwcModel {
             });
             return;
         }
-        self.apply_item(node, item, mx);
-        self.apply_chain(node, item.group, mx);
+        self.apply_item(node, slot, item, mx);
+        self.apply_chain(node, item.group, slot, mx);
     }
 
     /// Resume insharing at `node`: re-inject writes buffered during
@@ -797,7 +801,8 @@ impl GwcModel {
         // Anything already in the reorder buffer may now be applicable.
         let groups: Vec<GroupId> = self.ifaces[node.index()].reorder.keys().copied().collect();
         for g in groups {
-            self.apply_chain(node, g, mx);
+            let slot = Self::slot(mx.groups(), g, node);
+            self.apply_chain(node, g, slot, mx);
         }
     }
 }

@@ -16,10 +16,12 @@
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
-use sesame_net::{CauseId, Fabric, LinkTiming, MulticastRoute, NodeId, SpanningTree, Topology};
+use sesame_net::{
+    CauseId, ContentionModel, Fabric, LinkTiming, MulticastRoute, NodeId, SpanningTree, Topology,
+};
 use sesame_sim::{
-    Actor, ActorId, CauseOp, Context, RunOutcome, SimDur, SimTime, Simulation, TimeWeighted,
-    TraceDetail, TraceRecorder,
+    Actor, ActorId, BufferPool, CauseOp, Context, RunOutcome, SimDur, SimTime, Simulation,
+    TimeWeighted, TraceDetail, TraceRecorder,
 };
 
 use crate::causal::CauseCtx;
@@ -65,6 +67,21 @@ pub enum DsmEvent {
         /// The shared packet; [`Packet::to`] is overridden per member.
         pkt: Packet,
     },
+    /// Like [`DsmEvent::McastBatch`], but the member list is an index into
+    /// the group's [`MulticastRoute`] wave arena instead of an owned `Vec`:
+    /// under contention-free, loss-free timing every fan-out over a route
+    /// reaches exactly the topology-static wave at its depth-determined
+    /// instant, so the event only needs `(group, wave)` — dispatch iterates
+    /// the precomputed slice and allocates nothing.
+    McastWave {
+        /// The group whose cached route holds the wave arena.
+        group: GroupId,
+        /// Index of the wavefront within the route
+        /// ([`MulticastRoute::wave`]).
+        wave: u32,
+        /// The shared packet; [`Packet::to`] is overridden per member.
+        pkt: Packet,
+    },
 }
 
 /// The message type of the machine actor.
@@ -92,6 +109,24 @@ pub struct MachineConfig {
     /// baselines. Turn it on for large sparse meshes (the 100k-node
     /// scenario), where per-group flooding is quadratic in machine size.
     pub pruned_multicast: bool,
+    /// Emit pruned-multicast fan-outs as [`DsmEvent::McastWave`] indexes
+    /// into the route's topology-static wave arena whenever arrival times
+    /// are a pure function of hop depth (contention-free, loss-free fabric
+    /// with a nonzero hop latency). On that fast path a multicast performs
+    /// no per-call wave construction at all. Behavior-identical to the
+    /// generic path — same deliveries, same order, same trace; disable to
+    /// force the generic per-multicast construction (the reference
+    /// configuration for the equivalence property tests). No effect unless
+    /// [`MachineConfig::pruned_multicast`] is on.
+    pub static_waves: bool,
+    /// Recycle fan-out member buffers through a free-list
+    /// [`BufferPool`] on the generic pruned path (lossy or contended
+    /// fabrics, where wavefront membership must be materialized per
+    /// multicast). Pooling is semantics-invisible — buffers are cleared on
+    /// release and reused empty; disable to make every wavefront allocate
+    /// fresh (the reference configuration for the pooling equivalence
+    /// property test).
+    pub payload_pool: bool,
 }
 
 impl Default for MachineConfig {
@@ -100,6 +135,8 @@ impl Default for MachineConfig {
             hw_block: true,
             insharing_suspension: true,
             pruned_multicast: false,
+            static_waves: true,
+            payload_pool: true,
         }
     }
 }
@@ -114,12 +151,14 @@ pub struct Mx<'a, 'b> {
     groups: &'a GroupTable,
     topo: &'a dyn Topology,
     trees: &'a mut HashMap<NodeId, SpanningTree>,
-    routes: &'a mut HashMap<GroupId, MulticastRoute>,
+    routes: &'a mut [Option<MulticastRoute>],
     fabric: &'a mut Fabric,
     cfg: &'a MachineConfig,
     ctx: &'a mut Context<'b, MachineMsg>,
     app_outbox: &'a mut VecDeque<(NodeId, AppEvent, CauseId)>,
     causes: &'a mut CauseCtx,
+    pool: &'a mut BufferPool<NodeId>,
+    arrivals: &'a mut Vec<(NodeId, SimTime)>,
 }
 
 impl Mx<'_, '_> {
@@ -199,52 +238,118 @@ impl Mx<'_, '_> {
     pub fn multicast(&mut self, group: GroupId, bytes: u32, kind: PacketKind) {
         let g = self.groups.group(group);
         let root = g.root();
-        let arrivals = if self.cfg.pruned_multicast {
-            let route = self
-                .routes
-                .entry(group)
-                .or_insert_with(|| MulticastRoute::build(self.topo, root, g.members()));
-            self.fabric.multicast_route(self.now, route, bytes)
-        } else {
-            let tree = self
-                .trees
-                .entry(root)
-                .or_insert_with(|| SpanningTree::build(self.topo, root));
-            self.fabric.multicast(self.now, tree, bytes, g.members())
-        };
         let target = self.ctx.self_id();
-        if self.ctx.tracing() {
-            // Canonical multicast event: `last_ns` is the latest member
-            // arrival, the end of the whole fan-out interval.
-            let last = arrivals.iter().map(|&(_, at)| at).max().unwrap_or(self.now);
-            self.ctx.trace_for(
-                root.index(),
-                "pkt-mcast",
-                TraceDetail::Multicast {
-                    group: group.get(),
-                    bytes,
-                    members: arrivals.len() as u32,
-                    last_ns: last.as_nanos(),
-                },
-            );
-        }
-        // One mcast id covers the whole fan-out: every member's packet
-        // carries it, so each arrival chains back to this decision.
-        let cause = self.causes.stage(self.ctx, root, CauseOp::Mcast);
         if self.cfg.pruned_multicast {
-            // Batch the fan-out: members at the same hop depth share one
-            // arrival instant, so a 100k-member wave costs O(depths) queue
+            let route = self.routes[group.index()]
+                .get_or_insert_with(|| MulticastRoute::build(self.topo, root, g.members()));
+            // Fast path: under contention-free, loss-free timing with a
+            // nonzero hop latency, a member's arrival instant is a pure
+            // function of its hop depth — so the route's topology-static
+            // wave arena IS the fan-out, and nothing is materialized per
+            // multicast. (Nonzero hop latency guarantees distinct depths
+            // land at distinct instants, so depth grouping and arrival-time
+            // grouping coincide; zero loss means the generic path's loss
+            // rolls would not have consumed RNG either.)
+            if self.cfg.static_waves
+                && self.fabric.contention() == ContentionModel::None
+                && self.fabric.loss_probability() == 0.0
+                && self.fabric.timing().hop_latency > SimDur::ZERO
+            {
+                self.fabric.bill_multicast_route(route, bytes);
+                let timing = self.fabric.timing();
+                let depth_at = |d: u32| {
+                    // The root echo (depth 0) is local and immediate; depth
+                    // d >= 1 costs one serialization plus d hop latencies.
+                    if d == 0 {
+                        self.now
+                    } else {
+                        self.now + timing.transfer(d, bytes)
+                    }
+                };
+                if self.ctx.tracing() {
+                    // Canonical multicast event: `last_ns` is the latest
+                    // member arrival, the end of the whole fan-out interval.
+                    let last = depth_at(route.max_depth());
+                    self.ctx.trace_for(
+                        root.index(),
+                        "pkt-mcast",
+                        TraceDetail::Multicast {
+                            group: group.get(),
+                            bytes,
+                            members: route.member_count() as u32,
+                            last_ns: last.as_nanos(),
+                        },
+                    );
+                }
+                // One mcast id covers the whole fan-out: every member's
+                // packet carries it, so each arrival chains back to this
+                // decision.
+                let cause = self.causes.stage(self.ctx, root, CauseOp::Mcast);
+                for w in 0..route.wave_count() {
+                    let at = depth_at(route.wave_depth(w));
+                    let wave = route.wave(w);
+                    let pkt = Packet {
+                        from: root,
+                        to: wave[0],
+                        bytes,
+                        kind,
+                        cause,
+                    };
+                    let ev = if wave.len() == 1 {
+                        DsmEvent::Packet(pkt)
+                    } else {
+                        DsmEvent::McastWave {
+                            group,
+                            wave: w as u32,
+                            pkt,
+                        }
+                    };
+                    self.ctx.send_at(target, at, (pkt.to, ev));
+                }
+                return;
+            }
+            // Generic pruned path: loss and/or contention make wavefront
+            // membership (or arrival times) depend on per-multicast state,
+            // so waves are materialized here — with member buffers recycled
+            // through the payload pool.
+            self.fabric
+                .multicast_route_into(self.now, route, bytes, self.arrivals);
+            if self.ctx.tracing() {
+                let last = self
+                    .arrivals
+                    .iter()
+                    .map(|&(_, at)| at)
+                    .max()
+                    .unwrap_or(self.now);
+                self.ctx.trace_for(
+                    root.index(),
+                    "pkt-mcast",
+                    TraceDetail::Multicast {
+                        group: group.get(),
+                        bytes,
+                        members: self.arrivals.len() as u32,
+                        last_ns: last.as_nanos(),
+                    },
+                );
+            }
+            let cause = self.causes.stage(self.ctx, root, CauseOp::Mcast);
+            // Batch the fan-out: members at the same arrival instant share
+            // one queue event, so a 100k-member wave costs O(wavefronts)
             // events instead of O(members). BTreeMap keeps wavefronts in
             // time order; within one wavefront members stay in declared
             // order (the order `arrivals` was produced in).
             let mut waves: BTreeMap<SimTime, Vec<NodeId>> = BTreeMap::new();
-            for (member, at) in arrivals {
+            for i in 0..self.arrivals.len() {
+                let (member, at) = self.arrivals[i];
                 // Per-member loss, rolled in the same declared-member order
                 // as the unbatched path so loss RNG streams line up.
                 if member != root && self.fabric.roll_loss() {
                     continue;
                 }
-                waves.entry(at).or_default().push(member);
+                waves
+                    .entry(at)
+                    .or_insert_with(|| self.pool.acquire())
+                    .push(member);
             }
             for (at, members) in waves {
                 let pkt = Packet {
@@ -255,6 +360,7 @@ impl Mx<'_, '_> {
                     cause,
                 };
                 let ev = if members.len() == 1 {
+                    self.pool.release(members);
                     DsmEvent::Packet(pkt)
                 } else {
                     DsmEvent::McastBatch { members, pkt }
@@ -262,7 +368,35 @@ impl Mx<'_, '_> {
                 self.ctx.send_at(target, at, (pkt.to, ev));
             }
         } else {
-            for (member, at) in arrivals {
+            let tree = self
+                .trees
+                .entry(root)
+                .or_insert_with(|| SpanningTree::build(self.topo, root));
+            self.fabric
+                .multicast_into(self.now, tree, bytes, g.members(), self.arrivals);
+            if self.ctx.tracing() {
+                // Canonical multicast event: `last_ns` is the latest member
+                // arrival, the end of the whole fan-out interval.
+                let last = self
+                    .arrivals
+                    .iter()
+                    .map(|&(_, at)| at)
+                    .max()
+                    .unwrap_or(self.now);
+                self.ctx.trace_for(
+                    root.index(),
+                    "pkt-mcast",
+                    TraceDetail::Multicast {
+                        group: group.get(),
+                        bytes,
+                        members: self.arrivals.len() as u32,
+                        last_ns: last.as_nanos(),
+                    },
+                );
+            }
+            let cause = self.causes.stage(self.ctx, root, CauseOp::Mcast);
+            for i in 0..self.arrivals.len() {
+                let (member, at) = self.arrivals[i];
                 // Per-member loss (the root's own echo is a local operation
                 // and never lost); members recover via nack-triggered
                 // retransmission.
@@ -439,14 +573,31 @@ pub struct Machine<M: Model> {
     /// every group with the same root (a tree depends only on the root).
     trees: HashMap<NodeId, SpanningTree>,
     /// Member-pruned routes, built lazily per group when
-    /// [`MachineConfig::pruned_multicast`] is on.
-    routes: HashMap<GroupId, MulticastRoute>,
+    /// [`MachineConfig::pruned_multicast`] is on. Group ids are dense, so
+    /// this is a direct-indexed vector: wave dispatch resolves its route
+    /// with one bounds-checked load instead of a hash probe per event.
+    routes: Vec<Option<MulticastRoute>>,
     mems: Vec<LocalMemory>,
     cpus: Vec<CpuMeter>,
     programs: Vec<Box<dyn Program>>,
     model: M,
     cfg: MachineConfig,
     causes: CauseCtx,
+    /// Free list of recycled fan-out member buffers
+    /// ([`MachineConfig::payload_pool`]).
+    pool: BufferPool<NodeId>,
+    /// Arrival-list scratch reused by every multicast, so steady-state
+    /// dispatch performs no per-call allocation.
+    arrivals: Vec<(NodeId, SimTime)>,
+    /// Wave-member scratch for [`DsmEvent::McastWave`] dispatch: the wave
+    /// slice is copied out of the route arena so member delivery can borrow
+    /// the machine mutably.
+    wave_scratch: Vec<NodeId>,
+    /// The application-event cascade queue, a field so its capacity
+    /// survives across events.
+    app_q: VecDeque<(NodeId, AppEvent, CauseId)>,
+    /// Program-action scratch reused by every cascade step.
+    actions: Vec<Action>,
 }
 
 impl<M: Model> std::fmt::Debug for Machine<M> {
@@ -491,18 +642,28 @@ impl<M: Model> Machine<M> {
             );
         }
         let n = topo.len();
+        let n_groups = groups.len();
         Machine {
             topo,
             fabric: Fabric::new(timing),
             groups,
             trees: HashMap::new(),
-            routes: HashMap::new(),
+            routes: (0..n_groups).map(|_| None).collect(),
             mems: vec![LocalMemory::new(); n],
             cpus: vec![CpuMeter::default(); n],
             programs,
             model,
             cfg,
             causes: CauseCtx::new(),
+            pool: if cfg.payload_pool {
+                BufferPool::new()
+            } else {
+                BufferPool::disabled()
+            },
+            arrivals: Vec::new(),
+            wave_scratch: Vec::new(),
+            app_q: VecDeque::new(),
+            actions: Vec::new(),
         }
     }
 
@@ -524,9 +685,46 @@ impl<M: Model> Machine<M> {
 
     /// Initializes `var` to `value` in every node's local copy — how shared
     /// segments (and lock FREE sentinels) are set up before a run.
+    ///
+    /// Writes the value into each memory, so cost is O(nodes). Bulk
+    /// initialization of a freshly built machine should prefer
+    /// [`Machine::init_image`], which shares one sorted image across all
+    /// nodes instead.
     pub fn init_var(&mut self, var: crate::VarId, value: crate::Word) {
         for m in &mut self.mems {
             m.write(var, value);
+        }
+    }
+
+    /// Installs the pre-run initialization image: `pairs` applied in order
+    /// (later entries win), observed by every node's memory. Equivalent to
+    /// calling [`Machine::init_var`] per entry, but O(pairs log pairs +
+    /// nodes) instead of O(pairs × nodes): all memories share one sorted
+    /// image and consult it on local misses, so a 100k-group mesh no
+    /// longer materializes every lock sentinel in every node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node memory has already been written (the image must
+    /// be installed before initialization writes, not after).
+    pub fn init_image(&mut self, pairs: &[(crate::VarId, crate::Word)]) {
+        if pairs.is_empty() {
+            return;
+        }
+        let mut image = pairs.to_vec();
+        // Stable sort keeps duplicate vars in application order; collapse
+        // each run to its final value.
+        image.sort_by_key(|&(v, _)| v);
+        let mut merged: Vec<(crate::VarId, crate::Word)> = Vec::with_capacity(image.len());
+        for (var, value) in image {
+            match merged.last_mut() {
+                Some(last) if last.0 == var => last.1 = value,
+                _ => merged.push((var, value)),
+            }
+        }
+        let base: std::sync::Arc<[(crate::VarId, crate::Word)]> = merged.into();
+        for m in &mut self.mems {
+            m.set_base(base.clone());
         }
     }
 
@@ -625,6 +823,8 @@ impl<M: Model> Machine<M> {
             model,
             cfg,
             causes,
+            pool,
+            arrivals,
             ..
         } = self;
         let mut mx = Mx {
@@ -639,13 +839,15 @@ impl<M: Model> Machine<M> {
             ctx,
             app_outbox: app_q,
             causes,
+            pool,
+            arrivals,
         };
         f(model, &mut mx)
     }
 
     fn drain(
         &mut self,
-        mut app_q: VecDeque<(NodeId, AppEvent, CauseId)>,
+        app_q: &mut VecDeque<(NodeId, AppEvent, CauseId)>,
         ctx: &mut Context<'_, MachineMsg>,
     ) {
         while let Some((node, event, cause)) = app_q.pop_front() {
@@ -677,13 +879,17 @@ impl<M: Model> Machine<M> {
                 // from the acquisition, not from the delivering apply.
                 self.causes.point(ctx, node, CauseOp::Acquired);
             }
-            let mut actions = Vec::new();
+            // The action buffer is a machine field so its capacity survives
+            // across cascade steps; it is taken out while in use because
+            // the loop body re-borrows the machine (`with_mx`).
+            let mut actions = std::mem::take(&mut self.actions);
+            debug_assert!(actions.is_empty());
             {
                 let mem = &self.mems[node.index()];
                 let mut api = NodeApi::new(node, ctx.now(), mem, &mut actions, ctx.tracing());
                 self.programs[node.index()].on_event(event, &mut api);
             }
-            for action in actions {
+            for action in actions.drain(..) {
                 match action {
                     Action::Model(ma) => {
                         if ctx.tracing() {
@@ -732,7 +938,7 @@ impl<M: Model> Machine<M> {
                             }
                             _ => {}
                         }
-                        self.with_mx(ctx, &mut app_q, |model, mx| model.on_action(node, ma, mx));
+                        self.with_mx(ctx, app_q, |model, mx| model.on_action(node, ma, mx));
                     }
                     Action::Compute { dur, tag } => {
                         self.cpus[node.index()].start(ctx.now(), dur);
@@ -800,6 +1006,7 @@ impl<M: Model> Machine<M> {
                     }
                 }
             }
+            self.actions = actions;
         }
     }
 }
@@ -808,7 +1015,11 @@ impl<M: Model> Actor for Machine<M> {
     type Msg = MachineMsg;
 
     fn handle(&mut self, (node, event): MachineMsg, ctx: &mut Context<'_, MachineMsg>) {
-        let mut app_q = VecDeque::new();
+        // The cascade queue is a machine field so its capacity survives
+        // across events (steady-state dispatch allocates nothing); it is
+        // taken out while in use because handling re-borrows the machine.
+        let mut app_q = std::mem::take(&mut self.app_q);
+        debug_assert!(app_q.is_empty());
         match event {
             DsmEvent::Start => {
                 // Spontaneous: a root of the causal forest.
@@ -838,8 +1049,29 @@ impl<M: Model> Actor for Machine<M> {
                     self.causes.set_current(pkt.cause);
                     let p = Packet { to: m, ..pkt };
                     self.with_mx(ctx, &mut app_q, |model, mx| model.on_packet(m, p, mx));
-                    let q = std::mem::take(&mut app_q);
-                    self.drain(q, ctx);
+                    self.drain(&mut app_q, ctx);
+                }
+                // Recycle the member buffer for the next materialized
+                // wavefront.
+                self.pool.release(members);
+            }
+            DsmEvent::McastWave { group, wave, pkt } => {
+                // Same delivery semantics as `McastBatch`, but the member
+                // list is the route's topology-static wave slice. It is
+                // copied into scratch first because delivering to a member
+                // borrows the whole machine mutably.
+                let route = self.routes[group.index()]
+                    .as_ref()
+                    .expect("McastWave event for a group whose route was never built");
+                self.wave_scratch.clear();
+                self.wave_scratch
+                    .extend_from_slice(route.wave(wave as usize));
+                for i in 0..self.wave_scratch.len() {
+                    let m = self.wave_scratch[i];
+                    self.causes.set_current(pkt.cause);
+                    let p = Packet { to: m, ..pkt };
+                    self.with_mx(ctx, &mut app_q, |model, mx| model.on_packet(m, p, mx));
+                    self.drain(&mut app_q, ctx);
                 }
             }
             DsmEvent::ModelTimer { tag } => {
@@ -847,7 +1079,8 @@ impl<M: Model> Actor for Machine<M> {
                 self.with_mx(ctx, &mut app_q, |model, mx| model.on_timer(node, tag, mx));
             }
         }
-        self.drain(app_q, ctx);
+        self.drain(&mut app_q, ctx);
+        self.app_q = app_q;
     }
 }
 

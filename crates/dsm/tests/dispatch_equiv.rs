@@ -1,0 +1,173 @@
+//! Dispatch-path equivalence properties: the flattened multicast fast
+//! path ([`MachineConfig::static_waves`]) and the recycled payload pool
+//! ([`MachineConfig::payload_pool`]) are pure performance features — a
+//! run with them on must be *byte-identical* (same trace, same event
+//! count, same memories, same fabric traffic) to the reference run with
+//! them off, for the same seed. Any drift here means the hot path
+//! changed semantics, not just speed.
+
+#![allow(clippy::type_complexity)]
+
+use sesame_dsm::{
+    lockval, run, AppEvent, GroupSpec, GroupTable, GwcModel, Machine, MachineConfig, NodeApi,
+    Program, RunOptions, RunResult, VarId,
+};
+use sesame_net::{LinkTiming, MeshTorus2d, NodeId, Topology};
+use sesame_sim::SimDur;
+
+fn n(id: u32) -> NodeId {
+    NodeId::new(id)
+}
+fn v(id: u32) -> VarId {
+    VarId::new(id)
+}
+
+const LOCK: u32 = 0;
+const COUNTER: u32 = 1;
+const DATA: u32 = 2;
+
+/// A mutex contender: acquires, bumps the shared counter, writes a data
+/// word, releases, thinks for a node-staggered delay, and goes again.
+fn contender(rounds: u32, think_ns: u64) -> Box<dyn Program> {
+    let mut left = rounds;
+    Box::new(move |ev: AppEvent, api: &mut NodeApi<'_>| match ev {
+        AppEvent::Started => api.acquire(v(LOCK)),
+        AppEvent::Acquired { lock } if lock == v(LOCK) => {
+            let c = api.read(v(COUNTER));
+            api.write(v(COUNTER), c + 1);
+            api.write(v(DATA), i64::from(api.id().get()) * 1000 + i64::from(left));
+            api.release(v(LOCK));
+            left -= 1;
+            if left > 0 {
+                api.set_timer(
+                    SimDur::from_nanos(think_ns + 13 * u64::from(api.id().get())),
+                    0,
+                );
+            }
+        }
+        AppEvent::TimerFired { .. } => api.acquire(v(LOCK)),
+        _ => {}
+    })
+}
+
+/// A 4x4 mesh torus where every node is a member of one mutex group and
+/// a handful of nodes contend: multi-wave pruned multicasts on every
+/// sequenced write (grants, counter updates, data words, frees).
+fn build(cfg: MachineConfig) -> Machine<GwcModel> {
+    let topo: Box<dyn Topology> = Box::new(MeshTorus2d::new(4, 4));
+    let nodes = topo.len();
+    let groups = GroupTable::new(vec![GroupSpec {
+        root: n(0),
+        members: (0..nodes as u32).map(n).collect(),
+        vars: vec![v(LOCK), v(COUNTER), v(DATA)],
+        mutex_lock: Some(v(LOCK)),
+    }])
+    .unwrap();
+    let model = GwcModel::new(&groups, nodes);
+    let mut programs: Vec<Box<dyn Program>> = Vec::new();
+    for i in 0..nodes as u32 {
+        if i % 5 == 1 {
+            programs.push(contender(3, 400 + 7 * u64::from(i)));
+        } else {
+            programs.push(Box::new(|_: AppEvent, _: &mut NodeApi<'_>| {}));
+        }
+    }
+    let mut machine = Machine::new(topo, LinkTiming::paper_1994(), groups, programs, model, cfg);
+    machine.init_var(v(LOCK), lockval::FREE);
+    machine
+}
+
+fn run_traced(cfg: MachineConfig, loss: Option<(f64, u64)>, seed: u64) -> RunResult<GwcModel> {
+    let mut machine = build(cfg);
+    if let Some((p, loss_seed)) = loss {
+        machine.fabric_mut().set_loss(p, loss_seed);
+    }
+    run(
+        machine,
+        RunOptions {
+            seed,
+            tracing: true,
+            ..RunOptions::default()
+        },
+    )
+}
+
+/// Asserts two runs are observably identical: trace (byte for byte),
+/// event count, makespan, fabric traffic, and every node's memory.
+fn assert_identical(a: &RunResult<GwcModel>, b: &RunResult<GwcModel>, what: &str) {
+    assert_eq!(a.events, b.events, "{what}: event count");
+    assert_eq!(a.end, b.end, "{what}: makespan");
+    assert_eq!(
+        a.machine.fabric_stats(),
+        b.machine.fabric_stats(),
+        "{what}: fabric traffic"
+    );
+    let entries_a = a.trace.entries();
+    let entries_b = b.trace.entries();
+    assert_eq!(entries_a.len(), entries_b.len(), "{what}: trace length");
+    for (i, (ea, eb)) in entries_a.iter().zip(entries_b).enumerate() {
+        assert_eq!(ea, eb, "{what}: trace entry {i}");
+    }
+    for node in 0..a.machine.node_count() as u32 {
+        let ma: Vec<_> = a.machine.mem(n(node)).iter().collect();
+        let mb: Vec<_> = b.machine.mem(n(node)).iter().collect();
+        assert_eq!(ma, mb, "{what}: node {node} memory");
+    }
+}
+
+fn pruned(static_waves: bool, payload_pool: bool) -> MachineConfig {
+    MachineConfig {
+        pruned_multicast: true,
+        static_waves,
+        payload_pool,
+        ..MachineConfig::default()
+    }
+}
+
+/// The static-wave fast path (arena-indexed `McastWave` events, nothing
+/// materialized per multicast) against the generic per-multicast wave
+/// construction, on the loss-free fabric where the fast path engages.
+#[test]
+fn static_waves_match_generic_construction_byte_for_byte() {
+    for seed in [1u64, 7, 23] {
+        let fast = run_traced(pruned(true, true), None, seed);
+        let reference = run_traced(pruned(false, true), None, seed);
+        // The scenario must actually exercise multicast fan-out, or this
+        // test proves nothing.
+        assert!(
+            fast.trace.entries().iter().any(|e| e.kind == "pkt-mcast"),
+            "scenario produced no multicasts"
+        );
+        assert_identical(&fast, &reference, &format!("static_waves seed {seed}"));
+    }
+}
+
+/// Property: recycled fan-out buffers never change pop/dispatch order.
+/// Loss forces every multicast down the generic materializing path, so
+/// wavefront buffers cycle through the pool constantly; the no-pool
+/// reference allocates each one fresh. Same seed, byte-identical trace.
+#[test]
+fn pooled_payloads_match_no_pool_reference_under_loss() {
+    for (seed, loss_seed, p) in [(1u64, 42u64, 0.2f64), (9, 7, 0.35), (31, 3, 0.1)] {
+        let pooled = run_traced(pruned(true, true), Some((p, loss_seed)), seed);
+        let fresh = run_traced(pruned(true, false), Some((p, loss_seed)), seed);
+        assert!(
+            pooled.machine.fabric_stats().losses > 0,
+            "loss at {p} produced no drops; the pool path was not stressed"
+        );
+        assert_identical(
+            &pooled,
+            &fresh,
+            &format!("payload_pool seed {seed} loss {p}"),
+        );
+    }
+}
+
+/// Both toggles at once against both off: the full flattened dispatch
+/// stack vs the fully generic reference, loss-free.
+#[test]
+fn flattened_dispatch_stack_matches_fully_generic_reference() {
+    let flat = run_traced(pruned(true, true), None, 5);
+    let generic = run_traced(pruned(false, false), None, 5);
+    assert_identical(&flat, &generic, "flattened vs generic");
+}

@@ -70,6 +70,12 @@ pub struct Fabric {
     path_fifo: HashMap<(NodeId, NodeId), SimTime>,
     rng: DetRng,
     stats: FabricStats,
+    /// Per-position arrival-time scratch reused across multicasts, so the
+    /// steady-state dispatch path performs no per-call allocation.
+    arrival_scratch: Vec<SimTime>,
+    /// Path scratch reused across unicasts, for the same reason: one
+    /// protocol message = one unicast, and routes must not allocate.
+    route_scratch: Vec<LinkId>,
 }
 
 impl Fabric {
@@ -83,6 +89,8 @@ impl Fabric {
             path_fifo: HashMap::new(),
             rng: DetRng::new(0x5e5a_11e7),
             stats: FabricStats::default(),
+            arrival_scratch: Vec::new(),
+            route_scratch: Vec::new(),
         }
     }
 
@@ -170,8 +178,11 @@ impl Fabric {
         let raw = if src == dst {
             now + self.timing.serialization(bytes)
         } else {
-            let links = topo.route(src, dst);
-            self.traverse_links(now, &links, bytes)
+            let mut links = std::mem::take(&mut self.route_scratch);
+            topo.route_into(src, dst, &mut links);
+            let t = self.traverse_links(now, &links, bytes);
+            self.route_scratch = links;
+            t
         };
         // Per-path FIFO: never deliver before an earlier packet on the
         // same (src, dst) path.
@@ -222,19 +233,37 @@ impl Fabric {
         bytes: u32,
         members: &[NodeId],
     ) -> Vec<(NodeId, SimTime)> {
+        let mut out = Vec::with_capacity(members.len());
+        self.multicast_into(now, tree, bytes, members, &mut out);
+        out
+    }
+
+    /// Like [`Fabric::multicast`], but writes the arrival list into a
+    /// caller-provided buffer (cleared first) instead of allocating one —
+    /// the dispatch hot path reuses a single buffer across every fan-out.
+    pub fn multicast_into(
+        &mut self,
+        now: SimTime,
+        tree: &SpanningTree,
+        bytes: u32,
+        members: &[NodeId],
+        out: &mut Vec<(NodeId, SimTime)>,
+    ) {
         self.stats.packets += 1;
         self.stats.bytes += bytes as u64;
         // Arrival time per position, computed in BFS order so parents are
-        // final before children.
-        let mut arrival: Vec<SimTime> = vec![SimTime::MAX; tree.len()];
+        // final before children. The scratch is a fabric field: steady
+        // state re-fills it in place.
+        self.arrival_scratch.clear();
+        self.arrival_scratch.resize(tree.len(), SimTime::MAX);
         let ser = self.timing.serialization(bytes);
-        arrival[tree.root().index()] = now;
+        self.arrival_scratch[tree.root().index()] = now;
         for pos in tree.bfs_order() {
-            let t_here = arrival[pos.index()];
+            let t_here = self.arrival_scratch[pos.index()];
             for &child in tree.children(pos) {
                 self.stats.link_traversals += 1;
                 self.stats.ser_ns += ser.as_nanos();
-                arrival[child.index()] = match self.contention {
+                self.arrival_scratch[child.index()] = match self.contention {
                     // Cut-through: the root clocks the packet out once, then
                     // the wavefront advances one hop latency per tree edge.
                     ContentionModel::None => {
@@ -257,7 +286,12 @@ impl Fabric {
                 };
             }
         }
-        members.iter().map(|&m| (m, arrival[m.index()])).collect()
+        out.clear();
+        out.extend(
+            members
+                .iter()
+                .map(|&m| (m, self.arrival_scratch[m.index()])),
+        );
     }
 
     /// Propagates one packet down a member-pruned [`MulticastRoute`],
@@ -276,15 +310,26 @@ impl Fabric {
         route: &MulticastRoute,
         bytes: u32,
     ) -> Vec<(NodeId, SimTime)> {
-        self.stats.packets += 1;
-        self.stats.bytes += bytes as u64;
-        let edges = route.edge_count() as u64;
+        let mut out = Vec::with_capacity(route.member_count());
+        self.multicast_route_into(now, route, bytes, &mut out);
+        out
+    }
+
+    /// Like [`Fabric::multicast_route`], but writes the arrival list into
+    /// a caller-provided buffer (cleared first) instead of allocating one.
+    pub fn multicast_route_into(
+        &mut self,
+        now: SimTime,
+        route: &MulticastRoute,
+        bytes: u32,
+        out: &mut Vec<(NodeId, SimTime)>,
+    ) {
+        self.bill_multicast_route(route, bytes);
         let ser = self.timing.serialization(bytes);
-        self.stats.link_traversals += edges;
-        self.stats.ser_ns += edges * ser.as_nanos();
         // Local index 0 is the root; every parent precedes its children, so
         // one forward pass finalizes arrivals wave by wave.
-        let mut arrival: Vec<SimTime> = Vec::with_capacity(route.len());
+        self.arrival_scratch.clear();
+        let arrival = &mut self.arrival_scratch;
         arrival.push(now);
         for i in 1..route.len() {
             let p = route.parent_of(i);
@@ -308,10 +353,27 @@ impl Fabric {
             };
             arrival.push(at);
         }
-        route
-            .member_indices()
-            .map(|i| (route.node(i), arrival[i]))
-            .collect()
+        out.clear();
+        out.extend(
+            route
+                .member_indices()
+                .map(|i| (route.node(i), self.arrival_scratch[i])),
+        );
+    }
+
+    /// Bills one multicast over `route` to the traffic counters without
+    /// computing arrival times: exactly the accounting
+    /// [`Fabric::multicast_route`] performs (one packet, every pruned edge
+    /// traversed once). The dispatch fast path uses this when arrivals are
+    /// determined by the route's precomputed waves alone — i.e. under
+    /// cut-through timing, where a member's arrival is a pure function of
+    /// its hop depth.
+    pub fn bill_multicast_route(&mut self, route: &MulticastRoute, bytes: u32) {
+        self.stats.packets += 1;
+        self.stats.bytes += bytes as u64;
+        let edges = route.edge_count() as u64;
+        self.stats.link_traversals += edges;
+        self.stats.ser_ns += edges * self.timing.serialization(bytes).as_nanos();
     }
 }
 

@@ -69,20 +69,19 @@ impl Topology for Hypercube {
         (a.get() ^ b.get()).count_ones()
     }
 
-    fn route(&self, a: NodeId, b: NodeId) -> Vec<LinkId> {
+    fn route_into(&self, a: NodeId, b: NodeId, out: &mut Vec<LinkId>) {
         // E-cube routing: correct differing bits from the lowest dimension
         // upward.
-        let mut links = Vec::new();
+        out.clear();
         let mut at = a.get();
         let mut diff = at ^ b.get();
         while diff != 0 {
             let bit = diff.trailing_zeros();
             let next = at ^ (1 << bit);
-            links.push(LinkId::between(NodeId::new(at), NodeId::new(next)));
+            out.push(LinkId::between(NodeId::new(at), NodeId::new(next)));
             at = next;
             diff = at ^ b.get();
         }
-        links
     }
 
     fn diameter(&self) -> u32 {

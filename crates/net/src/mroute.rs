@@ -58,6 +58,15 @@ pub struct MulticastRoute {
     depth: Vec<u32>,
     /// Local indices of the group members, in declared member order.
     members: Vec<u32>,
+    /// Members regrouped into fan-out waves: positions sharing one hop
+    /// depth, waves in ascending depth order, members inside a wave in
+    /// declared member order. Flat storage sliced by `wave_offsets`.
+    wave_nodes: Vec<NodeId>,
+    /// `wave_offsets[w]..wave_offsets[w + 1]` indexes wave `w` in
+    /// `wave_nodes`; always one longer than `wave_depths`.
+    wave_offsets: Vec<u32>,
+    /// Hop depth of each wave, strictly ascending.
+    wave_depths: Vec<u32>,
 }
 
 impl MulticastRoute {
@@ -79,6 +88,9 @@ impl MulticastRoute {
             parent: vec![0],
             depth: vec![0],
             members: Vec::with_capacity(members.len()),
+            wave_nodes: Vec::with_capacity(members.len()),
+            wave_offsets: vec![0],
+            wave_depths: Vec::new(),
         };
         for &m in members {
             route.add_member(topo, m);
@@ -117,6 +129,33 @@ impl MulticastRoute {
             };
         }
         self.members.push(at);
+        self.wave_insert(at);
+    }
+
+    /// Slots one member into the wave arena: appended to the wave of its
+    /// hop depth (keeping declared member order within the wave), with a
+    /// new wave spliced in when this depth is the first of its kind.
+    fn wave_insert(&mut self, member: u32) {
+        let d = self.depth[member as usize];
+        let node = self.nodes[member as usize];
+        match self.wave_depths.binary_search(&d) {
+            Ok(w) => {
+                let end = self.wave_offsets[w + 1] as usize;
+                self.wave_nodes.insert(end, node);
+                for off in &mut self.wave_offsets[w + 1..] {
+                    *off += 1;
+                }
+            }
+            Err(w) => {
+                let start = self.wave_offsets[w] as usize;
+                self.wave_nodes.insert(start, node);
+                self.wave_depths.insert(w, d);
+                self.wave_offsets.insert(w + 1, self.wave_offsets[w] + 1);
+                for off in &mut self.wave_offsets[w + 2..] {
+                    *off += 1;
+                }
+            }
+        }
     }
 
     fn local_index(&self, n: NodeId) -> Option<u32> {
@@ -174,6 +213,36 @@ impl MulticastRoute {
     /// [`Fabric::multicast`](crate::Fabric::multicast)'s member order.
     pub fn member_indices(&self) -> impl Iterator<Item = usize> + '_ {
         self.members.iter().map(|&i| i as usize)
+    }
+
+    /// Number of fan-out waves: distinct member hop depths. Under
+    /// cut-through timing with a nonzero hop latency every member of one
+    /// wave receives the multicast at the same instant, and no two waves
+    /// share an instant — so a fan-out is exactly one queue event per wave.
+    pub fn wave_count(&self) -> usize {
+        self.wave_depths.len()
+    }
+
+    /// Hop depth of wave `w` (waves are ordered by strictly ascending
+    /// depth, so this is also ascending arrival order).
+    pub fn wave_depth(&self, w: usize) -> u32 {
+        self.wave_depths[w]
+    }
+
+    /// The members of wave `w`, in declared member order — a borrowed
+    /// slice into the route's topology-static arena: iterating a fan-out
+    /// materializes nothing.
+    pub fn wave(&self, w: usize) -> &[NodeId] {
+        let start = self.wave_offsets[w] as usize;
+        let end = self.wave_offsets[w + 1] as usize;
+        &self.wave_nodes[start..end]
+    }
+
+    /// The largest member hop depth (0 when the only member is the root,
+    /// or when there are no members at all) — the depth of the last wave,
+    /// which determines the end of the whole fan-out interval.
+    pub fn max_depth(&self) -> u32 {
+        self.wave_depths.last().copied().unwrap_or(0)
     }
 }
 
@@ -242,6 +311,77 @@ mod tests {
                 "topo {topo:?}"
             );
         }
+    }
+
+    #[test]
+    fn waves_group_members_by_depth_in_declared_order() {
+        let topo = MeshTorus2d::new(8, 8);
+        // Declared order deliberately scrambles depths so the arena has to
+        // regroup without reordering within a depth.
+        let members: Vec<NodeId> = [3u32, 0, 1, 11, 2, 19].map(n).to_vec();
+        let route = MulticastRoute::build(&topo, n(0), &members);
+
+        // Reference grouping: declared order filtered per depth.
+        let mut by_depth: std::collections::BTreeMap<u32, Vec<NodeId>> =
+            std::collections::BTreeMap::new();
+        for &m in &members {
+            by_depth.entry(topo.hops(n(0), m)).or_default().push(m);
+        }
+        assert_eq!(route.wave_count(), by_depth.len());
+        for (w, (depth, want)) in by_depth.iter().enumerate() {
+            assert_eq!(route.wave_depth(w), *depth);
+            assert_eq!(route.wave(w), &want[..], "wave at depth {depth}");
+        }
+        let total: usize = (0..route.wave_count()).map(|w| route.wave(w).len()).sum();
+        assert_eq!(total, route.member_count());
+        assert_eq!(route.max_depth(), *by_depth.keys().last().unwrap());
+    }
+
+    #[test]
+    fn waves_match_arrival_time_grouping() {
+        // The contract the dispatch fast path relies on: with cut-through
+        // timing and nonzero hop latency, grouping members by arrival time
+        // (what the event layer used to compute per multicast) equals
+        // grouping by hop depth (what the arena precomputes once).
+        for topo in [
+            &MeshTorus2d::new(6, 5) as &dyn Topology,
+            &Ring::new(11),
+            &Star::new(6),
+        ] {
+            let root = n(2);
+            let members: Vec<NodeId> = (0..topo.len() as u32).rev().map(n).collect();
+            let route = MulticastRoute::build(topo, root, &members);
+            let mut fabric = Fabric::new(LinkTiming::paper_1994());
+            let arrivals = fabric.multicast_route(SimTime::ZERO, &route, 125);
+
+            let mut by_time: std::collections::BTreeMap<SimTime, Vec<NodeId>> =
+                std::collections::BTreeMap::new();
+            for (m, at) in arrivals {
+                by_time.entry(at).or_default().push(m);
+            }
+            assert_eq!(route.wave_count(), by_time.len(), "topo {topo:?}");
+            for (w, wave) in by_time.values().enumerate() {
+                assert_eq!(route.wave(w), &wave[..], "topo {topo:?} wave {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_members_appear_in_their_wave_twice() {
+        let topo = Ring::new(8);
+        let route = MulticastRoute::build(&topo, n(0), &[n(1), n(1), n(0)]);
+        assert_eq!(route.member_count(), 3);
+        assert_eq!(route.wave_count(), 2);
+        assert_eq!(route.wave(0), &[n(0)]);
+        assert_eq!(route.wave(1), &[n(1), n(1)]);
+    }
+
+    #[test]
+    fn empty_member_list_has_no_waves() {
+        let topo = Ring::new(4);
+        let route = MulticastRoute::build(&topo, n(1), &[]);
+        assert_eq!(route.wave_count(), 0);
+        assert_eq!(route.max_depth(), 0);
     }
 
     #[test]

@@ -35,9 +35,22 @@ pub trait Topology: fmt::Debug {
     /// Shortest-path hop count between two positions.
     fn hops(&self, a: NodeId, b: NodeId) -> u32;
 
+    /// Replaces the contents of `out` with the directed links along the
+    /// deterministic shortest path from `a` to `b` (empty when `a == b`).
+    ///
+    /// This is the allocation-free form of [`Topology::route`]: hot paths
+    /// (one unicast per protocol message) pass a reusable scratch buffer
+    /// so steady-state routing never touches the heap.
+    fn route_into(&self, a: NodeId, b: NodeId, out: &mut Vec<LinkId>);
+
     /// The directed links along the deterministic shortest path from `a` to
-    /// `b` (empty when `a == b`).
-    fn route(&self, a: NodeId, b: NodeId) -> Vec<LinkId>;
+    /// `b` (empty when `a == b`). Convenience wrapper over
+    /// [`Topology::route_into`] that allocates a fresh path.
+    fn route(&self, a: NodeId, b: NodeId) -> Vec<LinkId> {
+        let mut links = Vec::new();
+        self.route_into(a, b, &mut links);
+        links
+    }
 
     /// Largest hop count between any two CPU nodes.
     fn diameter(&self) -> u32 {
@@ -69,21 +82,21 @@ pub trait Topology: fmt::Debug {
     }
 }
 
-/// Walks `route` one hop at a time using a next-hop function, collecting
-/// directed links. Shared by the concrete topologies.
+/// Walks `route` one hop at a time using a next-hop function, replacing
+/// `out` with the directed links. Shared by the concrete topologies.
 fn route_by_next_hop(
     mut at: NodeId,
     to: NodeId,
+    out: &mut Vec<LinkId>,
     mut next_hop: impl FnMut(NodeId, NodeId) -> NodeId,
-) -> Vec<LinkId> {
-    let mut links = Vec::new();
+) {
+    out.clear();
     while at != to {
         let nxt = next_hop(at, to);
         assert_ne!(nxt, at, "routing made no progress at {at}");
-        links.push(LinkId::between(at, nxt));
+        out.push(LinkId::between(at, nxt));
         at = nxt;
     }
-    links
 }
 
 /// A 2-D mesh torus (wrap-around grid) with XY dimension-ordered routing.
@@ -227,8 +240,8 @@ impl Topology for MeshTorus2d {
         Self::axis_hops(ax, bx, self.width) + Self::axis_hops(ay, by, self.height)
     }
 
-    fn route(&self, a: NodeId, b: NodeId) -> Vec<LinkId> {
-        route_by_next_hop(a, b, |at, to| self.next_hop(at, to))
+    fn route_into(&self, a: NodeId, b: NodeId, out: &mut Vec<LinkId>) {
+        route_by_next_hop(a, b, out, |at, to| self.next_hop(at, to))
     }
 }
 
@@ -274,9 +287,9 @@ impl Topology for Ring {
         MeshTorus2d::axis_hops(a.get(), b.get(), self.nodes as u32)
     }
 
-    fn route(&self, a: NodeId, b: NodeId) -> Vec<LinkId> {
+    fn route_into(&self, a: NodeId, b: NodeId, out: &mut Vec<LinkId>) {
         let k = self.nodes as u32;
-        route_by_next_hop(a, b, |at, to| {
+        route_by_next_hop(a, b, out, |at, to| {
             let step = MeshTorus2d::step_toward(at.get(), to.get(), k);
             NodeId::new(((at.get() as i64 + step).rem_euclid(k as i64)) as u32)
         })
@@ -321,8 +334,8 @@ impl Topology for Line {
         a.get().abs_diff(b.get())
     }
 
-    fn route(&self, a: NodeId, b: NodeId) -> Vec<LinkId> {
-        route_by_next_hop(a, b, |at, to| {
+    fn route_into(&self, a: NodeId, b: NodeId, out: &mut Vec<LinkId>) {
+        route_by_next_hop(a, b, out, |at, to| {
             if to.get() > at.get() {
                 NodeId::new(at.get() + 1)
             } else {
@@ -373,10 +386,11 @@ impl Topology for Star {
         }
     }
 
-    fn route(&self, a: NodeId, b: NodeId) -> Vec<LinkId> {
+    fn route_into(&self, a: NodeId, b: NodeId, out: &mut Vec<LinkId>) {
         route_by_next_hop(
             a,
             b,
+            out,
             |at, to| {
                 if at.get() == 0 {
                     to
@@ -422,11 +436,10 @@ impl Topology for FullMesh {
         u32::from(a != b)
     }
 
-    fn route(&self, a: NodeId, b: NodeId) -> Vec<LinkId> {
-        if a == b {
-            Vec::new()
-        } else {
-            vec![LinkId::between(a, b)]
+    fn route_into(&self, a: NodeId, b: NodeId, out: &mut Vec<LinkId>) {
+        out.clear();
+        if a != b {
+            out.push(LinkId::between(a, b));
         }
     }
 }

@@ -47,6 +47,7 @@
 mod engine;
 #[cfg(feature = "hostprof")]
 pub mod hostprof;
+mod pool;
 mod queue;
 mod rng;
 mod stats;
@@ -56,6 +57,7 @@ mod trace;
 pub use engine::{
     Actor, ActorId, Context, PendingEvent, RunOutcome, Scheduler, Simulation, DEFAULT_EVENT_LIMIT,
 };
+pub use pool::BufferPool;
 pub use queue::EventQueue;
 pub use rng::DetRng;
 pub use stats::{Counter, Histogram, MeanVar, Point, Series, TimeWeighted};

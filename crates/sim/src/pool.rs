@@ -1,0 +1,142 @@
+//! A free-list pool of recycled `Vec` buffers for event payloads.
+//!
+//! The dispatch hot path hands owned buffers to queued events (e.g. the
+//! member list of a multicast wavefront under packet loss, where the
+//! surviving subset is decided per fan-out). Allocating a fresh `Vec` per
+//! event and dropping it after dispatch made the allocator a per-event
+//! cost; a [`BufferPool`] recycles those buffers through a free list so
+//! steady-state dispatch reuses capacity instead.
+//!
+//! Pooling is invisible to simulation semantics: a pooled buffer is
+//! cleared on release and handed back empty, so the only difference from
+//! a fresh `Vec` is retained capacity — never contents. The
+//! `sesame-workloads` property suite pins this by running the same seeded
+//! scenario with a pooled and a [`BufferPool::disabled`] pool and
+//! asserting byte-identical traces.
+
+/// Free-list cap: buffers released beyond this many are dropped instead of
+/// retained, bounding worst-case idle memory. The deepest simultaneous
+/// demand in practice is one buffer per in-flight multicast wavefront.
+const MAX_RETAINED: usize = 1024;
+
+/// A LIFO free list of reusable `Vec<T>` buffers.
+///
+/// [`BufferPool::acquire`] pops a recycled (empty) buffer or creates a
+/// fresh one; [`BufferPool::release`] clears a buffer and retains it for
+/// the next acquire. LIFO order keeps the hottest buffer — the one whose
+/// backing memory is most likely still cached — on top.
+#[derive(Debug)]
+pub struct BufferPool<T> {
+    free: Vec<Vec<T>>,
+    enabled: bool,
+}
+
+impl<T> Default for BufferPool<T> {
+    fn default() -> Self {
+        BufferPool::new()
+    }
+}
+
+impl<T> BufferPool<T> {
+    /// Creates an enabled pool with an empty free list.
+    pub fn new() -> Self {
+        BufferPool {
+            free: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Creates a pool that never retains anything: every acquire allocates
+    /// fresh and every release drops. The reference configuration for
+    /// pooling-is-invisible equivalence tests.
+    pub fn disabled() -> Self {
+        BufferPool {
+            free: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Whether released buffers are retained for reuse.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Hands out an empty buffer — recycled if the free list has one,
+    /// freshly created otherwise.
+    pub fn acquire(&mut self) -> Vec<T> {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Takes a buffer back: cleared and retained for the next
+    /// [`BufferPool::acquire`] (unless the pool is disabled or full, in
+    /// which case the buffer is simply dropped).
+    pub fn release(&mut self, mut buf: Vec<T>) {
+        if !self.enabled || self.free.len() >= MAX_RETAINED {
+            return;
+        }
+        buf.clear();
+        self.free.push(buf);
+    }
+
+    /// Number of buffers currently waiting on the free list.
+    pub fn retained(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_capacity_through_the_free_list() {
+        let mut pool: BufferPool<u64> = BufferPool::new();
+        let mut a = pool.acquire();
+        a.extend(0..100);
+        let cap = a.capacity();
+        let ptr = a.as_ptr();
+        pool.release(a);
+        assert_eq!(pool.retained(), 1);
+
+        let b = pool.acquire();
+        assert!(b.is_empty(), "recycled buffers come back empty");
+        assert_eq!(b.capacity(), cap, "capacity survives the round trip");
+        assert_eq!(b.as_ptr(), ptr, "same backing allocation");
+        assert_eq!(pool.retained(), 0);
+    }
+
+    #[test]
+    fn lifo_order_reuses_the_hottest_buffer() {
+        let mut pool: BufferPool<u8> = BufferPool::new();
+        let mut first = pool.acquire();
+        first.reserve(10);
+        let mut second = pool.acquire();
+        second.reserve(20);
+        let second_ptr = second.as_ptr();
+        pool.release(first);
+        pool.release(second);
+        let reused = pool.acquire();
+        assert_eq!(reused.as_ptr(), second_ptr);
+    }
+
+    #[test]
+    fn disabled_pool_never_retains() {
+        let mut pool: BufferPool<u32> = BufferPool::disabled();
+        assert!(!pool.is_enabled());
+        let mut buf = pool.acquire();
+        buf.push(1);
+        pool.release(buf);
+        assert_eq!(pool.retained(), 0);
+        assert_eq!(pool.acquire().capacity(), 0, "every acquire is fresh");
+    }
+
+    #[test]
+    fn free_list_is_bounded() {
+        let mut pool: BufferPool<u8> = BufferPool::new();
+        let bufs: Vec<Vec<u8>> = (0..MAX_RETAINED + 10).map(|_| Vec::new()).collect();
+        for b in bufs {
+            pool.release(b);
+        }
+        assert_eq!(pool.retained(), MAX_RETAINED);
+    }
+}

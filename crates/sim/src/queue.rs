@@ -148,6 +148,16 @@ pub struct EventQueue<T> {
     /// only allowed once this exceeds the rebuild's cost, keeping them
     /// amortized O(1).
     ops_since_rebuild: u64,
+    /// Whether any push happened since the last rebuild. A pure drain
+    /// (pops only) never shrinks the ring: the window slides through each
+    /// day at most once regardless of bucket count, so a shrink rebuild
+    /// would pay an O(count) refile for nothing. The first push re-enables
+    /// geometry adaptation.
+    pushed_since_rebuild: bool,
+    /// Refile scratch reused across rebuilds. A rebuild marshals every
+    /// pending event through one flat buffer; at deep backlogs that is
+    /// megabytes per rebuild, so the buffer's capacity is kept.
+    rebuild_scratch: Vec<Pending<T>>,
     next_seq: u64,
     pushed: u64,
     popped: u64,
@@ -172,8 +182,10 @@ impl<T> EventQueue<T> {
             cur_day: 0,
             near: 0,
             overflow: BinaryHeap::new(),
+            rebuild_scratch: Vec::new(),
             count: 0,
             ops_since_rebuild: 0,
+            pushed_since_rebuild: false,
             next_seq: 0,
             pushed: 0,
             popped: 0,
@@ -254,6 +266,7 @@ impl<T> EventQueue<T> {
         self.pushed += 1;
         self.count += 1;
         self.ops_since_rebuild += 1;
+        self.pushed_since_rebuild = true;
         self.place(Pending { time, seq, payload });
         let nb = self.heads.len();
         if (self.count > nb * 2 && nb < MAX_BUCKETS)
@@ -285,19 +298,25 @@ impl<T> EventQueue<T> {
 
     /// Drains ring bucket `b`'s chain into the cursor heap, returning the
     /// slots to the free list.
+    ///
+    /// The cursor's buffer is reused and re-heapified in one pass
+    /// (`O(n)`) rather than heap-pushing element by element
+    /// (`O(n log n)` sift-ups) — the pop-heavy half of a fill/drain cycle
+    /// runs every pending event through here, so the constant matters.
     fn drain_bucket(&mut self, b: usize) {
+        let mut items = std::mem::take(&mut self.cursor).into_vec();
         let mut s = self.heads[b];
         self.heads[b] = NIL;
         while s != NIL {
             let slot = &mut self.slots[s as usize];
             let next = slot.next;
-            let p = slot.item.take().expect("occupied ring slot");
+            items.push(slot.item.take().expect("occupied ring slot"));
             slot.next = self.free;
             self.free = s;
-            self.cursor.push(p);
             self.near -= 1;
             s = next;
         }
+        self.cursor = BinaryHeap::from(items);
     }
 
     /// Advances the calendar until the cursor holds the earliest pending
@@ -339,11 +358,16 @@ impl<T> EventQueue<T> {
         self.ops_since_rebuild += 1;
         let nb = self.heads.len();
         if nb > MIN_BUCKETS
+            && self.pushed_since_rebuild
             && self.count * 8 < nb
             && self.ops_since_rebuild as usize > nb.max(self.count)
         {
             // The ring got sparse relative to its population: shrink so
-            // window slides don't walk long runs of empty buckets.
+            // window slides don't walk long runs of empty buckets. Gated
+            // on a push since the last rebuild — in a pure drain the
+            // window slides through each remaining day exactly once no
+            // matter how many buckets there are, so a shrink would pay a
+            // full O(count) refile for nothing.
             self.rebuild();
         }
         Some((p.time, p.payload))
@@ -438,7 +462,10 @@ impl<T> EventQueue<T> {
     /// callers gate it on `ops_since_rebuild` so it amortizes to O(1).
     fn rebuild(&mut self) {
         self.ops_since_rebuild = 0;
-        let mut items: Vec<Pending<T>> = Vec::with_capacity(self.count);
+        self.pushed_since_rebuild = false;
+        let mut items = std::mem::take(&mut self.rebuild_scratch);
+        items.clear();
+        items.reserve(self.count);
         items.extend(std::mem::take(&mut self.cursor).into_vec());
         items.extend(self.slots.iter_mut().filter_map(|s| s.item.take()));
         items.extend(std::mem::take(&mut self.overflow).into_vec());
@@ -469,9 +496,10 @@ impl<T> EventQueue<T> {
         }
         self.width_shift = shift;
         self.cur_day = min >> shift;
-        for p in items {
+        for p in items.drain(..) {
             self.place(p);
         }
+        self.rebuild_scratch = items;
     }
 
     /// Enumerates every pending event in deterministic `(time, seq)` order —
@@ -743,6 +771,32 @@ mod tests {
                 last_seen.insert(time, v);
             }
         }
+    }
+
+    /// Regression for the fill/drain bench shape: a big tie-heavy fill
+    /// followed by a pure drain (no interleaved pushes) must still pop in
+    /// exact `(time, seq)` order — this path exercises both the
+    /// bucket-drain heapify and the drain-time shrink suppression.
+    #[test]
+    fn pure_drain_after_bulk_fill_pops_in_order() {
+        let mut q = EventQueue::with_capacity(20_000);
+        for i in 0..20_000u64 {
+            q.push(t(i % 64), i);
+        }
+        let mut last: Option<(SimTime, u64)> = None;
+        let mut n = 0u64;
+        while let Some((time, id)) = q.pop() {
+            if let Some((lt, lid)) = last {
+                assert!(
+                    time > lt || (time == lt && id > lid),
+                    "pop order broke at event {n}: ({time:?}, {id}) after ({lt:?}, {lid})"
+                );
+            }
+            last = Some((time, id));
+            n += 1;
+        }
+        assert_eq!(n, 20_000);
+        assert_eq!(q.total_popped(), 20_000);
     }
 
     /// A reference implementation with the queue's exact contract: a

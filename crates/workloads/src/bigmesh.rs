@@ -37,8 +37,20 @@ use sesame_sim::{RunOutcome, SimDur, SimTime};
 /// Parameters of the sharded-mesh scaling scenario.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BigMeshConfig {
-    /// CPU count (the headline configuration is 100 000).
+    /// CPU count (the headline configuration is 100 000). Ignored when an
+    /// explicit [`BigMeshConfig::rows`] x [`BigMeshConfig::cols`] geometry
+    /// is set.
     pub nodes: usize,
+    /// Explicit torus height: with [`BigMeshConfig::cols`], requests a
+    /// deliberately non-square `cols`-wide, `rows`-tall mesh torus of
+    /// `rows * cols` CPUs. Zero (the default) derives a near-square torus
+    /// from [`BigMeshConfig::nodes`]. Narrow tall geometries (e.g.
+    /// 100 000 x 10 for the 1M-CPU configuration) keep each row pipeline —
+    /// and therefore each multicast fan-out and each token's serial chain —
+    /// short while scaling the machine by row count.
+    pub rows: u32,
+    /// Explicit torus width (row length); see [`BigMeshConfig::rows`].
+    pub cols: u32,
     /// Token laps per row: every node performs `laps` visits.
     pub laps: u32,
     /// Local computation `L` per visit; the mutex section is `L/8`
@@ -58,6 +70,8 @@ impl Default for BigMeshConfig {
     fn default() -> Self {
         BigMeshConfig {
             nodes: 100_000,
+            rows: 0,
+            cols: 0,
             laps: 1,
             local_calc: SimDur::from_us(5),
             shared_words: 1,
@@ -243,27 +257,47 @@ fn rows_of(nodes: usize, width: u32, shared_words: u32) -> Vec<Row> {
     rows
 }
 
-/// Runs the sharded-mesh scenario.
-///
-/// # Panics
-///
-/// Panics if `nodes < 2` (no row can pipeline) or a completed run left a
-/// row's shared counter inconsistent with its visit count.
-pub fn run_bigmesh(cfg: BigMeshConfig) -> BigMeshRun {
-    assert!(cfg.nodes >= 2, "need at least one two-node row");
-    let width = MeshTorus2d::with_nodes(cfg.nodes).width();
-    let rows = rows_of(cfg.nodes, width, cfg.shared_words);
-    let flag_off = rows.len() as u32 * (1 + cfg.shared_words);
-    let progress: Progress = Rc::new(RefCell::new((0, 0)));
+/// Retransmission-history window per root. Loss-free runs never nack, so
+/// bounding the history changes no behavior — it only caps each root's
+/// history deque at a fixed capacity so steady-state sequencing allocates
+/// nothing. A visit writes `shared_words + 1` sequenced values; 64 leaves
+/// generous slack.
+const HISTORY_WINDOW: u64 = 64;
 
-    let mut builder = SystemBuilder::new(cfg.nodes)
+/// Resolved torus geometry: `(cpu count, row width)`.
+fn geometry(cfg: &BigMeshConfig) -> (usize, u32) {
+    if cfg.rows > 0 || cfg.cols > 0 {
+        assert!(
+            cfg.rows > 0 && cfg.cols > 0,
+            "rows and cols must be set together"
+        );
+        (cfg.rows as usize * cfg.cols as usize, cfg.cols)
+    } else {
+        (cfg.nodes, MeshTorus2d::with_nodes(cfg.nodes).width())
+    }
+}
+
+/// Assembles the sharded-mesh system: groups, init values, and (when
+/// `progress` is given) the row programs.
+fn assemble(
+    cfg: &BigMeshConfig,
+    machine_cfg: MachineConfig,
+    progress: Option<&Progress>,
+) -> (sesame_dsm::Machine<ModelInstance>, Vec<Row>) {
+    let (nodes, width) = geometry(cfg);
+    assert!(nodes >= 2, "need at least one two-node row");
+    let rows = rows_of(nodes, width, cfg.shared_words);
+    let flag_off = rows.len() as u32 * (1 + cfg.shared_words);
+    let mut builder = SystemBuilder::new(nodes)
         .topology(TopologyChoice::MeshTorus)
         .timing(cfg.timing)
         .model(ModelChoice::Gwc)
-        .machine_config(MachineConfig {
-            pruned_multicast: true,
-            ..MachineConfig::default()
-        });
+        .machine_config(machine_cfg);
+    if cfg.rows > 0 {
+        // An explicit (usually non-square) geometry the TopologyChoice
+        // cannot express.
+        builder = builder.topology_instance(Box::new(MeshTorus2d::new(cfg.cols, cfg.rows)));
+    }
     for row in &rows {
         let members: Vec<NodeId> = (row.start..row.start + row.len).map(NodeId::new).collect();
         // The row's mutex group: lock + shared words, rooted at the leader.
@@ -291,22 +325,55 @@ pub fn run_bigmesh(cfg: BigMeshConfig) -> BigMeshRun {
                 mutex_lock: None,
             });
         }
-        for idx in 0..row.len {
-            builder = builder.program(
-                NodeId::new(row.start + idx),
-                Box::new(RowCpu {
-                    cfg,
-                    row: *row,
-                    flag_off,
-                    stage: Stage::WaitToken,
-                    visit: 0,
-                    last_flag_seen: 0,
-                    progress: progress.clone(),
-                }),
-            );
+        if let Some(progress) = progress {
+            for idx in 0..row.len {
+                builder = builder.program(
+                    NodeId::new(row.start + idx),
+                    Box::new(RowCpu {
+                        cfg: *cfg,
+                        row: *row,
+                        flag_off,
+                        stage: Stage::WaitToken,
+                        visit: 0,
+                        last_flag_seen: 0,
+                        progress: progress.clone(),
+                    }),
+                );
+            }
         }
     }
-    let machine = builder.build().expect("valid sharded-mesh system");
+    let mut machine = builder.build().expect("valid sharded-mesh system");
+    if let Some(gwc) = machine.model_mut().as_gwc_mut() {
+        gwc.set_history_window(Some(HISTORY_WINDOW));
+    }
+    (machine, rows)
+}
+
+/// Runs the sharded-mesh scenario.
+///
+/// # Panics
+///
+/// Panics if the machine has fewer than 2 CPUs (no row can pipeline) or a
+/// completed run left a row's shared counter inconsistent with its visit
+/// count.
+pub fn run_bigmesh(cfg: BigMeshConfig) -> BigMeshRun {
+    run_bigmesh_configured(
+        cfg,
+        MachineConfig {
+            pruned_multicast: true,
+            ..MachineConfig::default()
+        },
+    )
+}
+
+/// Like [`run_bigmesh`] but with explicit protocol toggles — the
+/// equivalence suites run the same scenario with full-tree flooding, the
+/// static-wave fast path, or the payload pool disabled and assert
+/// identical outcomes.
+pub fn run_bigmesh_configured(cfg: BigMeshConfig, machine_cfg: MachineConfig) -> BigMeshRun {
+    let progress: Progress = Rc::new(RefCell::new((0, 0)));
+    let (machine, rows) = assemble(&cfg, machine_cfg, Some(&progress));
+    let nodes = machine.node_count();
     let result = run(
         machine,
         RunOptions {
@@ -328,7 +395,7 @@ pub fn run_bigmesh(cfg: BigMeshConfig) -> BigMeshRun {
         }
     }
     BigMeshRun {
-        nodes: cfg.nodes,
+        nodes,
         rows: rows.len(),
         completed_rows,
         visits,
@@ -343,41 +410,15 @@ pub fn run_bigmesh(cfg: BigMeshConfig) -> BigMeshRun {
 /// Builds the machine only (no run) — the memory-footprint smoke check.
 /// With lazy routing structures this is `O(N)` in nodes and groups.
 pub fn build_bigmesh_machine(cfg: BigMeshConfig) -> sesame_dsm::Machine<ModelInstance> {
-    assert!(cfg.nodes >= 2, "need at least one two-node row");
-    let width = MeshTorus2d::with_nodes(cfg.nodes).width();
-    let rows = rows_of(cfg.nodes, width, cfg.shared_words);
-    let flag_off = rows.len() as u32 * (1 + cfg.shared_words);
-    let mut builder = SystemBuilder::new(cfg.nodes)
-        .topology(TopologyChoice::MeshTorus)
-        .timing(cfg.timing)
-        .model(ModelChoice::Gwc)
-        .machine_config(MachineConfig {
+    assemble(
+        &cfg,
+        MachineConfig {
             pruned_multicast: true,
             ..MachineConfig::default()
-        });
-    for row in &rows {
-        let members: Vec<NodeId> = (row.start..row.start + row.len).map(NodeId::new).collect();
-        let vars: Vec<VarId> = std::iter::once(row.lock)
-            .chain((0..cfg.shared_words).map(|w| VarId::new(row.shared_base + w)))
-            .collect();
-        builder = builder.group(GroupSpec {
-            root: NodeId::new(row.start),
-            members,
-            vars,
-            mutex_lock: Some(row.lock),
-        });
-        for idx in 0..row.len {
-            let me = row.start + idx;
-            let next = row.start + (idx + 1) % row.len;
-            builder = builder.group(GroupSpec {
-                root: NodeId::new(me),
-                members: vec![NodeId::new(me), NodeId::new(next)],
-                vars: vec![VarId::new(flag_off + me)],
-                mutex_lock: None,
-            });
-        }
-    }
-    builder.build().expect("valid sharded-mesh system")
+        },
+        None,
+    )
+    .0
 }
 
 #[cfg(test)]
@@ -438,62 +479,60 @@ mod tests {
         // so the makespan and visit count must agree exactly — only the
         // traffic accounting and event count differ.
         let pruned = run_bigmesh(tiny(24));
-        let cfg = tiny(24);
-        let width = MeshTorus2d::with_nodes(cfg.nodes).width();
-        let rows = rows_of(cfg.nodes, width, cfg.shared_words);
-        let flag_off = rows.len() as u32 * (1 + cfg.shared_words);
-        let progress: Progress = Rc::new(RefCell::new((0, 0)));
-        let mut builder = SystemBuilder::new(cfg.nodes)
-            .topology(TopologyChoice::MeshTorus)
-            .timing(cfg.timing)
-            .model(ModelChoice::Gwc);
-        for row in &rows {
-            let members: Vec<NodeId> = (row.start..row.start + row.len).map(NodeId::new).collect();
-            let vars: Vec<VarId> = std::iter::once(row.lock)
-                .chain((0..cfg.shared_words).map(|w| VarId::new(row.shared_base + w)))
-                .collect();
-            builder = builder
-                .group(GroupSpec {
-                    root: NodeId::new(row.start),
-                    members: members.clone(),
-                    vars,
-                    mutex_lock: Some(row.lock),
-                })
-                .init_var(row.lock, lockval::FREE);
-            for idx in 0..row.len {
-                let me = row.start + idx;
-                let next = row.start + (idx + 1) % row.len;
-                builder = builder.group(GroupSpec {
-                    root: NodeId::new(me),
-                    members: vec![NodeId::new(me), NodeId::new(next)],
-                    vars: vec![VarId::new(flag_off + me)],
-                    mutex_lock: None,
-                });
-            }
-            for idx in 0..row.len {
-                builder = builder.program(
-                    NodeId::new(row.start + idx),
-                    Box::new(RowCpu {
-                        cfg,
-                        row: *row,
-                        flag_off,
-                        stage: Stage::WaitToken,
-                        visit: 0,
-                        last_flag_seen: 0,
-                        progress: progress.clone(),
-                    }),
-                );
-            }
-        }
-        let machine = builder.build().unwrap();
-        let full = run(machine, RunOptions::default());
+        let full = run_bigmesh_configured(tiny(24), MachineConfig::default());
         assert_eq!(full.outcome, RunOutcome::Drained);
         assert_eq!(pruned.end, full.end, "arrival times must be identical");
-        assert_eq!(pruned.visits, progress.borrow().1);
+        assert_eq!(pruned.visits, full.visits);
         // Pruned routes traverse fewer links; batching processes fewer
         // events.
-        assert!(pruned.fabric.link_traversals < full.machine.fabric_stats().link_traversals);
+        assert!(pruned.fabric.link_traversals < full.fabric.link_traversals);
         assert!(pruned.events < full.events);
+    }
+
+    #[test]
+    fn static_waves_match_generic_wave_construction() {
+        // The fast path indexes topology-static wave slices; the generic
+        // path groups fabric-computed arrival times per multicast. Under
+        // the scenario's contention-free loss-free timing they must agree
+        // on everything observable.
+        let fast = run_bigmesh(tiny(48));
+        let generic = run_bigmesh_configured(
+            tiny(48),
+            MachineConfig {
+                pruned_multicast: true,
+                static_waves: false,
+                ..MachineConfig::default()
+            },
+        );
+        assert_eq!(fast.outcome, RunOutcome::Drained);
+        assert_eq!(fast.end, generic.end);
+        assert_eq!(fast.events, generic.events);
+        assert_eq!(fast.visits, generic.visits);
+        assert_eq!(fast.fabric, generic.fabric);
+    }
+
+    #[test]
+    fn explicit_geometry_scales_by_rows() {
+        // 12 rows of 4: 48 CPUs in a deliberately non-square torus.
+        let run = run_bigmesh(BigMeshConfig {
+            rows: 12,
+            cols: 4,
+            ..tiny(2)
+        });
+        assert_eq!(run.nodes, 48);
+        assert_eq!(run.rows, 12);
+        assert_eq!(run.outcome, RunOutcome::Drained);
+        assert_eq!(run.visits, 48);
+        assert_eq!(run.completed_rows, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows and cols must be set together")]
+    fn partial_geometry_is_rejected() {
+        let _ = run_bigmesh(BigMeshConfig {
+            rows: 12,
+            ..tiny(2)
+        });
     }
 
     #[test]
